@@ -1,0 +1,31 @@
+# Convenience targets for the PCcheck reproduction.
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	pytest benchmarks/
+
+figures:
+	python -m repro.cli all --out results/
+
+examples:
+	python examples/quickstart.py
+	python examples/crash_recovery.py
+	python examples/spot_vm_training.py
+	python examples/tune_configuration.py
+	python examples/distributed_training.py
+	python examples/monitoring_debugging.py
+	python examples/capacity_planning.py
+
+clean:
+	rm -rf results benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or a
+functional microbenchmark), asserts the qualitative *shape* the paper
+reports, and writes the rows to ``benchmarks/results/<name>.csv`` so the
+numbers can be inspected and plotted.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.csvout import write_csv
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def save_result():
+    """Write a FigureData to benchmarks/results/ and return its path."""
+
+    def _save(data):
+        return write_csv(
+            os.path.join(RESULTS_DIR, f"{data.name}.csv"), data.columns, data.rows
+        )
+
+    return _save

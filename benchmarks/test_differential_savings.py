@@ -1,0 +1,101 @@
+"""Differential checkpointing savings (the Check-N-Run extension, §6).
+
+Measures, on the real engine, the bytes written by always-full
+checkpoints vs anchors+deltas for a training run where a small fraction
+of the state changes per step — the regime recommendation models live in
+(and increasingly, LoRA-style fine-tuning).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.differential import DifferentialCheckpointer
+from repro.core.engine import CheckpointEngine
+from repro.core.layout import DeviceLayout, Geometry
+from repro.core.meta import RECORD_SIZE
+from repro.storage.ssd import InMemorySSD
+
+STATE_LEN = 64 * 1024
+PAGE = 1024
+
+
+def make_engine(payload_capacity, num_slots=3):
+    slot_size = payload_capacity + RECORD_SIZE
+    geometry = Geometry(num_slots=num_slots, slot_size=slot_size)
+    device = InMemorySSD(capacity=geometry.total_size)
+    layout = DeviceLayout.format(device, num_slots=num_slots,
+                                 slot_size=slot_size)
+    return CheckpointEngine(layout, writer_threads=2), device
+
+
+def evolving_states(steps, sparsity=0.01, seed=0):
+    """A state sequence where ~sparsity of pages change per step."""
+    rng = np.random.default_rng(seed)
+    state = bytearray(
+        rng.integers(0, 256, size=STATE_LEN, dtype=np.uint8).tobytes()
+    )
+    num_pages = STATE_LEN // PAGE
+    for _ in range(steps):
+        for page in rng.choice(num_pages, size=max(1, int(sparsity * num_pages)),
+                               replace=False):
+            start = int(page) * PAGE
+            state[start : start + 8] = rng.integers(
+                0, 256, size=8, dtype=np.uint8
+            ).tobytes()
+        yield bytes(state)
+
+
+def run_differential(steps=24, sparsity=0.01):
+    anchors, anchor_dev = make_engine(STATE_LEN + 64)
+    deltas, delta_dev = make_engine(STATE_LEN + 4096)
+    checkpointer = DifferentialCheckpointer(
+        anchors, deltas, page_size=PAGE, anchor_every=8,
+        max_delta_fraction=0.5,
+    )
+    states = list(evolving_states(steps, sparsity))
+    for index, state in enumerate(states):
+        checkpointer.checkpoint(state, step=index + 1)
+    written = (anchor_dev.stats.bytes_written + delta_dev.stats.bytes_written)
+    return checkpointer, written, states
+
+
+def run_full_only(steps=24, sparsity=0.01):
+    engine, device = make_engine(STATE_LEN + 64)
+    for index, state in enumerate(evolving_states(steps, sparsity)):
+        engine.checkpoint(state, step=index + 1)
+    return device.stats.bytes_written
+
+
+def test_differential_writes_far_fewer_bytes(benchmark):
+    checkpointer, diff_bytes, _ = run_differential()
+    full_bytes = run_full_only()
+    benchmark.pedantic(run_differential, rounds=2, iterations=1)
+    # 1% page churn, anchors every 8: well over 2x savings.
+    assert diff_bytes < full_bytes / 2
+    assert checkpointer.stats.delta_checkpoints > checkpointer.stats.full_checkpoints
+    assert checkpointer.stats.bytes_saved > 0
+
+
+def test_differential_recovery_is_exact(benchmark):
+    checkpointer, _, states = run_differential(steps=13)
+    step, recovered = checkpointer.recover()
+    assert step == 13
+    assert recovered == states[-1]
+
+    benchmark.pedantic(checkpointer.recover, rounds=3, iterations=1)
+
+
+def test_savings_shrink_as_churn_grows(benchmark):
+    """With most pages changing, deltas stop paying and the checkpointer
+    falls back to full checkpoints — no pathological blowup."""
+
+    def ratio(sparsity):
+        _, diff_bytes, _ = run_differential(steps=12, sparsity=sparsity)
+        full_bytes = run_full_only(steps=12, sparsity=sparsity)
+        return diff_bytes / full_bytes
+
+    sparse = ratio(0.01)
+    dense = ratio(0.8)
+    benchmark.pedantic(ratio, args=(0.01,), rounds=1, iterations=1)
+    assert sparse < dense
+    assert dense <= 1.25  # headers/anchors bound the worst case

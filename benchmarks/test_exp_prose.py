@@ -1,0 +1,94 @@
+"""Prose experiments: the H100 VM run (§5.2.1) and the PMEM
+persistence-path comparison (§3.3).
+"""
+
+import pytest
+
+from repro.analysis.figures import exp_h100, exp_pmem_paths
+
+
+class TestH100:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return exp_h100()
+
+    def test_generates_and_saves(self, benchmark, save_result):
+        result = benchmark.pedantic(exp_h100, rounds=1, iterations=1)
+        save_result(result)
+        assert len(result.rows) == 2 * 3 * 5
+
+    def test_h100_doubles_baseline_throughput(self, data):
+        """Iteration time halved -> no-checkpoint rate doubles."""
+        a100 = data.value("no_checkpoint_throughput", machine="a2-highgpu-1g",
+                          strategy="pccheck", interval=10)
+        h100 = data.value("no_checkpoint_throughput", machine="h100-nc40ads",
+                          strategy="pccheck", interval=10)
+        assert h100 == pytest.approx(2 * a100, rel=1e-6)
+
+    def test_patterns_are_similar_across_machines(self, data):
+        """§5.2.1: "similar patterns for PCcheck and the baselines" —
+        the strategy ordering is identical at every frequency."""
+        for interval in (1, 10, 25, 50, 100):
+            orderings = []
+            for machine in ("a2-highgpu-1g", "h100-nc40ads"):
+                by_strategy = {
+                    s: data.value("throughput", machine=machine, strategy=s,
+                                  interval=interval)
+                    for s in ("checkfreq", "gpm", "pccheck")
+                }
+                orderings.append(sorted(by_strategy, key=by_strategy.get))
+            assert orderings[0] == orderings[1]
+
+    def test_h100_overheads_comparable(self, data):
+        """Halved compute and doubled disk roughly cancel: slowdowns stay
+        in the same regime on both machines."""
+        for strategy in ("checkfreq", "pccheck"):
+            a100 = data.value("slowdown", machine="a2-highgpu-1g",
+                              strategy=strategy, interval=10)
+            h100 = data.value("slowdown", machine="h100-nc40ads",
+                              strategy=strategy, interval=10)
+            assert h100 == pytest.approx(a100, rel=0.35)
+
+
+class TestPmemPaths:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return exp_pmem_paths()
+
+    def test_generates_and_saves(self, benchmark, save_result):
+        result = benchmark.pedantic(exp_pmem_paths, rounds=1, iterations=1)
+        save_result(result)
+
+    def test_nt_store_persists_faster(self, data):
+        """§3.3: 4.01 vs 2.46 GB/s shows up end to end."""
+        for size in (1.1, 2.7, 4.0):
+            nt = data.value("value", path="nt-store", metric="persist_time",
+                            x=size)
+            clwb = data.value("value", path="clwb", metric="persist_time",
+                              x=size)
+            assert clwb / nt == pytest.approx(4.01 / 2.46, rel=0.15)
+
+    def test_nt_store_training_overhead_not_worse(self, data):
+        for interval in (1, 10, 25):
+            nt = data.value("value", path="nt-store", metric="slowdown",
+                            x=interval)
+            clwb = data.value("value", path="clwb", metric="slowdown",
+                              x=interval)
+            assert nt <= clwb + 1e-9
+
+    def test_functional_pmem_devices_match_the_paper_bandwidths(self):
+        """The storage substrate exposes both primitives and the §3.3
+        constants are wired to them."""
+        from repro.storage.pmem import (
+            CLWB_BANDWIDTH,
+            NT_STORE_BANDWIDTH,
+            SimulatedPMEM,
+        )
+
+        assert NT_STORE_BANDWIDTH == pytest.approx(4.01e9)
+        assert CLWB_BANDWIDTH == pytest.approx(2.46e9)
+        device = SimulatedPMEM(4096, use_nt_stores=True)
+        device.write(0, b"abc")
+        assert device.unpersisted_bytes == 3  # pending nt-store
+        device.sfence()
+        assert device.unpersisted_bytes == 0

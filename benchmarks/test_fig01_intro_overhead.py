@@ -1,0 +1,33 @@
+"""Figure 1: CheckFreq/Gemini overhead and recovery on BLOOM-7B.
+
+Paper's claims to reproduce in shape:
+* both baselines exceed 10% overhead when checkpointing every <= 50
+  iterations;
+* recovery time grows with the checkpoint interval;
+* at f=1 the slowdown is extreme (the "15x" end of CheckFreq's range).
+"""
+
+from repro.analysis.figures import fig1
+
+
+def test_fig01_intro_overhead(benchmark, save_result):
+    data = benchmark.pedantic(fig1, rounds=1, iterations=1)
+    save_result(data)
+
+    for strategy in ("checkfreq", "gemini"):
+        slow_at_1 = data.value("slowdown", strategy=strategy, interval=1)
+        slow_at_100 = data.value("slowdown", strategy=strategy, interval=100)
+        # Overhead shrinks monotonically with the interval.
+        assert slow_at_1 > slow_at_100
+        # >10% overhead at fine intervals (the paper's motivation).
+        for interval in (1, 5, 10):
+            assert data.value("slowdown", strategy=strategy,
+                              interval=interval) > 1.10
+        # Recovery time grows with the interval.
+        rec_fine = data.value("recovery_seconds", strategy=strategy, interval=10)
+        rec_coarse = data.value("recovery_seconds", strategy=strategy,
+                                interval=100)
+        assert rec_coarse > rec_fine
+
+    # CheckFreq at f=1 is catastrophic (paper: up to 15x for BLOOM-7B).
+    assert data.value("slowdown", strategy="checkfreq", interval=1) > 5

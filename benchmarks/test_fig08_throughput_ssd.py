@@ -1,0 +1,108 @@
+"""Figure 8 (a–f): training throughput vs checkpoint frequency, SSD, A100.
+
+Shapes to reproduce, per the paper's §5.2.1:
+* CheckFreq has the highest overhead at f=1 for the single-GPU models
+  (up to 57x for VGG16);
+* GPM beats CheckFreq at f=1 but loses at moderate frequencies, where it
+  "struggles to match PCcheck, since it does not parallelize
+  checkpointing with training";
+* PCcheck checkpoints every 10–25 iterations with minimal overhead;
+* calibration anchors: CheckFreq 0.256 it/s and PCcheck ~0.5 it/s on
+  OPT-1.3B at f=10; Gemini 1.6x→~1.06x slowdown from f=10 to f=100 on
+  the distributed models.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig8
+
+
+@pytest.fixture(scope="module")
+def data():
+    return fig8()
+
+
+def test_fig08_generates_and_saves(benchmark, save_result):
+    result = benchmark.pedantic(fig8, rounds=1, iterations=1)
+    save_result(result)
+    assert len(result.rows) > 100
+
+
+def test_fig08_vgg16_checkfreq_f1_catastrophic(data):
+    slowdown = data.value("slowdown", model="vgg16", strategy="checkfreq",
+                          interval=1)
+    assert slowdown > 20  # paper: 57x
+
+
+def test_fig08_vgg16_checkfreq_range(data):
+    """Paper: 5.74x–1.19x slowdown for f in 10..100 (VGG16)."""
+    slow10 = data.value("slowdown", model="vgg16", strategy="checkfreq",
+                        interval=10)
+    slow100 = data.value("slowdown", model="vgg16", strategy="checkfreq",
+                         interval=100)
+    assert slow10 > 2.0
+    assert slow100 < 1.3
+
+
+def test_fig08_gpm_beats_checkfreq_at_f1(data):
+    for model in ("vgg16", "opt_1_3b", "opt_2_7b", "bloom_7b"):
+        gpm = data.value("throughput", model=model, strategy="gpm", interval=1)
+        checkfreq = data.value("throughput", model=model,
+                               strategy="checkfreq", interval=1)
+        assert gpm > checkfreq
+
+
+def test_fig08_gpm_worse_than_checkfreq_at_f50(data):
+    for model in ("bert", "opt_1_3b"):
+        gpm = data.value("throughput", model=model, strategy="gpm", interval=50)
+        checkfreq = data.value("throughput", model=model,
+                               strategy="checkfreq", interval=50)
+        assert gpm < checkfreq
+
+
+def test_fig08_pccheck_minimal_overhead_at_f25(data):
+    """PCcheck: <5% overhead at f=25 for every model."""
+    for model in ("vgg16", "bert", "transformer_xl", "opt_1_3b",
+                  "opt_2_7b", "bloom_7b"):
+        slowdown = data.value("slowdown", model=model, strategy="pccheck",
+                              interval=25)
+        assert slowdown < 1.06, f"{model} slowdown {slowdown}"
+
+
+def test_fig08_opt13b_calibration_anchors(data):
+    checkfreq = data.value("throughput", model="opt_1_3b",
+                           strategy="checkfreq", interval=10)
+    pccheck = data.value("throughput", model="opt_1_3b", strategy="pccheck",
+                         interval=10)
+    assert checkfreq == pytest.approx(0.256, rel=0.08)
+    assert pccheck == pytest.approx(0.5, rel=0.12)
+
+
+def test_fig08_gemini_distributed_shape(data):
+    """Gemini on OPT-2.7B: 1.62x–1.06x from f=10 to f=100 (§5.2.1)."""
+    slow10 = data.value("slowdown", model="opt_2_7b", strategy="gemini",
+                        interval=10)
+    slow100 = data.value("slowdown", model="opt_2_7b", strategy="gemini",
+                         interval=100)
+    assert 1.15 < slow10 < 2.0
+    assert slow100 < 1.12
+    # PCcheck at the same points is < 1.05x (paper: < 1.05 and < 1.02).
+    assert data.value("slowdown", model="opt_2_7b", strategy="pccheck",
+                      interval=10) < 1.06
+
+
+def test_fig08_pccheck_dominates_at_realistic_frequencies(data):
+    """PCcheck wins at every f >= 10.  (At f=1 Gemini's network path can
+    beat the storage-bound strategies — the paper calls the f=1 regime
+    "quite unrealistic" and far from ideal for everyone.)"""
+    for row in data.rows:
+        model, strategy, interval = row[0], row[1], row[2]
+        if strategy in ("pccheck", "ideal") or interval < 10:
+            continue
+        baseline = data.value("throughput", model=model, strategy=strategy,
+                              interval=interval)
+        pccheck = data.value("throughput", model=model, strategy="pccheck",
+                             interval=interval)
+        assert pccheck >= baseline - 1e-9, (
+            f"{strategy} beat PCcheck on {model} at f={interval}"
+        )

@@ -1,0 +1,56 @@
+"""Figure 10: BERT training throughput with Intel Optane PMEM.
+
+Shapes to reproduce (§5.2.4): PMEM's higher bandwidth shrinks everyone's
+overhead relative to the SSD setup; CheckFreq and GPM "perform better
+than in the SSD setup"; PCcheck still wins at every frequency; and
+PCcheck at f=10 costs about what CheckFreq costs at f=100 (the 10x
+recovery-time argument).
+"""
+
+import pytest
+
+from repro.analysis.figures import fig10
+from repro.sim.runner import run_throughput
+
+
+@pytest.fixture(scope="module")
+def data():
+    return fig10()
+
+
+def test_fig10_generates_and_saves(benchmark, save_result):
+    result = benchmark.pedantic(fig10, rounds=1, iterations=1)
+    save_result(result)
+    assert len(result.rows) == 4 * 5
+
+
+def test_fig10_pccheck_wins_every_frequency(data):
+    for interval in (1, 10, 25, 50, 100):
+        pccheck = data.value("throughput", strategy="pccheck", interval=interval)
+        for strategy in ("checkfreq", "gpm"):
+            other = data.value("throughput", strategy=strategy,
+                               interval=interval)
+            assert pccheck >= other - 1e-9
+
+
+def test_fig10_pmem_softens_overheads_vs_ssd(data):
+    """Same workload, same strategy, same f: PMEM < SSD slowdown."""
+    for strategy in ("checkfreq", "gpm", "pccheck"):
+        pmem_slowdown = data.value("slowdown", strategy=strategy, interval=10)
+        ssd = run_throughput("bert", strategy, 10)
+        assert pmem_slowdown < ssd.slowdown + 1e-9
+
+
+def test_fig10_pccheck_f10_matches_checkfreq_f100_overhead(data):
+    """§5.2.4: checkpointing every 10 iterations with PCcheck keeps the
+    same overhead CheckFreq needs f=100 for — a 10x recovery win."""
+    pccheck_f10 = data.value("slowdown", strategy="pccheck", interval=10)
+    checkfreq_f100 = data.value("slowdown", strategy="checkfreq", interval=100)
+    assert pccheck_f10 <= checkfreq_f100 * 1.05
+
+
+def test_fig10_gpm_competitive_on_pmem_at_f1(data):
+    """GPM was designed for PMEM; at f=1 it beats CheckFreq there too."""
+    gpm = data.value("throughput", strategy="gpm", interval=1)
+    checkfreq = data.value("throughput", strategy="checkfreq", interval=1)
+    assert gpm > checkfreq

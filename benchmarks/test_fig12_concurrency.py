@@ -1,0 +1,52 @@
+"""Figure 12: VGG-16 slowdown vs number of concurrent checkpoints.
+
+Shapes (§5.4.1): more than one concurrent checkpoint is consistently
+better; beyond ~4 the SSD is saturated and extra concurrency stops
+helping; at coarse intervals concurrency is irrelevant (no pressure).
+"""
+
+import pytest
+
+from repro.analysis.figures import fig12
+
+
+@pytest.fixture(scope="module")
+def data():
+    return fig12()
+
+
+def test_fig12_generates_and_saves(benchmark, save_result):
+    result = benchmark.pedantic(fig12, rounds=1, iterations=1)
+    save_result(result)
+    assert len(result.rows) == 4 * 6
+
+
+def test_fig12_concurrency_helps_at_fine_intervals(data):
+    for interval in (1, 5, 10):
+        n1 = data.value("slowdown", num_concurrent=1, interval=interval)
+        n2 = data.value("slowdown", num_concurrent=2, interval=interval)
+        assert n2 < n1
+
+
+def test_fig12_saturation_beyond_two_flows(data):
+    """One writer thread per checkpoint: two concurrent flows saturate
+    the pd-ssd, so N=4 buys little over N=2 (§5.4.1's 'no more than 4')."""
+    for interval in (1, 5, 10):
+        n2 = data.value("slowdown", num_concurrent=2, interval=interval)
+        n4 = data.value("slowdown", num_concurrent=4, interval=interval)
+        assert n4 <= n2
+        assert n4 > 0.8 * n2  # diminishing returns, not another 2x
+
+
+def test_fig12_interval_dominates_at_coarse_frequencies(data):
+    for n in (1, 2, 3, 4):
+        assert data.value("slowdown", num_concurrent=n, interval=100) < 1.05
+
+
+def test_fig12_slowdown_monotone_in_interval(data):
+    for n in (1, 2, 3, 4):
+        slowdowns = [
+            data.value("slowdown", num_concurrent=n, interval=f)
+            for f in (1, 5, 10, 25, 50, 100)
+        ]
+        assert slowdowns == sorted(slowdowns, reverse=True)

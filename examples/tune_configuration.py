@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The §3.4 auto-tuner: pick N* and the minimum checkpoint interval f*.
+
+Given user constraints (DRAM/storage budgets and a tolerable slowdown q),
+the tool profiles the per-checkpoint write time Tw at each candidate
+concurrency N, picks N* minimising Tw/N, and derives the minimum safe
+interval f* = ceil(Tw / (N* q t)) — Equation 3.
+
+Two probes are demonstrated: the calibrated simulator (instant) and the
+real engine on a bandwidth-throttled device (actually spawns writer
+threads).
+
+Usage::
+
+    python examples/tune_configuration.py [model]
+"""
+
+import sys
+
+from repro.core.autotune import functional_tw_probe, min_checkpoint_interval, tune
+from repro.core.config import SystemParameters, UserConstraints
+from repro.sim.hardware import A2_HIGHGPU_1G
+from repro.sim.runner import run_throughput, pccheck_default_config, simulated_tw_probe
+from repro.sim.workloads import get_workload
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "opt_1_3b"
+    workload = get_workload(model)
+    machine = A2_HIGHGPU_1G
+    q = 1.05
+
+    system = SystemParameters(
+        pcie_bandwidth=machine.pcie_bandwidth,
+        storage_bandwidth=machine.storage.write_bandwidth,
+        iteration_time=workload.iteration_time,
+        checkpoint_size=int(workload.partition_bytes),
+    )
+    constraints = UserConstraints(
+        dram_budget=int(2 * workload.partition_bytes),
+        storage_budget=int(8 * workload.partition_bytes),
+        max_slowdown=q,
+    )
+
+    print(f"=== tuning {model} on {machine.name} (q = {q}) ===")
+    result = tune(simulated_tw_probe(model, machine=machine), system, constraints)
+    for n, tw in result.candidates.items():
+        marker = "  <= N*" if n == result.num_concurrent else ""
+        print(f"  N={n}: Tw = {tw:7.2f} s   Tw/N = {tw / n:7.2f}{marker}")
+    print(f"  chosen N* = {result.num_concurrent}, "
+          f"f* = {result.interval} iterations")
+
+    print("\n=== validating f* against the simulator ===")
+    config = pccheck_default_config(model, machine=machine)
+    measured = run_throughput(model, "pccheck", result.interval,
+                              machine=machine, config=config)
+    print(f"  slowdown at f* = {measured.slowdown:.3f} "
+          f"(target <= {q})")
+    assert measured.slowdown <= q + 0.02
+
+    print("\n=== the same tool on the real engine (scaled down) ===")
+    # A 4 MiB checkpoint on a ~100 MB/s device: same physics, laptop scale.
+    small_m = 4 * 1024 * 1024
+    probe = functional_tw_probe(checkpoint_size=small_m,
+                                storage_bandwidth=100e6,
+                                writer_threads=3, rounds=2)
+    small_system = SystemParameters(
+        pcie_bandwidth=machine.pcie_bandwidth,
+        storage_bandwidth=100e6,
+        iteration_time=0.01,
+        checkpoint_size=small_m,
+    )
+    small_constraints = UserConstraints(
+        dram_budget=2 * small_m, storage_budget=8 * small_m, max_slowdown=q
+    )
+    small = tune(probe, small_system, small_constraints, max_candidates=3)
+    for n, tw in small.candidates.items():
+        print(f"  N={n}: measured Tw = {tw * 1000:6.1f} ms")
+    print(f"  chosen N* = {small.num_concurrent}, f* = {small.interval}")
+    print(f"\nEq. 3 sanity: f*(Tw=2s, N=2, q=1.05, t=0.1s) = "
+          f"{min_checkpoint_interval(2.0, 2, 1.05, 0.1)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""PCcheck reproduction — persistent concurrent checkpointing for ML.
+
+A from-scratch Python implementation of *PCcheck: Persistent Concurrent
+Checkpointing for ML* (Strati, Friedman, Klimovic — ASPLOS 2025), with:
+
+* :mod:`repro.core` — the concurrent checkpoint engine (Listing 1),
+  orchestrator, recovery, auto-tuning, and distributed coordination;
+* :mod:`repro.storage` — SSD/PMEM/GPU/DRAM substrates with crash
+  injection;
+* :mod:`repro.training` — a miniature pure-numpy DNN training stack whose
+  model+optimizer state the engine checkpoints;
+* :mod:`repro.baselines` — functional CheckFreq / GPM / naive strategies;
+* :mod:`repro.sim` — a calibrated discrete-event performance simulator
+  that regenerates every figure in the paper's evaluation;
+* :mod:`repro.analysis` — experiment runners, tables, and CSV output.
+
+Quickstart::
+
+    from repro import open_checkpointer
+    ckpt = open_checkpointer("/tmp/ckpt.pc", capacity_bytes=1 << 20,
+                             num_concurrent=2)
+    ckpt.engine.checkpoint(b"model state", step=1)
+"""
+
+from repro._api import CheckpointerHandle, open_checkpointer
+from repro.errors import (
+    ConfigError,
+    CorruptCheckpointError,
+    EngineError,
+    NoCheckpointError,
+    PCcheckError,
+    StorageError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckpointerHandle",
+    "ConfigError",
+    "CorruptCheckpointError",
+    "EngineError",
+    "NoCheckpointError",
+    "PCcheckError",
+    "StorageError",
+    "__version__",
+    "open_checkpointer",
+]

@@ -1,0 +1,113 @@
+"""High-level convenience API.
+
+:func:`open_checkpointer` is the one-call path a downstream user takes:
+point it at a file, say how big your checkpoints are and how many may run
+concurrently, and get back a ready
+:class:`~repro.core.orchestrator.PCcheckOrchestrator` plus recovery of
+whatever the file already holds.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import PCcheckConfig
+from repro.core.engine import CheckpointEngine
+from repro.core.layout import DeviceLayout
+from repro.core.meta import RECORD_SIZE, CheckMeta
+from repro.core.orchestrator import PCcheckOrchestrator
+from repro.core.recovery import RecoveredCheckpoint, try_recover
+from repro.errors import ConfigError
+from repro.storage.dram import DRAMBufferPool
+from repro.storage.ssd import FileBackedSSD
+
+
+@dataclass
+class CheckpointerHandle:
+    """Everything :func:`open_checkpointer` assembled, plus prior state."""
+
+    device: FileBackedSSD
+    layout: DeviceLayout
+    engine: CheckpointEngine
+    orchestrator: PCcheckOrchestrator
+    config: PCcheckConfig
+    #: Checkpoint recovered from the file at open time, if any.
+    recovered: Optional[RecoveredCheckpoint]
+
+    def close(self) -> None:
+        """Drain in-flight checkpoints and release the file."""
+        self.orchestrator.close()
+        self.device.close()
+
+    def __enter__(self) -> "CheckpointerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def open_checkpointer(
+    path: str,
+    capacity_bytes: int,
+    num_concurrent: int = 2,
+    writer_threads: int = 3,
+    chunk_size: Optional[int] = None,
+    num_chunks: int = 2,
+) -> CheckpointerHandle:
+    """Open (or create) a PCcheck region at ``path``.
+
+    ``capacity_bytes`` is the largest checkpoint payload you intend to
+    write; the file is sized to ``(N + 1)`` slots of that payload plus
+    metadata (Table 1's storage footprint).  If the file already contains
+    a formatted region, it is opened and its newest valid checkpoint is
+    returned in :attr:`CheckpointerHandle.recovered`.
+    """
+    if capacity_bytes <= 0:
+        raise ConfigError(f"capacity must be positive, got {capacity_bytes}")
+    config = PCcheckConfig(
+        num_concurrent=num_concurrent,
+        writer_threads=writer_threads,
+        chunk_size=chunk_size,
+        num_chunks=num_chunks,
+    )
+    slot_size = capacity_bytes + RECORD_SIZE
+    from repro.core.layout import Geometry
+
+    geometry = Geometry(num_slots=config.num_slots, slot_size=slot_size)
+    existing = os.path.exists(path) and os.path.getsize(path) > 0
+    # An existing region keeps its own geometry; never size the device
+    # below the file (that would amputate slots).
+    capacity = geometry.total_size
+    if existing:
+        capacity = max(capacity, os.path.getsize(path))
+    device = FileBackedSSD(path, capacity=capacity)
+    recovered: Optional[RecoveredCheckpoint] = None
+    recovered_meta: Optional[CheckMeta] = None
+    if existing:
+        layout = DeviceLayout.open(device)
+        recovered = try_recover(layout)
+        recovered_meta = recovered.meta if recovered else None
+    else:
+        layout = DeviceLayout.format(
+            device, num_slots=config.num_slots, slot_size=slot_size
+        )
+    engine = CheckpointEngine(
+        layout,
+        writer_threads=writer_threads,
+        recovered=recovered_meta,
+    )
+    pool = DRAMBufferPool(
+        num_chunks=num_chunks,
+        chunk_size=config.effective_chunk_size(capacity_bytes),
+    )
+    orchestrator = PCcheckOrchestrator(engine, pool, config)
+    return CheckpointerHandle(
+        device=device,
+        layout=layout,
+        engine=engine,
+        orchestrator=orchestrator,
+        config=config,
+        recovered=recovered,
+    )

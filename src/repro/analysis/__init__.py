@@ -1,0 +1,14 @@
+"""Experiment runners, tables, and CSV output for the evaluation."""
+
+from repro.analysis.csvout import write_csv
+from repro.analysis.figures import FIGURES, FigureData, generate
+from repro.analysis.tables import render_bars, render_table
+
+__all__ = [
+    "FIGURES",
+    "FigureData",
+    "generate",
+    "render_bars",
+    "render_table",
+    "write_csv",
+]

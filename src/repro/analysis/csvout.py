@@ -1,0 +1,19 @@
+"""CSV output for experiment results (one file per table/figure)."""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Sequence
+
+
+def write_csv(path: str, columns: Sequence[str],
+              rows: Sequence[Sequence[object]]) -> str:
+    """Write rows to ``path``, creating parent directories; returns path."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        writer.writerows(rows)
+    return path

@@ -1,0 +1,50 @@
+"""Plain-text rendering of result tables and simple charts."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(columns: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render rows as an aligned ASCII table."""
+    formatted = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(row[i]) for row in formatted) if formatted else (0,))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_bars(labels: Sequence[str], values: Sequence[float],
+                width: int = 40, title: Optional[str] = None) -> str:
+    """A horizontal ASCII bar chart (one bar per label)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = max(values) if values else 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if peak > 0 else ""
+        lines.append(f"{label.ljust(label_width)} | {bar} {_fmt(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""PCcheck as a training-loop strategy.
+
+Adapts the :class:`~repro.core.orchestrator.PCcheckOrchestrator` to the
+:class:`~repro.baselines.base.CheckpointStrategy` interface so the same
+:class:`~repro.training.loop.Trainer` can run PCcheck and every baseline
+interchangeably — the setup of the paper's Figure 8 comparisons.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.baselines.base import CheckpointStrategy
+from repro.core.config import PCcheckConfig
+from repro.core.engine import CheckpointEngine
+from repro.core.layout import DeviceLayout
+from repro.core.orchestrator import PCcheckOrchestrator
+from repro.core.snapshot import BytesSource
+from repro.storage.device import PersistentDevice
+from repro.storage.dram import DRAMBufferPool
+
+
+class PCcheckStrategy(CheckpointStrategy):
+    """Concurrent checkpointing with up to N in flight."""
+
+    name = "pccheck"
+
+    def __init__(
+        self,
+        device: PersistentDevice,
+        payload_capacity: int,
+        config: Optional[PCcheckConfig] = None,
+    ) -> None:
+        super().__init__()
+        from repro.core.meta import RECORD_SIZE
+
+        self._config = config or PCcheckConfig()
+        self._layout = DeviceLayout.format(
+            device,
+            num_slots=self._config.num_slots,
+            slot_size=payload_capacity + RECORD_SIZE,
+        )
+        engine = CheckpointEngine(
+            self._layout, writer_threads=self._config.writer_threads
+        )
+        pool = DRAMBufferPool(
+            num_chunks=self._config.num_chunks,
+            chunk_size=self._config.effective_chunk_size(payload_capacity),
+        )
+        self._orchestrator = PCcheckOrchestrator(engine, pool, self._config)
+
+    @property
+    def layout(self) -> DeviceLayout:
+        """The on-device region (for recovery in tests and examples)."""
+        return self._layout
+
+    @property
+    def orchestrator(self) -> PCcheckOrchestrator:
+        """The underlying orchestrator (stats, drain)."""
+        return self._orchestrator
+
+    def before_update(self) -> None:
+        waited = self._orchestrator.wait_for_snapshots()
+        self.stats.add_update_block(waited)
+
+    def checkpoint(self, payload: bytes, step: int) -> None:
+        start = time.monotonic()
+        self.stats.checkpoints_started += 1
+        self._orchestrator.checkpoint_async(BytesSource(payload), step=step)
+        self.stats.add_checkpoint_block(time.monotonic() - start)
+
+    def drain(self) -> None:
+        results = self._orchestrator.drain()
+        self.stats.checkpoints_completed += len(results)
+
+    def latest_recoverable_step(self) -> Optional[int]:
+        committed = self._orchestrator.engine.committed()
+        return committed.step if committed is not None else None
+
+    def close(self) -> None:
+        self._orchestrator.close()

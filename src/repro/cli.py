@@ -1,0 +1,114 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    pccheck-repro list
+    pccheck-repro fig8 --out results/
+    pccheck-repro all --out results/
+    pccheck-repro tune --model opt_1_3b
+
+Each figure command prints the result table and, with ``--out``, writes a
+CSV named after the figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.csvout import write_csv
+from repro.analysis.figures import FIGURES, generate
+from repro.analysis.tables import render_table
+
+
+def _run_figure(name: str, out_dir: Optional[str]) -> None:
+    data = generate(name)
+    print(render_table(data.columns, data.rows, title=data.title))
+    if out_dir:
+        path = write_csv(
+            os.path.join(out_dir, f"{data.name}.csv"), data.columns, data.rows
+        )
+        print(f"\nwrote {path}")
+
+
+def _run_tune(model: str, slowdown: float) -> None:
+    from repro.core.autotune import tune
+    from repro.core.config import SystemParameters, UserConstraints
+    from repro.sim.hardware import A2_HIGHGPU_1G
+    from repro.sim.runner import simulated_tw_probe
+    from repro.sim.workloads import get_workload
+
+    workload = get_workload(model)
+    machine = A2_HIGHGPU_1G
+    system = SystemParameters(
+        pcie_bandwidth=machine.pcie_bandwidth,
+        storage_bandwidth=machine.storage.write_bandwidth,
+        iteration_time=workload.iteration_time,
+        checkpoint_size=int(workload.partition_bytes),
+    )
+    constraints = UserConstraints(
+        dram_budget=int(2 * workload.partition_bytes),
+        storage_budget=int(8 * workload.partition_bytes),
+        max_slowdown=slowdown,
+    )
+    result = tune(simulated_tw_probe(model, machine=machine), system, constraints)
+    print(f"model            : {model}")
+    print(f"optimal N*       : {result.num_concurrent}")
+    print(f"measured Tw      : {result.tw_seconds:.2f} s")
+    print(f"min interval f*  : {result.interval} iterations (q = {slowdown})")
+    print("candidates       : "
+          + ", ".join(f"N={n}: Tw={tw:.2f}s" for n, tw in result.candidates.items()))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pccheck-repro",
+        description="Regenerate the PCcheck paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available figures and tables")
+    all_parser = sub.add_parser("all", help="run every figure and table")
+    all_parser.add_argument("--out", default=None, help="CSV output directory")
+    for name in FIGURES:
+        figure_parser = sub.add_parser(name, help=f"regenerate {name}")
+        figure_parser.add_argument("--out", default=None,
+                                   help="CSV output directory")
+    tune_parser = sub.add_parser("tune", help="run the §3.4 auto-tuner")
+    tune_parser.add_argument("--model", default="opt_1_3b")
+    tune_parser.add_argument("--slowdown", type=float, default=1.05)
+    inspect_parser = sub.add_parser(
+        "inspect", help="report every checkpoint in a region file"
+    )
+    inspect_parser.add_argument("path", help="checkpoint region file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(FIGURES):
+            print(name)
+        return 0
+    if args.command == "tune":
+        _run_tune(args.model, args.slowdown)
+        return 0
+    if args.command == "inspect":
+        from repro.core.inspect import inspect_file
+
+        report = inspect_file(args.path)
+        for line in report.summary_lines():
+            print(line)
+        return 0 if report.recovery_choice is not None else 1
+    if args.command == "all":
+        for name in sorted(FIGURES):
+            _run_figure(name, args.out)
+            print()
+        return 0
+    _run_figure(args.command, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

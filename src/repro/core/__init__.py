@@ -1,0 +1,121 @@
+"""PCcheck's core: the concurrent checkpointing algorithm and orchestration.
+
+Public entry points:
+
+* :class:`~repro.core.engine.CheckpointEngine` — the Listing 1 protocol.
+* :class:`~repro.core.orchestrator.PCcheckOrchestrator` — concurrent
+  pipelined checkpoint sessions over an engine.
+* :func:`~repro.core.recovery.recover` — load the newest valid checkpoint.
+* :func:`~repro.core.autotune.tune` — the §3.4 configuration tool.
+* :mod:`~repro.core.distributed` — multi-worker consistency.
+"""
+
+from repro.core.adaptive import AdaptiveIntervalController, Ewma
+from repro.core.atomics import AtomicCounter, AtomicFlag, AtomicReference
+from repro.core.autotune import (
+    TuningResult,
+    expected_runtime,
+    functional_tw_probe,
+    max_concurrency,
+    min_checkpoint_interval,
+    tune,
+)
+from repro.core.chunking import ChunkPlan, plan_chunks
+from repro.core.config import (
+    MemoryFootprint,
+    PCcheckConfig,
+    SystemParameters,
+    UserConstraints,
+    baseline_footprint,
+)
+from repro.core.differential import (
+    Delta,
+    DifferentialCheckpointer,
+    apply_delta,
+    decode_delta,
+    diff_states,
+    encode_delta,
+)
+from repro.core.distributed import (
+    CheckpointBarrier,
+    ConsistentCheckpoint,
+    DistributedWorker,
+    recover_consistent,
+    valid_checkpoints,
+)
+from repro.core.engine import CheckpointEngine, CheckpointResult, CheckpointTicket
+from repro.core.inspect import DeviceReport, SlotReport, inspect_device, inspect_file
+from repro.core.sharding import reassemble, shard_overhead_bytes, shard_payload
+from repro.core.freelist import EMPTY, SlotQueue
+from repro.core.layout import DeviceLayout, Geometry
+from repro.core.meta import CheckMeta
+from repro.core.orchestrator import CheckpointHandle, PCcheckOrchestrator
+from repro.core.recovery import (
+    PersistentIterator,
+    RecoveredCheckpoint,
+    find_committed,
+    recover,
+    try_recover,
+)
+from repro.core.snapshot import BytesSource, GPUSource, SnapshotSource
+from repro.core.writer import ParallelWriter, default_fence_mode, split_range
+
+__all__ = [
+    "EMPTY",
+    "AdaptiveIntervalController",
+    "AtomicCounter",
+    "Ewma",
+    "AtomicFlag",
+    "AtomicReference",
+    "BytesSource",
+    "CheckMeta",
+    "CheckpointBarrier",
+    "CheckpointEngine",
+    "CheckpointHandle",
+    "CheckpointResult",
+    "CheckpointTicket",
+    "Delta",
+    "DeviceReport",
+    "DifferentialCheckpointer",
+    "ChunkPlan",
+    "ConsistentCheckpoint",
+    "DeviceLayout",
+    "DistributedWorker",
+    "GPUSource",
+    "Geometry",
+    "MemoryFootprint",
+    "PCcheckConfig",
+    "PCcheckOrchestrator",
+    "ParallelWriter",
+    "PersistentIterator",
+    "RecoveredCheckpoint",
+    "SlotQueue",
+    "SlotReport",
+    "SnapshotSource",
+    "SystemParameters",
+    "TuningResult",
+    "UserConstraints",
+    "apply_delta",
+    "baseline_footprint",
+    "decode_delta",
+    "diff_states",
+    "default_fence_mode",
+    "encode_delta",
+    "expected_runtime",
+    "inspect_device",
+    "inspect_file",
+    "find_committed",
+    "functional_tw_probe",
+    "max_concurrency",
+    "min_checkpoint_interval",
+    "plan_chunks",
+    "reassemble",
+    "recover",
+    "recover_consistent",
+    "shard_overhead_bytes",
+    "shard_payload",
+    "split_range",
+    "try_recover",
+    "tune",
+    "valid_checkpoints",
+]

@@ -1,0 +1,155 @@
+"""Adaptive checkpoint frequency — the extension sketched in §3.4.
+
+The paper notes that the optimal checkpoint interval can drift during
+training ("vision model training is input-bound ... LLM training
+commonly offloads activations to CPU memory and disk. This behavior
+might necessitate adapting the checkpoint frequency during training. We
+plan to extend PCcheck by monitoring training throughput and traffic
+between GPU, CPU, and storage, and adapt (3) accordingly").
+
+:class:`AdaptiveIntervalController` implements that loop: it observes
+per-iteration times ``t`` and per-checkpoint write times ``Tw`` as
+exponentially weighted moving averages and, at a configurable cadence,
+re-evaluates Eq. 3::
+
+    f* = ceil(Tw / (N · (q − 1) · t))
+
+clamped to ``[min_interval, max_interval]`` and damped (the new interval
+moves at most ``max_step_ratio`` per adjustment) so transient hiccups
+don't whipsaw the schedule.  The controller is pure bookkeeping — the
+trainer asks :meth:`should_checkpoint` each iteration and reports
+measurements back — so it composes with any strategy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.core.autotune import min_checkpoint_interval
+from repro.errors import ConfigError
+
+
+class Ewma:
+    """Exponentially weighted moving average."""
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        self._alpha = alpha
+        self._value: Optional[float] = None
+
+    def update(self, sample: float) -> float:
+        """Fold in a sample; returns the new average."""
+        if self._value is None:
+            self._value = sample
+        else:
+            self._value += self._alpha * (sample - self._value)
+        return self._value
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current average (``None`` before the first sample)."""
+        return self._value
+
+
+class AdaptiveIntervalController:
+    """Re-derives the checkpoint interval from live measurements."""
+
+    def __init__(
+        self,
+        num_concurrent: int,
+        max_slowdown: float,
+        initial_interval: int = 10,
+        min_interval: int = 1,
+        max_interval: int = 1000,
+        adjust_every: int = 50,
+        alpha: float = 0.2,
+        max_step_ratio: float = 2.0,
+    ) -> None:
+        if num_concurrent < 1:
+            raise ConfigError(f"N must be >= 1, got {num_concurrent}")
+        if max_slowdown <= 1.0:
+            raise ConfigError(
+                f"q must exceed 1 for a finite interval, got {max_slowdown}"
+            )
+        if not 1 <= min_interval <= initial_interval <= max_interval:
+            raise ConfigError(
+                f"need min <= initial <= max interval, got "
+                f"{min_interval}/{initial_interval}/{max_interval}"
+            )
+        if adjust_every < 1:
+            raise ConfigError(f"adjust_every must be >= 1, got {adjust_every}")
+        if max_step_ratio <= 1.0:
+            raise ConfigError(
+                f"max_step_ratio must exceed 1, got {max_step_ratio}"
+            )
+        self._num_concurrent = num_concurrent
+        self._max_slowdown = max_slowdown
+        self._interval = initial_interval
+        self._min_interval = min_interval
+        self._max_interval = max_interval
+        self._adjust_every = adjust_every
+        self._max_step_ratio = max_step_ratio
+        self._iteration_time = Ewma(alpha)
+        self._tw = Ewma(alpha)
+        self._iterations_seen = 0
+        self._since_checkpoint = 0
+        self._since_adjustment = 0
+        #: History of (iteration, interval) adjustment decisions.
+        self.history: List[tuple] = [(0, initial_interval)]
+
+    # ------------------------------------------------------------------
+    # trainer-facing hooks
+
+    @property
+    def interval(self) -> int:
+        """The currently active checkpoint interval f."""
+        return self._interval
+
+    def observe_iteration(self, seconds: float) -> None:
+        """Report one training iteration's duration."""
+        if seconds <= 0:
+            raise ConfigError(f"iteration time must be positive, got {seconds}")
+        self._iteration_time.update(seconds)
+        self._iterations_seen += 1
+        self._since_checkpoint += 1
+        self._since_adjustment += 1
+        if self._since_adjustment >= self._adjust_every:
+            self._maybe_adjust()
+            self._since_adjustment = 0
+
+    def observe_checkpoint(self, tw_seconds: float) -> None:
+        """Report a completed checkpoint's begin→durable time Tw."""
+        if tw_seconds < 0:
+            raise ConfigError(f"Tw must be >= 0, got {tw_seconds}")
+        self._tw.update(tw_seconds)
+
+    def should_checkpoint(self) -> bool:
+        """True when the current interval has elapsed; resets the phase."""
+        if self._since_checkpoint >= self._interval:
+            self._since_checkpoint = 0
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # the adaptation step
+
+    def _maybe_adjust(self) -> None:
+        t = self._iteration_time.value
+        tw = self._tw.value
+        if t is None or tw is None:
+            return
+        target = min_checkpoint_interval(
+            tw, self._num_concurrent, self._max_slowdown, t
+        )
+        damped = self._damp(target)
+        clamped = max(self._min_interval, min(self._max_interval, damped))
+        if clamped != self._interval:
+            self._interval = clamped
+            self.history.append((self._iterations_seen, clamped))
+
+    def _damp(self, target: int) -> int:
+        upper = math.ceil(self._interval * self._max_step_ratio)
+        lower = max(1, math.floor(self._interval / self._max_step_ratio))
+        return max(lower, min(upper, target))

@@ -1,0 +1,118 @@
+"""Atomic primitives used by the concurrent checkpoint algorithm.
+
+The paper's algorithm (Listing 1) relies on two hardware primitives:
+
+* an atomic fetch-and-add on the global checkpoint counter, and
+* a compare-and-swap (CAS) on ``CHECK_ADDR``, the pointer to the latest
+  persisted checkpoint.
+
+CPython does not expose hardware CAS, so these classes emulate the same
+semantics with a tiny per-object lock.  The observable behaviour — a
+linearizable read/CAS/fetch-add interface — is identical to the hardware
+primitive, which is what the correctness argument in the paper depends on.
+The lock is private and never held across user code, so the emulation cannot
+introduce deadlocks or change the algorithm's interleavings beyond what real
+CAS would allow.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class AtomicCounter:
+    """A monotonically increasing atomic integer (fetch-and-add).
+
+    Mirrors the paper's ``g_counter``: every checkpoint obtains a unique,
+    totally ordered sequence number via :meth:`fetch_add`.
+    """
+
+    def __init__(self, initial: int = 0) -> None:
+        self._value = initial
+        self._lock = threading.Lock()
+
+    def fetch_add(self, amount: int = 1) -> int:
+        """Atomically add ``amount`` and return the *previous* value."""
+        with self._lock:
+            old = self._value
+            self._value += amount
+            return old
+
+    def add_fetch(self, amount: int = 1) -> int:
+        """Atomically add ``amount`` and return the *new* value.
+
+        Listing 1 uses ``atomic_add(&g_counter, 1)`` whose return value is
+        used as the fresh checkpoint counter; ``add_fetch`` matches that
+        convention (counters start at 1, and 0 is reserved for "no
+        checkpoint yet").
+        """
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    def load(self) -> int:
+        """Read the current value."""
+        with self._lock:
+            return self._value
+
+    def store(self, value: int) -> None:
+        """Overwrite the current value (used only by recovery)."""
+        with self._lock:
+            self._value = value
+
+
+class AtomicReference(Generic[T]):
+    """An atomic reference cell with compare-and-swap.
+
+    Mirrors ``CHECK_ADDR`` from Listing 1.  ``compare_and_swap`` succeeds
+    only when the cell still holds the expected object (identity
+    comparison, like a pointer CAS), making lost updates impossible.
+    """
+
+    def __init__(self, initial: Optional[T] = None) -> None:
+        self._ref: Optional[T] = initial
+        self._lock = threading.Lock()
+
+    def load(self) -> Optional[T]:
+        """Read the current reference."""
+        with self._lock:
+            return self._ref
+
+    def store(self, value: Optional[T]) -> None:
+        """Unconditionally replace the reference (recovery only)."""
+        with self._lock:
+            self._ref = value
+
+    def compare_and_swap(self, expected: Optional[T], new: Optional[T]) -> bool:
+        """Install ``new`` iff the cell currently holds ``expected``.
+
+        Returns ``True`` on success.  Uses identity comparison (``is``),
+        matching pointer-width CAS on real hardware.
+        """
+        with self._lock:
+            if self._ref is expected:
+                self._ref = new
+                return True
+            return False
+
+
+class AtomicFlag:
+    """A once-settable boolean flag (used for shutdown signalling)."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def set(self) -> None:
+        """Raise the flag; idempotent."""
+        self._event.set()
+
+    def is_set(self) -> bool:
+        """True once :meth:`set` has been called."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the flag is set or ``timeout`` elapses."""
+        return self._event.wait(timeout)

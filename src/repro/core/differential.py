@@ -1,0 +1,230 @@
+"""Differential checkpointing — the Check-N-Run idea (§6), on PCcheck.
+
+Check-N-Run (NSDI'22) observes that between consecutive checkpoints only
+part of the training state changes, and checkpoints just the difference.
+The paper lists this as *orthogonal* to PCcheck; this module composes the
+two: full checkpoints ("anchors") and page-level deltas each flow through
+their own concurrent checkpoint engine, so both inherit PCcheck's
+non-blocking persistence and crash consistency.
+
+Design
+------
+* The state is compared to the **last anchor** at ``page_size``
+  granularity; changed pages become a delta payload tagged with the
+  anchor's engine counter.
+* Anchors are taken every ``anchor_every`` checkpoints, whenever the
+  state size changes, or when the delta would exceed
+  ``max_delta_fraction`` of a full checkpoint (at which point a delta
+  saves nothing).
+* Anchors and deltas live in **separate regions**: a delta is useless
+  without its base, and giving anchors their own slots guarantees the
+  base of any recoverable delta is never recycled underneath it.
+* Recovery loads the newest anchor, then the newest delta *that
+  references it*; a delta chained to an older anchor is ignored (the
+  anchor alone is a complete, newer-or-equal state).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.engine import CheckpointEngine
+from repro.core.recovery import try_recover
+from repro.errors import ConfigError, CorruptCheckpointError
+
+_DELTA_MAGIC = b"PCDELTA1"
+# magic(8s) base_counter(Q) total_len(Q) page_size(I) num_pages(I)
+_DELTA_HEADER = struct.Struct("<8sQQII")
+_PAGE_HEADER = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Changed pages of a state relative to a base."""
+
+    base_counter: int
+    total_len: int
+    page_size: int
+    pages: Tuple[Tuple[int, bytes], ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Encoded size (headers + page payloads)."""
+        return _DELTA_HEADER.size + sum(
+            _PAGE_HEADER.size + len(data) for _, data in self.pages
+        )
+
+
+def diff_states(base: bytes, current: bytes, page_size: int,
+                base_counter: int) -> Delta:
+    """Page-level difference of two equal-length states."""
+    if page_size <= 0:
+        raise ConfigError(f"page size must be positive, got {page_size}")
+    if len(base) != len(current):
+        raise ConfigError(
+            f"differential checkpoint needs equal sizes, got "
+            f"{len(base)} vs {len(current)}"
+        )
+    pages: List[Tuple[int, bytes]] = []
+    for index in range(0, len(current), page_size):
+        base_page = base[index : index + page_size]
+        current_page = current[index : index + page_size]
+        if base_page != current_page:
+            pages.append((index // page_size, current_page))
+    return Delta(
+        base_counter=base_counter,
+        total_len=len(current),
+        page_size=page_size,
+        pages=tuple(pages),
+    )
+
+
+def apply_delta(base: bytes, delta: Delta) -> bytes:
+    """Reconstruct the current state from a base and its delta."""
+    if len(base) != delta.total_len:
+        raise CorruptCheckpointError(
+            f"delta expects a base of {delta.total_len} bytes, got {len(base)}"
+        )
+    out = bytearray(base)
+    for page_index, data in delta.pages:
+        start = page_index * delta.page_size
+        if start + len(data) > len(out):
+            raise CorruptCheckpointError("delta page outside state bounds")
+        out[start : start + len(data)] = data
+    return bytes(out)
+
+
+def encode_delta(delta: Delta) -> bytes:
+    """Serialize a delta to a checkpoint payload."""
+    parts = [
+        _DELTA_HEADER.pack(
+            _DELTA_MAGIC, delta.base_counter, delta.total_len,
+            delta.page_size, len(delta.pages),
+        )
+    ]
+    for page_index, data in delta.pages:
+        parts.append(_PAGE_HEADER.pack(page_index))
+        parts.append(data)
+    return b"".join(parts)
+
+
+def decode_delta(raw: bytes) -> Delta:
+    """Parse a delta payload; raises on any structural problem."""
+    if len(raw) < _DELTA_HEADER.size:
+        raise CorruptCheckpointError("truncated delta header")
+    magic, base_counter, total_len, page_size, num_pages = _DELTA_HEADER.unpack(
+        raw[: _DELTA_HEADER.size]
+    )
+    if magic != _DELTA_MAGIC:
+        raise CorruptCheckpointError("not a PCcheck delta payload")
+    pages: List[Tuple[int, bytes]] = []
+    cursor = _DELTA_HEADER.size
+    max_page = (total_len + page_size - 1) // page_size if page_size else 0
+    for index in range(num_pages):
+        if cursor + _PAGE_HEADER.size > len(raw):
+            raise CorruptCheckpointError("truncated delta page header")
+        (page_index,) = _PAGE_HEADER.unpack(
+            raw[cursor : cursor + _PAGE_HEADER.size]
+        )
+        cursor += _PAGE_HEADER.size
+        if page_index >= max_page:
+            raise CorruptCheckpointError("delta page index out of range")
+        start = page_index * page_size
+        length = min(page_size, total_len - start)
+        if cursor + length > len(raw):
+            raise CorruptCheckpointError("truncated delta page data")
+        pages.append((page_index, raw[cursor : cursor + length]))
+        cursor += length
+    return Delta(base_counter=base_counter, total_len=total_len,
+                 page_size=page_size, pages=tuple(pages))
+
+
+@dataclass
+class DifferentialStats:
+    """Byte savings accounting."""
+
+    full_checkpoints: int = 0
+    delta_checkpoints: int = 0
+    full_bytes: int = 0
+    delta_bytes: int = 0
+
+    @property
+    def bytes_saved(self) -> int:
+        """Bytes the deltas avoided writing vs. always-full."""
+        if self.delta_checkpoints == 0 or self.full_checkpoints == 0:
+            return 0
+        mean_full = self.full_bytes / self.full_checkpoints
+        return int(self.delta_checkpoints * mean_full - self.delta_bytes)
+
+
+class DifferentialCheckpointer:
+    """Anchors + deltas over two concurrent checkpoint engines."""
+
+    def __init__(
+        self,
+        anchor_engine: CheckpointEngine,
+        delta_engine: CheckpointEngine,
+        page_size: int = 4096,
+        anchor_every: int = 8,
+        max_delta_fraction: float = 0.5,
+    ) -> None:
+        if page_size <= 0:
+            raise ConfigError(f"page size must be positive, got {page_size}")
+        if anchor_every < 1:
+            raise ConfigError(f"anchor cadence must be >= 1, got {anchor_every}")
+        if not 0.0 < max_delta_fraction <= 1.0:
+            raise ConfigError(
+                f"max delta fraction must be in (0, 1], got {max_delta_fraction}"
+            )
+        self._anchors = anchor_engine
+        self._deltas = delta_engine
+        self._page_size = page_size
+        self._anchor_every = anchor_every
+        self._max_fraction = max_delta_fraction
+        self._since_anchor = 0
+        self._base_state: Optional[bytes] = None
+        self._base_counter: Optional[int] = None
+        self.stats = DifferentialStats()
+
+    def checkpoint(self, state: bytes, step: int) -> str:
+        """Persist ``state``; returns ``"full"`` or ``"delta"``."""
+        needs_anchor = (
+            self._base_state is None
+            or self._since_anchor >= self._anchor_every - 1
+            or len(state) != len(self._base_state)
+        )
+        if not needs_anchor:
+            delta = diff_states(self._base_state, state, self._page_size,
+                                self._base_counter)
+            if delta.nbytes <= self._max_fraction * len(state):
+                payload = encode_delta(delta)
+                self._deltas.checkpoint(payload, step=step)
+                self._since_anchor += 1
+                self.stats.delta_checkpoints += 1
+                self.stats.delta_bytes += len(payload)
+                return "delta"
+        result = self._anchors.checkpoint(state, step=step)
+        self._base_state = bytes(state)
+        self._base_counter = result.counter
+        self._since_anchor = 0
+        self.stats.full_checkpoints += 1
+        self.stats.full_bytes += len(state)
+        return "full"
+
+    def recover(self) -> Optional[Tuple[int, bytes]]:
+        """Newest reconstructible state as ``(step, bytes)``, or None."""
+        anchor = try_recover(self._anchors.layout)
+        if anchor is None:
+            return None
+        delta_ckpt = try_recover(self._deltas.layout)
+        if delta_ckpt is not None and delta_ckpt.meta.step > anchor.meta.step:
+            try:
+                delta = decode_delta(delta_ckpt.payload)
+            except CorruptCheckpointError:
+                delta = None
+            if delta is not None and delta.base_counter == anchor.meta.counter:
+                return delta_ckpt.meta.step, apply_delta(anchor.payload, delta)
+        return anchor.meta.step, anchor.payload

@@ -1,0 +1,185 @@
+"""Distributed checkpoint coordination (§3.1 and §4.1).
+
+In multi-node training each worker checkpoints its own model partition
+(pipeline stage or FSDP shard) to its own persistent device, so PCcheck
+must guarantee the *globally consistent* property: a recovery point is a
+training step for which **every** worker holds a durable checkpoint.
+
+The paper's protocol: after a worker's successful CAS, it sends its
+checkpoint id to rank 0 and waits; once rank 0 hears from all peers it
+releases them, each updates its local ``peer_check``, and only then is the
+superseded slot recycled.  Holding the old slot across the barrier is the
+load-bearing detail — it guarantees that at any crash instant the most
+recent step *all* workers completed is still intact on every device.
+
+This module implements the protocol with threads standing in for nodes:
+
+* :class:`CheckpointBarrier` — the rank-0 gather/release round, one round
+  per checkpoint step.
+* :class:`DistributedWorker` — wires the barrier into a worker's engine
+  through the engine's ``post_cas_hook``.
+* :func:`recover_consistent` — cross-device recovery: scan every worker's
+  slots for valid checkpoints, intersect the step sets, and load the
+  newest common step.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.engine import CheckpointEngine
+from repro.core.layout import DeviceLayout
+from repro.core.meta import CheckMeta, payload_crc
+from repro.core.recovery import PersistentIterator
+from repro.errors import DistributedError, NoCheckpointError
+
+
+class CheckpointBarrier:
+    """Rank-0 style coordination: one release round per checkpoint step.
+
+    Every worker calls :meth:`synchronize(rank, step)` after its CAS; the
+    call returns once all ``world_size`` workers reported the same step.
+    Workers may be several rounds apart only if checkpoints are issued
+    concurrently, so rounds are keyed by step and released independently.
+    """
+
+    def __init__(self, world_size: int, timeout: Optional[float] = 30.0) -> None:
+        if world_size < 1:
+            raise DistributedError(f"world size must be >= 1, got {world_size}")
+        self._world_size = world_size
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._rounds: Dict[int, Set[int]] = {}
+        self._released: Dict[int, threading.Event] = {}
+        #: Latest step for which a full round completed (the paper's
+        #: globally consistent ``peer_check`` value).
+        self.peer_check: int = -1
+
+    @property
+    def world_size(self) -> int:
+        """Number of participating workers."""
+        return self._world_size
+
+    def synchronize(self, rank: int, step: int) -> None:
+        """Report ``step`` from ``rank``; block until all peers reported it."""
+        if not 0 <= rank < self._world_size:
+            raise DistributedError(
+                f"rank {rank} outside world of size {self._world_size}"
+            )
+        with self._lock:
+            members = self._rounds.setdefault(step, set())
+            if rank in members:
+                raise DistributedError(
+                    f"rank {rank} reported step {step} twice"
+                )
+            members.add(rank)
+            event = self._released.setdefault(step, threading.Event())
+            if len(members) == self._world_size:
+                self.peer_check = max(self.peer_check, step)
+                event.set()
+        if not event.wait(self._timeout):
+            raise DistributedError(
+                f"barrier timeout at step {step}: only "
+                f"{len(self._rounds.get(step, set()))} of {self._world_size} "
+                f"workers arrived"
+            )
+
+
+@dataclass
+class DistributedWorker:
+    """One worker's engine bound to the group barrier."""
+
+    rank: int
+    engine: CheckpointEngine
+    barrier: CheckpointBarrier
+
+    @classmethod
+    def create(
+        cls,
+        rank: int,
+        layout: DeviceLayout,
+        barrier: CheckpointBarrier,
+        writer_threads: int = 3,
+        recovered: Optional[CheckMeta] = None,
+    ) -> "DistributedWorker":
+        """Build a worker whose engine synchronizes after every CAS."""
+
+        def post_cas(meta: CheckMeta) -> None:
+            barrier.synchronize(rank, meta.step)
+
+        engine = CheckpointEngine(
+            layout,
+            writer_threads=writer_threads,
+            recovered=recovered,
+            post_cas_hook=post_cas,
+        )
+        return cls(rank=rank, engine=engine, barrier=barrier)
+
+    def checkpoint(self, payload: bytes, step: int):
+        """Checkpoint this worker's partition for ``step``.
+
+        Blocks through the coordination round, so on return either all
+        peers committed ``step`` too, or the barrier timed out (a peer
+        failed) and the superseded slot was *not* recycled.
+        """
+        return self.engine.checkpoint(payload, step=step)
+
+
+@dataclass
+class ConsistentCheckpoint:
+    """The newest globally consistent checkpoint across all workers."""
+
+    step: int
+    payloads: List[bytes]  # index-aligned with worker rank
+    metas: List[CheckMeta]
+
+
+def valid_checkpoints(layout: DeviceLayout) -> List[CheckMeta]:
+    """All complete checkpoints currently on a device (slot scan).
+
+    Includes superseded-but-not-yet-overwritten checkpoints — those are
+    what make a globally consistent step recoverable when workers crashed
+    at different points.
+    """
+    found: List[CheckMeta] = []
+    for header in layout.read_all_slot_headers():
+        if header is None or header.payload_len > layout.payload_capacity:
+            continue
+        payload = layout.read_payload(header)
+        if payload_crc(payload) == header.payload_crc:
+            found.append(header)
+    return found
+
+
+def recover_consistent(layouts: Sequence[DeviceLayout]) -> ConsistentCheckpoint:
+    """Find and load the newest step every worker holds a checkpoint for.
+
+    Raises :class:`~repro.errors.NoCheckpointError` when the step sets do
+    not intersect (e.g. a device was wiped).
+    """
+    if not layouts:
+        raise DistributedError("need at least one worker layout")
+    per_worker: List[Dict[int, CheckMeta]] = []
+    for layout in layouts:
+        by_step: Dict[int, CheckMeta] = {}
+        for meta in valid_checkpoints(layout):
+            existing = by_step.get(meta.step)
+            if existing is None or meta.counter > existing.counter:
+                by_step[meta.step] = meta
+        per_worker.append(by_step)
+    common: Set[int] = set(per_worker[0])
+    for by_step in per_worker[1:]:
+        common &= set(by_step)
+    if not common:
+        raise NoCheckpointError(
+            "no training step has a valid checkpoint on every worker"
+        )
+    step = max(common)
+    metas = [by_step[step] for by_step in per_worker]
+    payloads = [
+        PersistentIterator(layout, meta).read_all()
+        for layout, meta in zip(layouts, metas)
+    ]
+    return ConsistentCheckpoint(step=step, payloads=payloads, metas=metas)

@@ -1,0 +1,346 @@
+"""The concurrent checkpoint engine — the paper's Listing 1.
+
+This is PCcheck's primary contribution: a checkpoint operation that never
+waits for a previous checkpoint to finish persisting.  The moving parts
+map one-to-one onto §4.1:
+
+* a global :class:`~repro.core.atomics.AtomicCounter` orders checkpoints;
+* a :class:`~repro.core.freelist.SlotQueue` hands out free storage slots
+  (the lock-free queue of "available slots for storing checkpoints, apart
+  from the latest valid checkpoint");
+* a :class:`~repro.core.writer.ParallelWriter` persists each payload with
+  ``p`` threads and the medium's fence discipline;
+* an :class:`~repro.core.atomics.AtomicReference` is ``CHECK_ADDR``; the
+  CAS retry loop of Listing 1 lines 19–34 decides which checkpoint is the
+  newest committed one, returns superseded slots to the queue, and never
+  lets an older checkpoint overwrite a newer one.
+
+Invariants maintained (tested exhaustively in ``tests/``):
+
+1. At every instant at least one fully persisted checkpoint exists once
+   the first commit completed, and recovery finds the newest committed one.
+2. The committed counter is monotonically non-decreasing.
+3. The slot referenced by the committed record is never in the free queue.
+4. Each completed ``checkpoint()`` call returns exactly one slot to the
+   queue (the superseded one on success, its own on defeat), so N
+   concurrent checkpoints never deadlock on N+1 slots.
+
+The engine exposes a *ticket* API so the orchestrator can stream a
+checkpoint in pipelined chunks (§3.1, Figure 7): ``begin()`` reserves the
+slot and counter, ``write_chunk()`` persists consecutive pieces, and
+``commit()`` runs the header write plus CAS protocol.  ``checkpoint()``
+is the one-shot convenience wrapper.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.atomics import AtomicCounter, AtomicReference
+from repro.core.freelist import EMPTY, SlotQueue
+from repro.core.layout import DeviceLayout
+from repro.core.meta import (
+    RECORD_SIZE,
+    CheckMeta,
+    encode_commit_record,
+    encode_slot_header,
+)
+from repro.core.writer import FenceMode, ParallelWriter
+from repro.errors import EngineClosedError, EngineError, OutOfSpaceError
+
+
+@dataclass(frozen=True)
+class CheckpointResult:
+    """Outcome of one checkpoint operation.
+
+    ``committed`` is True when this checkpoint won the CAS and became the
+    recovery point; False when a concurrent *newer* checkpoint superseded
+    it (its slot was recycled immediately — the paper's lines 29–31).
+    Either way the checkpoint's data was durably written first, so a
+    superseded checkpoint still cost one slot-write of bandwidth; the
+    orchestrator's scheduling keeps this case rare.
+    """
+
+    counter: int
+    slot: int
+    committed: bool
+    payload_len: int
+
+
+class EngineStats:
+    """Counters the engine maintains for benchmarks and tests."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.commits = 0
+        self.superseded = 0
+        self.cas_retries = 0
+        self.bytes_persisted = 0
+        self.slot_wait_seconds = 0.0
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of all counters."""
+        with self._lock:
+            return {
+                "commits": self.commits,
+                "superseded": self.superseded,
+                "cas_retries": self.cas_retries,
+                "bytes_persisted": self.bytes_persisted,
+                "slot_wait_seconds": self.slot_wait_seconds,
+            }
+
+
+class CheckpointTicket:
+    """An in-flight checkpoint: slot + counter reserved, chunks streaming.
+
+    Not thread-safe by itself — one ticket belongs to one checkpoint
+    session, though many tickets proceed concurrently.
+    """
+
+    def __init__(
+        self, engine: "CheckpointEngine", counter: int, slot: int, step: int = 0
+    ) -> None:
+        self._engine = engine
+        self.counter = counter
+        self.slot = slot
+        self.step = step
+        self._written = 0
+        self._crc = 0
+        self._done = False
+
+    @property
+    def bytes_written(self) -> int:
+        """Payload bytes persisted so far."""
+        return self._written
+
+    def write_chunk(self, chunk: bytes) -> None:
+        """Persist the next consecutive piece of the payload.
+
+        Chunks may be scattered in DRAM but land at consecutive offsets in
+        the slot (§3.1: "all the checkpoint's chunks are ordered and
+        written to consecutive addresses on persistent storage").
+        """
+        if self._done:
+            raise EngineError("ticket already committed or aborted")
+        self._engine._persist_chunk(self, chunk)
+        self._crc = zlib.crc32(chunk, self._crc)
+        self._written += len(chunk)
+
+    def commit(self) -> CheckpointResult:
+        """Finish the checkpoint: persist the header, run the CAS protocol."""
+        if self._done:
+            raise EngineError("ticket already committed or aborted")
+        self._done = True
+        return self._engine._commit(self, self._crc)
+
+    def abort(self) -> None:
+        """Give the slot back without committing (e.g. snapshot failed)."""
+        if self._done:
+            return
+        self._done = True
+        self._engine._release_slot(self.slot)
+
+
+class CheckpointEngine:
+    """Concurrent checkpoint engine over a formatted device region."""
+
+    def __init__(
+        self,
+        layout: DeviceLayout,
+        writer_threads: int = 3,
+        fence_mode: Optional[FenceMode] = None,
+        recovered: Optional[CheckMeta] = None,
+        post_cas_hook=None,
+    ) -> None:
+        """``post_cas_hook(meta)`` runs after a successful CAS and the
+        durable commit-record write, but *before* the superseded slot is
+        recycled — the exact point where the paper's distributed protocol
+        performs its rank-0 coordination round (§4.1, "Checkpointing in
+        Distributed Training")."""
+        self._layout = layout
+        self._writer = ParallelWriter(
+            layout.device, num_threads=writer_threads, fence_mode=fence_mode
+        )
+        self._g_counter = AtomicCounter(recovered.counter if recovered else 0)
+        self._check_addr: AtomicReference[CheckMeta] = AtomicReference(recovered)
+        self._free = SlotQueue(layout.num_slots)
+        committed_slot = recovered.slot if recovered else None
+        for slot in range(layout.num_slots):
+            if slot != committed_slot:
+                self._free.enqueue(slot)
+        self._commit_write_lock = threading.Lock()
+        self._last_written_counter = recovered.counter if recovered else 0
+        self._post_cas_hook = post_cas_hook
+        self._closed = False
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # public API
+
+    @property
+    def layout(self) -> DeviceLayout:
+        """The formatted region this engine writes to."""
+        return self._layout
+
+    @property
+    def max_concurrent(self) -> int:
+        """N: slots minus the always-reserved committed one."""
+        return self._layout.num_slots - 1
+
+    @property
+    def writer_threads(self) -> int:
+        """p: writer threads per persist."""
+        return self._writer.num_threads
+
+    def committed(self) -> Optional[CheckMeta]:
+        """Metadata of the current recovery point (in-memory CHECK_ADDR)."""
+        return self._check_addr.load()
+
+    def checkpoint(self, payload: bytes, step: int = 0) -> CheckpointResult:
+        """One-shot checkpoint of ``payload`` (Listing 1 end to end)."""
+        ticket = self.begin(step=step)
+        try:
+            ticket.write_chunk(payload)
+        except BaseException:
+            # A crashed device leaves the ticket dangling, as power loss
+            # would; only clean aborts recycle the slot.
+            raise
+        return ticket.commit()
+
+    def begin(
+        self, step: int = 0, timeout: Optional[float] = None
+    ) -> CheckpointTicket:
+        """Reserve a counter and a free slot for a streaming checkpoint.
+
+        Lines 2–11 of Listing 1: sample the committed checkpoint is done
+        inside :meth:`_commit` (the CAS needs a fresh expected value per
+        retry); here we draw the counter and busy-wait on the free queue.
+        Blocks while all slots are held by in-flight checkpoints.
+        """
+        self._check_alive()
+        counter = self._g_counter.add_fetch(1)
+        start = time.monotonic()
+        slot = self._free.dequeue_blocking(timeout)
+        waited = time.monotonic() - start
+        with self.stats._lock:  # noqa: SLF001
+            self.stats.slot_wait_seconds += waited
+        if slot == EMPTY:
+            raise EngineError(
+                f"no free checkpoint slot within {timeout} seconds "
+                f"(all {self.max_concurrent} concurrent checkpoints busy)"
+            )
+        return CheckpointTicket(self, counter, slot, step=step)
+
+    def close(self) -> None:
+        """Refuse further checkpoints (in-flight tickets may still finish)."""
+        self._closed = True
+
+    def __enter__(self) -> "CheckpointEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # internal protocol steps
+
+    def _check_alive(self) -> None:
+        if self._closed:
+            raise EngineClosedError("checkpoint engine is closed")
+
+    def _persist_chunk(self, ticket: CheckpointTicket, chunk: bytes) -> None:
+        capacity = self._layout.payload_capacity
+        if ticket.bytes_written + len(chunk) > capacity:
+            raise OutOfSpaceError(
+                f"checkpoint of >= {ticket.bytes_written + len(chunk)} bytes "
+                f"exceeds slot payload capacity {capacity}"
+            )
+        offset = self._layout.payload_offset(ticket.slot) + ticket.bytes_written
+        self._writer.persist(offset, chunk)
+        with self.stats._lock:  # noqa: SLF001
+            self.stats.bytes_persisted += len(chunk)
+
+    def _commit(self, ticket: CheckpointTicket, crc: int) -> CheckpointResult:
+        meta = CheckMeta(
+            counter=ticket.counter,
+            slot=ticket.slot,
+            payload_len=ticket.bytes_written,
+            payload_crc=crc,
+            step=ticket.step,
+        )
+        # Lines 16-18: persist the checkpoint's own metadata (the header
+        # that "points to this data") BEFORE CHECK_ADDR may reference it.
+        header_offset = self._layout.slot_offset(ticket.slot)
+        self._layout.device.write(header_offset, encode_slot_header(meta))
+        self._layout.device.persist(header_offset, RECORD_SIZE)
+
+        # Lines 19-34: CAS retry loop on CHECK_ADDR.
+        last_check = self._check_addr.load()
+        while True:
+            if last_check is not None and last_check.counter > meta.counter:
+                # A newer checkpoint is already committed: ours is obsolete.
+                # Line 30: barrier on CHECK_ADDR, then recycle our own slot.
+                self._persist_commit_record_barrier()
+                self._release_slot(ticket.slot)
+                with self.stats._lock:  # noqa: SLF001
+                    self.stats.superseded += 1
+                return CheckpointResult(
+                    counter=meta.counter,
+                    slot=ticket.slot,
+                    committed=False,
+                    payload_len=meta.payload_len,
+                )
+            if self._check_addr.compare_and_swap(last_check, meta):
+                # Line 22-25: success — persist CHECK_ADDR durably, then
+                # hand the superseded checkpoint's slot back to the queue.
+                self._write_commit_record(meta)
+                if self._post_cas_hook is not None:
+                    self._post_cas_hook(meta)
+                if last_check is not None:
+                    self._release_slot(last_check.slot)
+                with self.stats._lock:  # noqa: SLF001
+                    self.stats.commits += 1
+                return CheckpointResult(
+                    counter=meta.counter,
+                    slot=ticket.slot,
+                    committed=True,
+                    payload_len=meta.payload_len,
+                )
+            # CAS failed: someone moved CHECK_ADDR. Re-sample and decide.
+            with self.stats._lock:  # noqa: SLF001
+                self.stats.cas_retries += 1
+            last_check = self._check_addr.load()
+
+    def _write_commit_record(self, meta: CheckMeta) -> None:
+        """Durably publish ``meta`` as the commit record.
+
+        On hardware the CAS itself is the 8-byte PMEM pointer store, so a
+        later CAS necessarily lands after an earlier one.  Our emulated
+        CAS and the device write are separate steps, so a lock plus a
+        monotonicity check reproduces the hardware ordering: a record for
+        counter ``k`` is never overwritten by one for ``k' < k``.
+        """
+        with self._commit_write_lock:
+            if meta.counter <= self._last_written_counter:
+                # A newer commit already reached the device; our in-memory
+                # CAS must have been immediately superseded. Barrier only.
+                self._layout.device.persist(self._layout.commit_offset, RECORD_SIZE)
+                return
+            self._layout.device.write(
+                self._layout.commit_offset, encode_commit_record(meta)
+            )
+            self._layout.device.persist(self._layout.commit_offset, RECORD_SIZE)
+            self._last_written_counter = meta.counter
+
+    def _persist_commit_record_barrier(self) -> None:
+        """Line 30's BARRIER(CHECK_ADDR): make sure the committed record
+        that superseded us is durable before our slot is recycled."""
+        with self._commit_write_lock:
+            self._layout.device.persist(self._layout.commit_offset, RECORD_SIZE)
+
+    def _release_slot(self, slot: int) -> None:
+        self._free.enqueue(slot)

@@ -1,0 +1,198 @@
+"""On-device region layout: superblock, commit record, N+1 slots.
+
+PCcheck dedicates ``(N + 1) * m`` bytes of persistent storage to hold up
+to ``N`` concurrent checkpoints plus the guaranteed-valid latest one
+(Table 1).  This module carves a :class:`~repro.storage.device.PersistentDevice`
+into that layout::
+
+    +------------------+ 0
+    | superblock       |  identifies the region, pins geometry
+    +------------------+ SUPERBLOCK_SIZE
+    | commit record    |  CHECK_ADDR: newest committed checkpoint
+    +------------------+ SUPERBLOCK_SIZE + RECORD_SIZE (page aligned)
+    | slot 0 header    |  written after slot 0's payload persists
+    | slot 0 payload   |
+    +------------------+
+    | slot 1 ...       |
+    +------------------+
+
+The superblock stores the geometry (slot count and size) with a CRC so a
+reopened device is validated before recovery trusts any record on it.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.meta import RECORD_SIZE, CheckMeta, decode_slot_header
+from repro.errors import LayoutError
+from repro.storage.device import PersistentDevice
+
+#: Reserved space for the superblock.
+SUPERBLOCK_SIZE: int = 4096
+#: Alignment of the slot region (keeps payloads page-aligned).
+SLOT_ALIGN: int = 4096
+
+_SB_MAGIC = b"PCCHKSB1"
+# magic(8s) version(I) num_slots(I) slot_size(Q) crc(I)
+_SB_STRUCT = struct.Struct("<8sIIQ")
+_SB_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Physical layout parameters of a formatted checkpoint region."""
+
+    num_slots: int
+    slot_size: int
+
+    @property
+    def payload_capacity(self) -> int:
+        """Largest checkpoint payload a slot can hold."""
+        return self.slot_size - RECORD_SIZE
+
+    @property
+    def data_offset(self) -> int:
+        """Byte offset where slot 0 begins."""
+        base = SUPERBLOCK_SIZE + RECORD_SIZE
+        return ((base + SLOT_ALIGN - 1) // SLOT_ALIGN) * SLOT_ALIGN
+
+    @property
+    def total_size(self) -> int:
+        """Device capacity required by this geometry."""
+        return self.data_offset + self.num_slots * self.slot_size
+
+
+class DeviceLayout:
+    """A formatted checkpoint region on a persistent device.
+
+    Create with :meth:`format` (initialises a blank region) or
+    :meth:`open` (validates an existing one, e.g. after a crash).
+    """
+
+    def __init__(self, device: PersistentDevice, geometry: Geometry) -> None:
+        self._device = device
+        self._geometry = geometry
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def format(
+        cls, device: PersistentDevice, num_slots: int, slot_size: int
+    ) -> "DeviceLayout":
+        """Initialise ``device`` with ``num_slots`` slots of ``slot_size``.
+
+        ``num_slots`` must be at least 2 — the paper's N concurrent
+        checkpoints plus the always-valid one require N+1 ≥ 2 slots.
+        Zeroes the commit record and every slot header so stale data from
+        a previous use can never validate.
+        """
+        if num_slots < 2:
+            raise LayoutError(
+                f"need at least 2 slots (N>=1 concurrent + 1 valid), got {num_slots}"
+            )
+        if slot_size <= RECORD_SIZE:
+            raise LayoutError(
+                f"slot size {slot_size} leaves no room for payload "
+                f"(header is {RECORD_SIZE} bytes)"
+            )
+        geometry = Geometry(num_slots=num_slots, slot_size=slot_size)
+        if geometry.total_size > device.capacity:
+            raise LayoutError(
+                f"geometry needs {geometry.total_size} bytes but device "
+                f"{device.name} has {device.capacity}"
+            )
+        layout = cls(device, geometry)
+        body = _SB_STRUCT.pack(_SB_MAGIC, _SB_VERSION, num_slots, slot_size)
+        superblock = body + struct.pack("<I", zlib.crc32(body))
+        device.write(0, superblock)
+        device.write(layout.commit_offset, bytes(RECORD_SIZE))
+        for slot in range(num_slots):
+            device.write(layout.slot_offset(slot), bytes(RECORD_SIZE))
+        device.persist(0, geometry.data_offset + num_slots * slot_size)
+        return layout
+
+    @classmethod
+    def open(cls, device: PersistentDevice) -> "DeviceLayout":
+        """Attach to an already formatted device, validating the superblock."""
+        raw = device.read(0, _SB_STRUCT.size + 4)
+        body, (crc,) = raw[: _SB_STRUCT.size], struct.unpack(
+            "<I", raw[_SB_STRUCT.size :]
+        )
+        if zlib.crc32(body) != crc:
+            raise LayoutError(f"superblock CRC mismatch on {device.name}")
+        magic, version, num_slots, slot_size = _SB_STRUCT.unpack(body)
+        if magic != _SB_MAGIC:
+            raise LayoutError(f"{device.name} is not a PCcheck region")
+        if version != _SB_VERSION:
+            raise LayoutError(f"unsupported layout version {version}")
+        geometry = Geometry(num_slots=num_slots, slot_size=slot_size)
+        if geometry.total_size > device.capacity:
+            raise LayoutError(
+                f"superblock on {device.name} describes {geometry.total_size} "
+                f"bytes but device has only {device.capacity}"
+            )
+        return cls(device, geometry)
+
+    # ------------------------------------------------------------------
+    # geometry accessors
+
+    @property
+    def device(self) -> PersistentDevice:
+        """The underlying persistent device."""
+        return self._device
+
+    @property
+    def geometry(self) -> Geometry:
+        """The region's physical layout."""
+        return self._geometry
+
+    @property
+    def num_slots(self) -> int:
+        """Number of checkpoint slots (N + 1)."""
+        return self._geometry.num_slots
+
+    @property
+    def payload_capacity(self) -> int:
+        """Largest payload one slot can hold."""
+        return self._geometry.payload_capacity
+
+    @property
+    def commit_offset(self) -> int:
+        """Device offset of the CHECK_ADDR commit record."""
+        return SUPERBLOCK_SIZE
+
+    def slot_offset(self, slot: int) -> int:
+        """Device offset of ``slot``'s header."""
+        self._check_slot(slot)
+        return self._geometry.data_offset + slot * self._geometry.slot_size
+
+    def payload_offset(self, slot: int) -> int:
+        """Device offset where ``slot``'s payload begins."""
+        return self.slot_offset(slot) + RECORD_SIZE
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self._geometry.num_slots:
+            raise LayoutError(
+                f"slot {slot} out of range [0, {self._geometry.num_slots})"
+            )
+
+    # ------------------------------------------------------------------
+    # record I/O
+
+    def read_slot_header(self, slot: int) -> Optional[CheckMeta]:
+        """The slot's header, or ``None`` when blank/torn."""
+        raw = self._device.read(self.slot_offset(slot), RECORD_SIZE)
+        return decode_slot_header(raw)
+
+    def read_all_slot_headers(self) -> List[Optional[CheckMeta]]:
+        """Headers of every slot, index-aligned."""
+        return [self.read_slot_header(slot) for slot in range(self.num_slots)]
+
+    def read_payload(self, meta: CheckMeta) -> bytes:
+        """The payload bytes a validated header describes."""
+        return self._device.read(self.payload_offset(meta.slot), meta.payload_len)

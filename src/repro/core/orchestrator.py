@@ -1,0 +1,247 @@
+"""The PCcheck orchestrator: concurrent checkpoint sessions (§3.1).
+
+The orchestrator coordinates the life of a checkpoint (Figure 5):
+
+1. the trainer reaches a checkpoint boundary and calls
+   :meth:`PCcheckOrchestrator.checkpoint_async`;
+2. a *capture* task copies the state chunk-by-chunk into pinned DRAM
+   buffers from the pool (step ③, GPU copy engines);
+3. a *persist* task drains the captured chunks in order through the
+   engine's writer threads to consecutive slot offsets (step ④), releasing
+   each buffer as soon as its chunk is durable;
+4. the engine's commit protocol publishes the checkpoint.
+
+Up to N checkpoints run these pipelines concurrently — the engine's free
+slot queue naturally enforces the bound, and a request arriving while all
+N are busy blocks, which is the training stall PCcheck's configuration
+tool sizes N and f to avoid.
+
+Consistency contract: the trainer calls :meth:`wait_for_snapshots` before
+every weight update, so captures always read a stable state version.  The
+orchestrator tracks the cumulative time spent in that wait (the stall the
+paper's Figure 6 shows between T and U) plus slot-wait and buffer-wait
+stalls for the sensitivity benchmarks.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.chunking import plan_chunks
+from repro.core.config import PCcheckConfig
+from repro.core.engine import CheckpointEngine, CheckpointResult
+from repro.core.snapshot import SnapshotSource
+from repro.errors import EngineClosedError
+from repro.storage.dram import DRAMBufferPool, PinnedBuffer
+
+
+@dataclass
+class CheckpointHandle:
+    """Tracks one asynchronous checkpoint request."""
+
+    step: int
+    counter: Optional[int] = None
+    snapshot_done: threading.Event = field(default_factory=threading.Event)
+    _future: "Future[CheckpointResult]" = field(default_factory=Future)
+
+    def wait(self, timeout: Optional[float] = None) -> CheckpointResult:
+        """Block until the checkpoint committed (or was superseded)."""
+        return self._future.result(timeout)
+
+    def done(self) -> bool:
+        """True once the commit protocol finished."""
+        return self._future.done()
+
+
+#: Sentinel the capture stage sends when it failed mid-checkpoint, so the
+#: persist stage aborts the ticket instead of committing a truncated payload.
+_CAPTURE_FAILED = object()
+
+
+class OrchestratorStats:
+    """Stall accounting surfaced to benchmarks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.checkpoints_requested = 0
+        self.update_stall_seconds = 0.0
+
+    def add_update_stall(self, seconds: float) -> None:
+        with self._lock:
+            self.update_stall_seconds += seconds
+
+
+class PCcheckOrchestrator:
+    """Drives concurrent checkpoint pipelines over one engine."""
+
+    def __init__(
+        self,
+        engine: CheckpointEngine,
+        pool: DRAMBufferPool,
+        config: Optional[PCcheckConfig] = None,
+    ) -> None:
+        self._engine = engine
+        self._pool = pool
+        self._config = config or PCcheckConfig(
+            num_concurrent=engine.max_concurrent,
+            writer_threads=engine.writer_threads,
+            chunk_size=pool.chunk_size,
+            num_chunks=pool.total_chunks,
+        )
+        # Two threads per in-flight checkpoint: capture + persist stages.
+        workers = 2 * engine.max_concurrent
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="pccheck-orch"
+        )
+        self._pending: List[CheckpointHandle] = []
+        self._pending_lock = threading.Lock()
+        self._closed = False
+        self.stats = OrchestratorStats()
+
+    # ------------------------------------------------------------------
+    # trainer-facing API
+
+    @property
+    def engine(self) -> CheckpointEngine:
+        """The checkpoint engine this orchestrator drives."""
+        return self._engine
+
+    @property
+    def config(self) -> PCcheckConfig:
+        """Active configuration."""
+        return self._config
+
+    def checkpoint_async(self, source: SnapshotSource, step: int) -> CheckpointHandle:
+        """Start a concurrent checkpoint of ``source``.
+
+        Returns immediately after scheduling; blocks only if the engine
+        has no free slot (all N concurrent checkpoints busy), which is the
+        paper's stall condition ``Tw > N · f · t``.
+        """
+        if self._closed:
+            raise EngineClosedError("orchestrator is closed")
+        handle = CheckpointHandle(step=step)
+        with self.stats._lock:  # noqa: SLF001
+            self.stats.checkpoints_requested += 1
+        # Reserve counter + slot in the caller's thread: engine.begin()
+        # blocking is precisely the "wait for a previous checkpoint"
+        # stall that concurrency is meant to bound.
+        ticket = self._engine.begin(step=step)
+        handle.counter = ticket.counter
+        hand_off: "queue.Queue[Optional[PinnedBuffer]]" = queue.Queue()
+        persist_future = self._executor.submit(
+            self._persist_stage, ticket, hand_off, handle
+        )
+        self._executor.submit(
+            self._capture_stage, source, hand_off, handle, persist_future
+        )
+        with self._pending_lock:
+            self._pending = [h for h in self._pending if not h.done()]
+            self._pending.append(handle)
+        return handle
+
+    def checkpoint_sync(self, source: SnapshotSource, step: int) -> CheckpointResult:
+        """Checkpoint and wait for the commit (used by recovery tests)."""
+        handle = self.checkpoint_async(source, step)
+        return handle.wait()
+
+    def wait_for_snapshots(self) -> float:
+        """Block until every in-flight capture finished; returns the time
+        spent waiting.  The trainer calls this before each weight update
+        (the T→U consistency stall of Figure 6)."""
+        start = time.monotonic()
+        with self._pending_lock:
+            pending = list(self._pending)
+        for handle in pending:
+            handle.snapshot_done.wait()
+        waited = time.monotonic() - start
+        self.stats.add_update_stall(waited)
+        return waited
+
+    def drain(self, timeout: Optional[float] = None) -> List[CheckpointResult]:
+        """Wait for every outstanding checkpoint to finish."""
+        with self._pending_lock:
+            pending = list(self._pending)
+        return [handle.wait(timeout) for handle in pending]
+
+    def close(self) -> None:
+        """Drain and shut down the pipelines."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.drain()
+        finally:
+            self._executor.shutdown(wait=True)
+            self._engine.close()
+
+    def __enter__(self) -> "PCcheckOrchestrator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # pipeline stages
+
+    def _capture_stage(
+        self,
+        source: SnapshotSource,
+        hand_off: "queue.Queue[Optional[PinnedBuffer]]",
+        handle: CheckpointHandle,
+        persist_future: "Future[CheckpointResult]",
+    ) -> None:
+        try:
+            total = source.snapshot_size()
+            plan = plan_chunks(total, self._pool.chunk_size)
+            for offset, length in plan:
+                buffer = self._pool.acquire()
+                try:
+                    source.capture_chunk(offset, length, buffer)
+                except BaseException:
+                    self._pool.release(buffer)
+                    raise
+                hand_off.put(buffer)
+            handle.snapshot_done.set()
+            hand_off.put(None)  # end-of-chunks sentinel
+        except BaseException as exc:  # noqa: BLE001 - fail the handle
+            handle.snapshot_done.set()
+            hand_off.put(_CAPTURE_FAILED)
+            # Wait for the persist stage to abort the ticket, then surface
+            # the capture error on the handle.
+            persist_future.exception()
+            if not handle._future.done():  # noqa: SLF001
+                handle._future.set_exception(exc)  # noqa: SLF001
+
+    def _persist_stage(
+        self,
+        ticket,
+        hand_off: "queue.Queue[Optional[PinnedBuffer]]",
+        handle: CheckpointHandle,
+    ) -> Optional[CheckpointResult]:
+        try:
+            while True:
+                buffer = hand_off.get()
+                if buffer is None:
+                    break
+                if buffer is _CAPTURE_FAILED:
+                    ticket.abort()
+                    return None
+                try:
+                    ticket.write_chunk(buffer.view())
+                finally:
+                    self._pool.release(buffer)
+            result = ticket.commit()
+            if not handle._future.done():  # noqa: SLF001
+                handle._future.set_result(result)  # noqa: SLF001
+            return result
+        except BaseException as exc:  # noqa: BLE001 - fail the handle
+            handle.snapshot_done.set()
+            if not handle._future.done():  # noqa: SLF001
+                handle._future.set_exception(exc)  # noqa: SLF001
+            raise

@@ -1,0 +1,164 @@
+"""Recovery: find and load the newest valid checkpoint (§4.2).
+
+``CHECK_ADDR`` (the commit record) points to the last consistent
+checkpoint.  Recovery validates it — magic, record CRC, matching slot
+header, and payload CRC — and loads the payload.  If the commit record
+itself was torn by the crash, recovery falls back to scanning all slot
+headers and picking the newest slot whose header and payload both
+validate.  The fallback is sound because:
+
+* headers are written and persisted only *after* the slot's payload is
+  fully durable, so a valid header + matching payload CRC proves a
+  complete checkpoint;
+* a recycled slot being overwritten still carries its old header, but the
+  payload underneath no longer matches that header's CRC, so it is
+  rejected rather than trusted.
+
+The loader is exposed as a *persistent iterator* that reads the payload in
+chunks and logs every read location, mirroring the paper's recovery path
+("loads the checkpoint ... with the help of a persistent iterator, which
+logs data read locations").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.layout import DeviceLayout
+from repro.core.meta import RECORD_SIZE, CheckMeta, decode_commit_record, payload_crc
+from repro.errors import NoCheckpointError
+
+#: Default read granularity of the persistent iterator.
+DEFAULT_READ_CHUNK: int = 4 * 1024 * 1024
+
+
+@dataclass
+class RecoveredCheckpoint:
+    """A validated checkpoint ready to be restored into training state."""
+
+    meta: CheckMeta
+    payload: bytes
+    #: Which mechanism located it: "commit-record" or "slot-scan".
+    source: str = "commit-record"
+
+
+@dataclass
+class PersistentIterator:
+    """Chunked payload reader that logs each read's device location."""
+
+    layout: DeviceLayout
+    meta: CheckMeta
+    chunk_size: int = DEFAULT_READ_CHUNK
+    read_log: List[Tuple[int, int]] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[bytes]:
+        base = self.layout.payload_offset(self.meta.slot)
+        total = self.meta.payload_len
+        for index in range(math.ceil(total / self.chunk_size) if total else 0):
+            offset = index * self.chunk_size
+            length = min(self.chunk_size, total - offset)
+            self.read_log.append((base + offset, length))
+            yield self.layout.device.read(base + offset, length)
+
+    def read_all(self) -> bytes:
+        """Materialise the whole payload."""
+        return b"".join(self)
+
+
+def find_committed(layout: DeviceLayout) -> Optional[CheckMeta]:
+    """Locate the newest valid checkpoint's metadata, or ``None``.
+
+    Fast path: the commit record.  Fallback: scan every slot header and
+    validate payloads, keeping the highest counter that checks out.
+    """
+    meta = _from_commit_record(layout)
+    if meta is not None:
+        return meta
+    return _from_slot_scan(layout)
+
+
+def _from_commit_record(layout: DeviceLayout) -> Optional[CheckMeta]:
+    raw = layout.device.read(layout.commit_offset, RECORD_SIZE)
+    meta = decode_commit_record(raw)
+    if meta is None:
+        return None
+    if meta.slot >= layout.num_slots:
+        return None
+    header = layout.read_slot_header(meta.slot)
+    if header is None or header.counter != meta.counter:
+        return None
+    if not _payload_valid(layout, meta):
+        return None
+    return meta
+
+
+def _from_slot_scan(layout: DeviceLayout) -> Optional[CheckMeta]:
+    best: Optional[CheckMeta] = None
+    for header in layout.read_all_slot_headers():
+        if header is None:
+            continue
+        if header.payload_len > layout.payload_capacity:
+            continue
+        if best is not None and header.counter <= best.counter:
+            continue
+        if _payload_valid(layout, header):
+            best = header
+    return best
+
+
+def _payload_valid(layout: DeviceLayout, meta: CheckMeta) -> bool:
+    if meta.payload_len > layout.payload_capacity:
+        return False
+    payload = layout.read_payload(meta)
+    return payload_crc(payload) == meta.payload_crc
+
+
+def recover(
+    layout: DeviceLayout,
+    chunk_size: int = DEFAULT_READ_CHUNK,
+    max_attempts: int = 8,
+) -> RecoveredCheckpoint:
+    """Load the newest valid checkpoint from a formatted region.
+
+    The returned payload is re-validated against the header CRC *after*
+    the chunked read: when recovery runs concurrently with writers (an
+    online reader polling the region), a slot located via the scan path
+    can be recycled and overwritten between locating it and reading it —
+    the post-read check catches that and the attempt is retried against
+    the region's newer state.  After a crash there are no writers, so the
+    first attempt always suffices.
+
+    Raises :class:`~repro.errors.NoCheckpointError` when the region holds
+    no valid checkpoint (fresh format, or every record was torn).
+    """
+    for _attempt in range(max_attempts):
+        meta = _from_commit_record(layout)
+        source = "commit-record"
+        if meta is None:
+            meta = _from_slot_scan(layout)
+            source = "slot-scan"
+        if meta is None:
+            raise NoCheckpointError(
+                f"no valid checkpoint found on {layout.device.name}"
+            )
+        iterator = PersistentIterator(layout, meta, chunk_size=chunk_size)
+        payload = iterator.read_all()
+        if payload_crc(payload) == meta.payload_crc:
+            return RecoveredCheckpoint(meta=meta, payload=payload,
+                                       source=source)
+    raise NoCheckpointError(
+        f"checkpoint on {layout.device.name} kept changing under the "
+        f"reader ({max_attempts} attempts)"
+    )
+
+
+def try_recover(
+    layout: DeviceLayout, chunk_size: int = DEFAULT_READ_CHUNK
+) -> Optional[RecoveredCheckpoint]:
+    """Like :func:`recover` but returns ``None`` instead of raising."""
+    try:
+        return recover(layout, chunk_size)
+    except NoCheckpointError:
+        return None

@@ -1,0 +1,100 @@
+"""Sharded checkpoints for data-parallel replicas (§3.1).
+
+"When a combination of data and pipeline parallelism is used, the
+checkpoint state of each pipeline stage is partitioned among the data
+parallel replicas of this stage, reducing the overall checkpointing
+overhead."  Each replica holds the *same* state, so any replica can
+persist any shard — splitting the state K ways makes every replica write
+only m/K bytes.
+
+Shards carry a small self-describing header (index, count, total length,
+and a digest of the full state) so reassembly can verify it is stitching
+shards of the *same* state version together.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List, Sequence
+
+from repro.errors import ConfigError, CorruptCheckpointError
+
+_SHARD_MAGIC = b"PCSHARD1"
+# magic(8s) index(I) count(I) total_len(Q) offset(Q) state_crc(I)
+_SHARD_HEADER = struct.Struct("<8sIIQQI")
+
+
+def shard_payload(state: bytes, num_shards: int) -> List[bytes]:
+    """Split ``state`` into ``num_shards`` self-describing shards."""
+    if num_shards < 1:
+        raise ConfigError(f"need at least one shard, got {num_shards}")
+    crc = zlib.crc32(state)
+    base, extra = divmod(len(state), num_shards)
+    shards: List[bytes] = []
+    offset = 0
+    for index in range(num_shards):
+        size = base + (1 if index < extra else 0)
+        piece = state[offset : offset + size]
+        header = _SHARD_HEADER.pack(
+            _SHARD_MAGIC, index, num_shards, len(state), offset, crc
+        )
+        shards.append(header + piece)
+        offset += size
+    return shards
+
+
+def _parse(shard: bytes):
+    if len(shard) < _SHARD_HEADER.size:
+        raise CorruptCheckpointError("truncated shard header")
+    magic, index, count, total_len, offset, crc = _SHARD_HEADER.unpack(
+        shard[: _SHARD_HEADER.size]
+    )
+    if magic != _SHARD_MAGIC:
+        raise CorruptCheckpointError("not a PCcheck shard")
+    return index, count, total_len, offset, crc, shard[_SHARD_HEADER.size :]
+
+
+def reassemble(shards: Sequence[bytes]) -> bytes:
+    """Stitch shards back into the full state, verifying consistency.
+
+    Shards may arrive in any order; they must all describe the same
+    state (same count, total length, and state digest), cover it exactly,
+    and the reassembled bytes must match the digest.
+    """
+    if not shards:
+        raise CorruptCheckpointError("no shards to reassemble")
+    parsed = [_parse(shard) for shard in shards]
+    _, count, total_len, _, crc, _ = parsed[0]
+    if len(parsed) != count:
+        raise CorruptCheckpointError(
+            f"expected {count} shards, got {len(parsed)}"
+        )
+    for index, shard_count, shard_total, _, shard_crc, _ in parsed:
+        if shard_count != count or shard_total != total_len or shard_crc != crc:
+            raise CorruptCheckpointError("shards from different state versions")
+    seen = {index for index, *_ in parsed}
+    if seen != set(range(count)):
+        raise CorruptCheckpointError(
+            f"shard indices {sorted(seen)} do not cover 0..{count - 1}"
+        )
+    out = bytearray(total_len)
+    covered = 0
+    for index, _, _, offset, _, piece in parsed:
+        if offset + len(piece) > total_len:
+            raise CorruptCheckpointError("shard exceeds state bounds")
+        out[offset : offset + len(piece)] = piece
+        covered += len(piece)
+    if covered != total_len:
+        raise CorruptCheckpointError(
+            f"shards cover {covered} of {total_len} bytes"
+        )
+    state = bytes(out)
+    if zlib.crc32(state) != crc:
+        raise CorruptCheckpointError("reassembled state fails its digest")
+    return state
+
+
+def shard_overhead_bytes(num_shards: int) -> int:
+    """Header bytes the sharding adds in total."""
+    return num_shards * _SHARD_HEADER.size

@@ -1,0 +1,79 @@
+"""Snapshot sources: where checkpoint bytes come from.
+
+The orchestrator is agnostic to whether the training state lives in
+simulated GPU memory or plain host bytes; it snapshots through the
+:class:`SnapshotSource` protocol.  A snapshot must be *consistent*: the
+bytes captured correspond to one logical version of the state, so the
+trainer must not run its weight update while a capture is in progress —
+this is exactly the T→U stall of Figure 6, and the orchestrator exposes a
+``wait_for_snapshots`` hook the trainer calls before each update.
+
+Capture is chunked: each chunk is read from the source into a pinned DRAM
+buffer (through the simulated GPU's copy engines when the state lives on
+a GPU), then handed to the persist stage while the next chunk is being
+captured (Figure 7's pipelining).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.storage.dram import PinnedBuffer
+from repro.storage.gpu import GPUBuffer, SimulatedGPU
+
+
+class SnapshotSource(Protocol):
+    """Anything the orchestrator can checkpoint."""
+
+    def snapshot_size(self) -> int:
+        """Total bytes one checkpoint of this source occupies."""
+        ...
+
+    def capture_chunk(self, offset: int, length: int, dest: PinnedBuffer) -> None:
+        """Copy ``[offset, offset+length)`` of the state into ``dest``.
+
+        Called only between updates (the consistency contract), so the
+        underlying state is stable for the duration of the call.
+        """
+        ...
+
+
+class BytesSource:
+    """Snapshot source over host memory (a ``bytes``/``bytearray`` view)."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+
+    def replace(self, data: bytes) -> None:
+        """Swap in a new state version (between updates)."""
+        self._data = data
+
+    def snapshot_size(self) -> int:
+        return len(self._data)
+
+    def capture_chunk(self, offset: int, length: int, dest: PinnedBuffer) -> None:
+        dest.fill(self._data[offset : offset + length])
+
+
+class GPUSource:
+    """Snapshot source over a simulated GPU buffer, via its copy engines.
+
+    Each chunk capture is a DMA through the GPU's copy engine pool, so
+    captures contend for engines with other in-flight checkpoints exactly
+    as ``cudaMemcpyAsync`` streams would.
+    """
+
+    def __init__(self, gpu: SimulatedGPU, buffer: GPUBuffer) -> None:
+        self._gpu = gpu
+        self._buffer = buffer
+
+    @property
+    def buffer(self) -> GPUBuffer:
+        """The device allocation being checkpointed."""
+        return self._buffer
+
+    def snapshot_size(self) -> int:
+        return self._buffer.nbytes
+
+    def capture_chunk(self, offset: int, length: int, dest: PinnedBuffer) -> None:
+        self._gpu.copy_to_host(self._buffer, offset, length, dest)

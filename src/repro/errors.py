@@ -1,0 +1,69 @@
+"""Exception hierarchy for the PCcheck reproduction.
+
+All library errors derive from :class:`PCcheckError` so callers can catch a
+single base class. Subclasses map to the major subsystems: storage devices,
+the checkpoint engine, recovery, configuration, and the performance
+simulator.
+"""
+
+from __future__ import annotations
+
+
+class PCcheckError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class StorageError(PCcheckError):
+    """A persistent device rejected or failed an operation."""
+
+
+class DeviceClosedError(StorageError):
+    """Operation attempted on a device that was already closed."""
+
+
+class OutOfSpaceError(StorageError):
+    """A write exceeded the capacity of the target device or region."""
+
+
+class CrashedDeviceError(StorageError):
+    """Operation attempted on a device that simulated a crash.
+
+    Fault-injecting devices raise this after :meth:`crash` until the device
+    is explicitly recovered, mirroring a machine that lost power.
+    """
+
+
+class LayoutError(PCcheckError):
+    """The on-device region layout is malformed or incompatible."""
+
+
+class CorruptCheckpointError(PCcheckError):
+    """A checkpoint failed validation (bad magic, CRC, or truncation)."""
+
+
+class NoCheckpointError(PCcheckError):
+    """Recovery found no valid checkpoint on the device."""
+
+
+class EngineError(PCcheckError):
+    """The checkpoint engine was used incorrectly or failed internally."""
+
+
+class EngineClosedError(EngineError):
+    """Checkpoint requested on an engine that has been shut down."""
+
+
+class ConfigError(PCcheckError):
+    """Invalid PCcheck configuration (Table 2 parameter constraints)."""
+
+
+class SimulationError(PCcheckError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class TrainingError(PCcheckError):
+    """The miniature training substrate was used incorrectly."""
+
+
+class DistributedError(PCcheckError):
+    """Multi-worker checkpoint coordination failed."""

@@ -1,0 +1,100 @@
+"""Calibrated discrete-event performance simulator.
+
+Regenerates the paper's evaluation: strategy process models over
+fluid-flow bandwidth resources, the §4.2 recovery model, preemption
+traces, and the §5.2.3 goodput replay.
+"""
+
+from repro.sim.bandwidth import FlowResource, water_fill
+from repro.sim.core import Event, Process, Semaphore, Simulator, all_of
+from repro.sim.distributed import (
+    DistributedPCcheckSim,
+    DistributedResult,
+    run_distributed_throughput,
+)
+from repro.sim.failure_replay import ReplayResult, SegmentOutcome, des_goodput
+from repro.sim.goodput import GoodputResult, replay_goodput
+from repro.sim.hardware import (
+    A2_HIGHGPU_1G,
+    H100_VM,
+    MACHINES,
+    PMEM_MACHINE,
+    PMEM_MACHINE_CLWB,
+    MachineSpec,
+    StorageSpec,
+    get_machine,
+)
+from repro.sim.recovery import RecoveryModel, load_time, recovery_model
+from repro.sim.runner import (
+    ThroughputResult,
+    baseline_throughput,
+    measure_tw,
+    pccheck_default_config,
+    persist_time,
+    run_throughput,
+    simulated_tw_probe,
+    sweep_intervals,
+)
+from repro.sim.strategies import STRATEGY_SIMS, SimContext, StrategySim
+from repro.sim.traces import (
+    PreemptionTrace,
+    andre_gcp_trace,
+    failure_free_trace,
+    periodic_trace,
+)
+from repro.sim.workloads import (
+    FIGURE8_INTERVALS,
+    FIGURE8_MODELS,
+    WORKLOADS,
+    Workload,
+    get_workload,
+)
+
+__all__ = [
+    "A2_HIGHGPU_1G",
+    "FIGURE8_INTERVALS",
+    "FIGURE8_MODELS",
+    "H100_VM",
+    "MACHINES",
+    "PMEM_MACHINE",
+    "PMEM_MACHINE_CLWB",
+    "STRATEGY_SIMS",
+    "WORKLOADS",
+    "DistributedPCcheckSim",
+    "DistributedResult",
+    "Event",
+    "FlowResource",
+    "GoodputResult",
+    "MachineSpec",
+    "PreemptionTrace",
+    "Process",
+    "RecoveryModel",
+    "ReplayResult",
+    "SegmentOutcome",
+    "Semaphore",
+    "SimContext",
+    "Simulator",
+    "StorageSpec",
+    "StrategySim",
+    "ThroughputResult",
+    "Workload",
+    "all_of",
+    "andre_gcp_trace",
+    "baseline_throughput",
+    "des_goodput",
+    "failure_free_trace",
+    "get_machine",
+    "get_workload",
+    "load_time",
+    "measure_tw",
+    "pccheck_default_config",
+    "periodic_trace",
+    "persist_time",
+    "recovery_model",
+    "run_distributed_throughput",
+    "replay_goodput",
+    "run_throughput",
+    "simulated_tw_probe",
+    "sweep_intervals",
+    "water_fill",
+]

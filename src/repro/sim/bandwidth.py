@@ -1,0 +1,190 @@
+"""Fluid-flow shared bandwidth resources.
+
+The timing behaviour the paper's figures hinge on is *contention*: N
+concurrent checkpoints share one SSD, checkpoint copies share the PCIe
+link with each other, writer threads add per-flow parallelism up to the
+device limit.  :class:`FlowResource` models a link/device of total
+bandwidth ``B`` shared by active flows under processor sharing with
+per-flow caps — the classic fluid-flow model:
+
+* each active flow ``i`` has a cap ``c_i`` (e.g. ``p × per-thread
+  bandwidth`` for a checkpoint persisted by ``p`` writers, or ∞);
+* instantaneous rates are the **water-filling** allocation: every flow
+  gets ``min(c_i, fair share)`` where the fair share redistributes
+  capacity left over by capped flows;
+* whenever membership changes, remaining bytes are advanced at the old
+  rates and the next completion is rescheduled.
+
+This reproduces, e.g., §5.4.1's observation that ~4 concurrent
+checkpoints saturate the SSD: with per-flow caps below ``B``, adding
+flows raises aggregate throughput until the caps sum past ``B``, after
+which extra flows only steal share from each other.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Event, Simulator
+
+
+@dataclass
+class _Flow:
+    nbytes: float
+    remaining: float
+    cap: float
+    done: Event
+    rate: float = 0.0
+    started_at: float = field(default=0.0)
+
+
+def water_fill(total: float, caps: Dict[int, float]) -> Dict[int, float]:
+    """Allocate ``total`` bandwidth across flows with per-flow caps.
+
+    Returns per-flow rates.  Uncapped flows pass ``math.inf`` caps.
+    """
+    rates = {key: 0.0 for key in caps}
+    active = dict(caps)
+    budget = total
+    while active and budget > 1e-12:
+        share = budget / len(active)
+        constrained = {
+            key: cap for key, cap in active.items() if cap <= share + 1e-12
+        }
+        if not constrained:
+            for key in active:
+                rates[key] += share
+            budget = 0.0
+            break
+        for key, cap in constrained.items():
+            rates[key] += cap
+            budget -= cap
+            del active[key]
+    return rates
+
+
+class FlowResource:
+    """A shared link/device with fluid-flow bandwidth sharing."""
+
+    def __init__(self, sim: Simulator, bandwidth: float, name: str = "link") -> None:
+        if bandwidth <= 0:
+            raise SimulationError(f"bandwidth must be positive, got {bandwidth}")
+        self._sim = sim
+        self.bandwidth = bandwidth
+        self.name = name
+        self._flows: Dict[int, _Flow] = {}
+        self._next_id = 0
+        self._last_update = 0.0
+        self._epoch = 0  # invalidates stale completion callbacks
+        self.bytes_transferred = 0.0
+        self.busy_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # public API
+
+    def transfer(self, nbytes: float, cap: Optional[float] = None) -> Event:
+        """Start a flow of ``nbytes``; the returned event fires when it
+        completes.  ``cap`` bounds this flow's rate (bytes/sec)."""
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes}")
+        done = Event(self._sim)
+        if nbytes == 0:
+            done.succeed()
+            return done
+        self._advance()
+        flow_id = self._next_id
+        self._next_id += 1
+        self._flows[flow_id] = _Flow(
+            nbytes=float(nbytes),
+            remaining=float(nbytes),
+            cap=float(cap) if cap is not None else math.inf,
+            done=done,
+            started_at=self._sim.now,
+        )
+        self._reschedule()
+        return done
+
+    @property
+    def active_flows(self) -> int:
+        """Flows currently in progress."""
+        return len(self._flows)
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``horizon`` the resource spent non-idle."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / horizon)
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _advance(self) -> None:
+        """Drain remaining bytes at the current rates up to now."""
+        elapsed = self._sim.now - self._last_update
+        self._last_update = self._sim.now
+        if elapsed <= 0 or not self._flows:
+            return
+        self.busy_seconds += elapsed
+        finished = []
+        for flow_id, flow in self._flows.items():
+            drained = min(flow.rate * elapsed, flow.remaining)
+            flow.remaining -= drained
+            self.bytes_transferred += drained
+            if flow.remaining <= 1e-9:
+                finished.append(flow_id)
+        # Pop everything before firing: a completion callback may resume
+        # a process that immediately starts another transfer on this very
+        # resource, re-entering _advance/_reschedule.
+        done_events = [self._flows.pop(flow_id).done for flow_id in finished]
+        for event in done_events:
+            event.succeed()
+
+    def _reschedule(self) -> None:
+        """Recompute rates and schedule the next completion.
+
+        Flows whose remaining drain time falls below the float resolution
+        of the clock (sub-picosecond) are completed inline — otherwise
+        ``now + soonest == now`` and the simulation would livelock on a
+        zero-length residue left by floating-point subtraction.
+        """
+        self._epoch += 1
+        epoch = self._epoch
+        residue_events = []
+        while self._flows:
+            caps = {flow_id: flow.cap for flow_id, flow in self._flows.items()}
+            rates = water_fill(self.bandwidth, caps)
+            residues = []
+            for flow_id, flow in self._flows.items():
+                flow.rate = rates[flow_id]
+                if flow.rate > 0 and flow.remaining / flow.rate <= 1e-12:
+                    residues.append(flow_id)
+            if not residues:
+                break
+            for flow_id in residues:
+                flow = self._flows.pop(flow_id)
+                self.bytes_transferred += flow.remaining
+                residue_events.append(flow.done)
+        if self._flows:
+            soonest = math.inf
+            for flow in self._flows.values():
+                if flow.rate > 0:
+                    soonest = min(soonest, flow.remaining / flow.rate)
+            if not math.isfinite(soonest):
+                raise SimulationError(
+                    f"{self.name}: all flows stalled at zero rate"
+                )
+
+            def on_completion() -> None:
+                if epoch != self._epoch:
+                    return  # superseded by a later membership change
+                self._advance()
+                self._reschedule()
+
+            self._sim._schedule(soonest, on_completion)
+        # Fire residue completions last: their callbacks may re-enter this
+        # resource (new transfers), which bumps the epoch and reschedules.
+        for event in residue_events:
+            event.succeed()

@@ -1,0 +1,182 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic process-based DES in the SimPy style, sized for
+what the performance model needs:
+
+* :class:`Simulator` — the clock and event heap;
+* :class:`Event` — a one-shot completion that processes wait on;
+* :class:`Process` — a generator that ``yield``\\ s events; the kernel
+  resumes it with the event's value;
+* :class:`Semaphore` — counting resource with FIFO waiters (checkpoint
+  slots, DRAM chunks);
+* :func:`all_of` — barrier over several events.
+
+Determinism: ties in time break by insertion order (a monotonically
+increasing sequence number), so repeated runs produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence processes can wait for."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event now, resuming all waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires (immediately if it
+        already has)."""
+        if self.triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process:
+    """A running generator-based process.
+
+    A process yields :class:`Event` objects; the kernel resumes it with
+    ``event.value`` once each fires.  The process itself is an event: it
+    triggers (with the generator's return value) when the generator
+    finishes, so processes can wait on each other.
+    """
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str = "process") -> None:
+        self._sim = sim
+        self._generator = generator
+        self.name = name
+        self.done = Event(sim)
+        self.result: Any = None
+        sim._schedule(0.0, lambda: self._resume(None))
+
+    def _resume(self, value: Any) -> None:
+        try:
+            event = self._generator.send(value)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.done.succeed(stop.value)
+            return
+        if not isinstance(event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(event).__name__}, "
+                f"expected an Event"
+            )
+        event.add_callback(lambda ev: self._resume(ev.value))
+
+
+class Simulator:
+    """The simulation clock and scheduler."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[tuple] = []
+        self._sequence = itertools.count()
+
+    def _schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        heapq.heappush(self._heap, (self.now + delay, next(self._sequence), callback))
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires ``delay`` simulated seconds from now."""
+        event = Event(self)
+        self._schedule(delay, lambda: event.succeed(value))
+        return event
+
+    def event(self) -> Event:
+        """A bare event for manual triggering."""
+        return Event(self)
+
+    def process(self, generator: ProcessGenerator, name: str = "process") -> Process:
+        """Start a process from a generator."""
+        return Process(self, generator, name=name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the heap drains or the clock passes
+        ``until``; returns the final clock value."""
+        while self._heap:
+            at, _, callback = self._heap[0]
+            if until is not None and at > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = at
+            callback()
+        return self.now
+
+
+class Semaphore:
+    """Counting resource with FIFO waiters."""
+
+    def __init__(self, sim: Simulator, tokens: int, name: str = "semaphore") -> None:
+        if tokens < 0:
+            raise SimulationError(f"negative token count {tokens}")
+        self._sim = sim
+        self._tokens = tokens
+        self._waiters: List[Event] = []
+        self.name = name
+
+    @property
+    def available(self) -> int:
+        """Tokens currently free."""
+        return self._tokens
+
+    def acquire(self) -> Event:
+        """An event that fires when a token is granted (FIFO order)."""
+        event = Event(self._sim)
+        if self._tokens > 0 and not self._waiters:
+            self._tokens -= 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a token, waking the oldest waiter if any."""
+        if self._waiters:
+            self._waiters.pop(0).succeed()
+        else:
+            self._tokens += 1
+
+
+def all_of(sim: Simulator, events: List[Event]) -> Event:
+    """An event firing once every event in ``events`` has fired."""
+    barrier = Event(sim)
+    if not events:
+        barrier.succeed([])
+        return barrier
+    remaining = [len(events)]
+
+    def arrived(_event: Event) -> None:
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            barrier.succeed([e.value for e in events])
+
+    for event in events:
+        event.add_callback(arrived)
+    return barrier

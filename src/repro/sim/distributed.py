@@ -1,0 +1,253 @@
+"""Explicit multi-worker checkpoint simulation (§3.1, distributed mode).
+
+The single-worker runs in :mod:`repro.sim.runner` model pipeline-parallel
+training by simulating one representative worker on its partition — valid
+when workers are symmetric.  This module simulates **all** workers
+explicitly, each with its own PCIe link and storage device, plus the
+rank-0 coordination round of §4.1: a worker's superseded slot is recycled
+only after *every* worker committed the same step.
+
+That exposes two effects the shortcut cannot show:
+
+* **straggler coupling** — one worker with a slower disk delays the
+  barrier, holds every worker's old slot longer, and (under pressure)
+  stalls the whole pipeline;
+* **barrier skew** — the gap between the first and last worker's commit
+  for the same step, which the paper asserts is "negligible compared to
+  the actual training" for symmetric workers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Sequence
+
+from repro.core.config import PCcheckConfig
+from repro.errors import SimulationError
+from repro.sim.bandwidth import FlowResource
+from repro.sim.core import Event, Semaphore, Simulator, all_of
+from repro.sim.hardware import A2_HIGHGPU_1G, MachineSpec
+from repro.sim.workloads import Workload, get_workload
+
+
+@dataclass
+class _Worker:
+    """One pipeline stage's private resources and checkpoint state."""
+
+    rank: int
+    pcie: FlowResource
+    storage: FlowResource
+    storage_cap: float
+    slots: Semaphore
+    buffers: Semaphore
+    commit_times: List[float] = field(default_factory=list)
+    tw_seconds: List[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class DistributedResult:
+    """Outcome of an explicit multi-worker simulation."""
+
+    workload: str
+    world_size: int
+    interval: int
+    iterations: int
+    wall_seconds: float
+    throughput: float
+    slowdown: float
+    #: Mean gap between the first and last worker's commit per step.
+    mean_barrier_skew: float
+    #: Mean per-worker checkpoint write time.
+    mean_tw: float
+    checkpoint_stall_seconds: float
+    update_stall_seconds: float
+
+
+class DistributedPCcheckSim:
+    """Lockstep pipeline-parallel training with per-worker PCcheck."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        interval: int,
+        machine: MachineSpec = A2_HIGHGPU_1G,
+        config: Optional[PCcheckConfig] = None,
+        straggler_factors: Optional[Sequence[float]] = None,
+    ) -> None:
+        if interval < 1:
+            raise SimulationError(f"interval must be >= 1, got {interval}")
+        if workload.world_size < 1:
+            raise SimulationError("world size must be >= 1")
+        factors = list(straggler_factors or [1.0] * workload.world_size)
+        if len(factors) != workload.world_size:
+            raise SimulationError(
+                f"need {workload.world_size} straggler factors, got "
+                f"{len(factors)}"
+            )
+        if any(f <= 0 for f in factors):
+            raise SimulationError("straggler factors must be positive")
+        self.sim = Simulator()
+        self.workload = workload
+        self.machine = machine
+        self.interval = interval
+        self.config = config or PCcheckConfig(num_concurrent=2, writer_threads=2)
+        self.workers = [
+            self._make_worker(rank, factor)
+            for rank, factor in enumerate(factors)
+        ]
+        self._snapshots: List[Event] = []
+        self.checkpoint_stall = 0.0
+        self.update_stall = 0.0
+        self.barrier_skews: List[float] = []
+        self._pending: List[Event] = []
+
+    def _make_worker(self, rank: int, straggler: float) -> _Worker:
+        storage = self.machine.storage
+        return _Worker(
+            rank=rank,
+            pcie=FlowResource(self.sim, self.machine.pcie_bandwidth,
+                              name=f"pcie-{rank}"),
+            storage=FlowResource(self.sim, storage.write_bandwidth * straggler,
+                                 name=f"storage-{rank}"),
+            storage_cap=storage.writer_cap(self.config.writer_threads)
+            * straggler,
+            slots=Semaphore(self.sim, self.config.num_concurrent,
+                            name=f"slots-{rank}"),
+            buffers=Semaphore(self.sim, self.config.num_chunks,
+                              name=f"buffers-{rank}"),
+        )
+
+    # ------------------------------------------------------------------
+    # the lockstep training process
+
+    @property
+    def iteration_time(self) -> float:
+        """Global iteration time (all stages advance together)."""
+        return self.workload.scaled_iteration_time(self.machine.iteration_scale)
+
+    def train(self, num_iterations: int) -> Generator[Event, object, float]:
+        """Run ``num_iterations`` global iterations; returns wall time."""
+        t = self.iteration_time
+        wall = 0.0
+        for step in range(1, num_iterations + 1):
+            yield self.sim.timeout(t)
+            # The weight update on every stage waits for in-flight captures.
+            pending = [e for e in self._snapshots if not e.triggered]
+            if pending:
+                since = self.sim.now
+                for event in pending:
+                    yield event
+                self.update_stall += self.sim.now - since
+            self._snapshots = [e for e in self._snapshots if not e.triggered]
+            if step % self.interval == 0:
+                yield from self._checkpoint_all(step)
+        wall = self.sim.now
+        for pending in list(self._pending):
+            if not pending.triggered:
+                yield pending
+        return wall
+
+    def _checkpoint_all(self, step: int) -> Generator[Event, object, None]:
+        # Every worker must reserve a slot before any can proceed — the
+        # pipeline stalls when ANY stage has all N checkpoints in flight.
+        since = self.sim.now
+        for worker in self.workers:
+            yield worker.slots.acquire()
+        self.checkpoint_stall += self.sim.now - since
+        commit_events = [self.sim.event() for _ in self.workers]
+        barrier = all_of(self.sim, commit_events)
+        barrier.add_callback(lambda _e: self._record_skew(step))
+        for worker, commit in zip(self.workers, commit_events):
+            process = self.sim.process(
+                self._worker_checkpoint(worker, commit, barrier),
+                name=f"ckpt-w{worker.rank}-s{step}",
+            )
+            self._pending.append(process.done)
+
+    def _record_skew(self, step: int) -> None:
+        recent = [worker.commit_times[-1] for worker in self.workers]
+        self.barrier_skews.append(max(recent) - min(recent))
+
+    def _worker_checkpoint(
+        self, worker: _Worker, commit: Event, barrier: Event
+    ) -> Generator[Event, object, None]:
+        started = self.sim.now
+        partition = self.workload.partition_bytes
+        chunk = self.config.effective_chunk_size(int(partition))
+        sizes = self._chunk_sizes(partition, chunk)
+        captured = [self.sim.event() for _ in sizes]
+        snapshot_done = self.sim.event()
+        self._snapshots.append(snapshot_done)
+        persist = self.sim.process(
+            self._persist_stage(worker, sizes, captured),
+            name=f"persist-w{worker.rank}",
+        )
+        for index, size in enumerate(sizes):
+            yield worker.buffers.acquire()
+            yield worker.pcie.transfer(size)
+            captured[index].succeed()
+        snapshot_done.succeed()
+        yield persist.done
+        worker.commit_times.append(self.sim.now)
+        worker.tw_seconds.append(self.sim.now - started)
+        commit.succeed()
+        # §4.1: hold the superseded slot until all peers committed this
+        # step, then recycle.
+        yield barrier
+        worker.slots.release()
+
+    def _persist_stage(
+        self, worker: _Worker, sizes: List[float], captured: List[Event]
+    ) -> Generator[Event, object, None]:
+        for index, size in enumerate(sizes):
+            yield captured[index]
+            yield worker.storage.transfer(size, cap=worker.storage_cap)
+            worker.buffers.release()
+
+    @staticmethod
+    def _chunk_sizes(total: float, chunk: float) -> List[float]:
+        if chunk >= total:
+            return [total]
+        count = math.ceil(total / chunk)
+        sizes = [float(chunk)] * (count - 1)
+        sizes.append(total - chunk * (count - 1))
+        return sizes
+
+
+def run_distributed_throughput(
+    workload_name: str,
+    interval: int,
+    machine: MachineSpec = A2_HIGHGPU_1G,
+    config: Optional[PCcheckConfig] = None,
+    num_iterations: Optional[int] = None,
+    straggler_factors: Optional[Sequence[float]] = None,
+) -> DistributedResult:
+    """Simulate explicit multi-worker PCcheck training."""
+    workload = get_workload(workload_name)
+    model = DistributedPCcheckSim(
+        workload, interval, machine=machine, config=config,
+        straggler_factors=straggler_factors,
+    )
+    iterations = num_iterations or max(200, 20 * interval)
+    process = model.sim.process(model.train(iterations), name="dist-train")
+    model.sim.run()
+    wall = process.result
+    t = model.iteration_time
+    all_tw = [tw for worker in model.workers for tw in worker.tw_seconds]
+    return DistributedResult(
+        workload=workload_name,
+        world_size=workload.world_size,
+        interval=interval,
+        iterations=iterations,
+        wall_seconds=wall,
+        throughput=iterations / wall if wall > 0 else 0.0,
+        slowdown=wall / (iterations * t) if iterations else 1.0,
+        mean_barrier_skew=(
+            sum(model.barrier_skews) / len(model.barrier_skews)
+            if model.barrier_skews else 0.0
+        ),
+        mean_tw=sum(all_tw) / len(all_tw) if all_tw else 0.0,
+        checkpoint_stall_seconds=model.checkpoint_stall,
+        update_stall_seconds=model.update_stall,
+    )

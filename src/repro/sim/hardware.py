@@ -1,0 +1,139 @@
+"""Machine catalog: the paper's three evaluation platforms (§5.1).
+
+Every number here is either stated in the paper or derived from a stated
+measurement; each constant cites its source.
+
+* ``a2_highgpu_1g`` — GCP a2-highgpu-1g: A100-40GB on PCIe3 x16, 12 vCPU,
+  85 GB DRAM, 1 TB pd-ssd.  The pd-ssd's single-stream write path is
+  calibrated from "16 GB ... takes 37 seconds to persist" (§1) ≈
+  0.44 GB/s; its saturated multi-writer bandwidth from the §5.4.2 thread
+  scaling (3 writers ≈ 1.36× improvement at N=1) ≈ 0.8 GB/s.  Network:
+  "the measured network bandwidth in our a2-highgpu-1g VMs is 15 Gbps"
+  (§5.2.1) = 1.875 GB/s.
+* ``pmem_machine`` — Xeon Gold 6248R + Titan RTX on PCIe3 x8, Intel
+  Optane in AppDirect mode: nt-store 4.01 GB/s, clwb 2.46 GB/s (§3.3).
+* ``h100_vm`` — Azure Standard_NC40ads_H100_v5: "the iteration time was
+  halved, and the disk bandwidth doubled" relative to the A100 VM
+  (§5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError
+
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """One persistent device's bandwidth profile."""
+
+    kind: str  # "ssd" | "pmem" | "nvme"
+    write_bandwidth: float  # saturated, bytes/sec
+    per_thread_bandwidth: float  # one writer stream, bytes/sec
+    read_bandwidth: float  # recovery load path, bytes/sec
+
+    def writer_cap(self, threads: int) -> float:
+        """Aggregate rate cap for a checkpoint persisted by ``threads``."""
+        if threads < 1:
+            raise ConfigError(f"need at least one writer thread, got {threads}")
+        return min(self.write_bandwidth, threads * self.per_thread_bandwidth)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One evaluation platform."""
+
+    name: str
+    pcie_bandwidth: float  # GPU->pinned-DRAM, bytes/sec
+    storage: StorageSpec
+    network_bandwidth: float  # inter-VM, bytes/sec (Gemini's path)
+    dram_bytes: float
+    iteration_scale: float = 1.0  # multiplier on workload iteration times
+    #: GPU-kernel (UVM) copy bandwidth into an mmapped/host region —
+    #: GPM's data path.  Far below the copy engines' pinned-DMA rate;
+    #: §3.3 found copy engines + pinned memory "yields the highest
+    #: performance" over copy kernels.
+    uvm_copy_bandwidth: float = 2.5e9
+    #: Time to reattach a pd-ssd to a replacement VM after preemption
+    #: (§5.2.3: "around 5.5 sec ... for all baselines except Gemini").
+    reattach_seconds: float = 5.5
+
+
+A2_HIGHGPU_1G = MachineSpec(
+    name="a2-highgpu-1g",
+    pcie_bandwidth=12.5 * GB,  # PCIe3 x16 effective with pinned memory
+    storage=StorageSpec(
+        kind="ssd",
+        write_bandwidth=0.8 * GB,
+        per_thread_bandwidth=16.2 * GB / 37.0,  # the §1 measurement
+        read_bandwidth=1.2 * GB,
+    ),
+    network_bandwidth=15e9 / 8,  # 15 Gbps (§5.2.1)
+    dram_bytes=85 * GB,
+)
+
+PMEM_MACHINE = MachineSpec(
+    name="pmem-rtx",
+    pcie_bandwidth=6.3 * GB,  # PCIe3 x8 (Titan RTX, §5.1)
+    storage=StorageSpec(
+        kind="pmem",
+        write_bandwidth=4.01 * GB,  # nt-store + sfence (§3.3)
+        per_thread_bandwidth=2.2 * GB,  # ~2 threads saturate (§5.4.2 trend)
+        read_bandwidth=6.0 * GB,
+    ),
+    network_bandwidth=1.25 * GB,
+    dram_bytes=128 * GB,
+    # §5.2.4: "the GPU on this machine has lower compute capability than
+    # the A100 GPU, the training throughput is decreased" — Titan RTX
+    # delivers roughly half the A100's training throughput.
+    iteration_scale=2.0,
+    uvm_copy_bandwidth=2.5 * GB,
+)
+
+PMEM_MACHINE_CLWB = MachineSpec(
+    name="pmem-rtx-clwb",
+    pcie_bandwidth=6.3 * GB,
+    storage=StorageSpec(
+        kind="pmem",
+        write_bandwidth=2.46 * GB,  # clwb path (§3.3)
+        per_thread_bandwidth=1.4 * GB,
+        read_bandwidth=6.0 * GB,
+    ),
+    network_bandwidth=1.25 * GB,
+    dram_bytes=128 * GB,
+    iteration_scale=2.0,
+    uvm_copy_bandwidth=2.5 * GB,
+)
+
+H100_VM = MachineSpec(
+    name="h100-nc40ads",
+    pcie_bandwidth=25.0 * GB,  # PCIe4 x16
+    storage=StorageSpec(
+        kind="nvme",
+        write_bandwidth=1.6 * GB,  # "disk bandwidth doubled" (§5.2.1)
+        per_thread_bandwidth=0.9 * GB,
+        read_bandwidth=2.4 * GB,
+    ),
+    network_bandwidth=15e9 / 8,
+    dram_bytes=320 * GB,
+    iteration_scale=0.5,  # "the iteration time was halved" (§5.2.1)
+)
+
+MACHINES: Dict[str, MachineSpec] = {
+    machine.name: machine
+    for machine in (A2_HIGHGPU_1G, PMEM_MACHINE, PMEM_MACHINE_CLWB, H100_VM)
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine by name."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown machine {name!r}; available: {sorted(MACHINES)}"
+        ) from None

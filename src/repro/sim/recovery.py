@@ -1,0 +1,97 @@
+"""Recovery-time models (§4.2, Equation 4).
+
+The paper bounds the time to resume after a failure for each strategy:
+
+* PCcheck: ``0 ≤ recovery ≤ l + f·t + t·min(N·f, Tw/t)`` (Eq. 4) — the
+  checkpoint load ``l`` plus the re-execution of lost iterations, where
+  concurrency can leave up to ``min(N·f, Tw/t)`` extra iterations
+  unpersisted.
+* CheckFreq and Gemini: ``0 ≤ recovery ≤ l + 2·f·t`` (one asynchronous
+  checkpoint in flight).
+* GPM (synchronous): ``0 ≤ recovery ≤ l + f·t``.
+* Ideal: ``l`` only (checkpoints are free, so f = 1 effectively).
+
+Goodput replay uses the *average* over the uniform failure position, i.e.
+half of each bound's re-execution term plus the full load time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.hardware import A2_HIGHGPU_1G, MachineSpec
+from repro.sim.workloads import Workload
+
+
+@dataclass(frozen=True)
+class RecoveryModel:
+    """Recovery bounds for one (strategy, workload, interval) point."""
+
+    strategy: str
+    load_seconds: float  # l
+    max_lost_iterations: float  # re-executed work, worst case
+    iteration_time: float
+
+    @property
+    def worst_case_seconds(self) -> float:
+        """The Eq. 4 style upper bound."""
+        return self.load_seconds + self.max_lost_iterations * self.iteration_time
+
+    @property
+    def average_seconds(self) -> float:
+        """Expected recovery with a uniformly random failure point."""
+        return self.load_seconds + 0.5 * self.max_lost_iterations * self.iteration_time
+
+    @property
+    def average_lost_iterations(self) -> float:
+        """Expected iterations to re-execute after a failure."""
+        return 0.5 * self.max_lost_iterations
+
+
+def load_time(workload: Workload, machine: MachineSpec) -> float:
+    """l: read the checkpoint from storage and copy it to the GPU.
+
+    Pipeline-parallel workers load their partitions concurrently, so the
+    per-worker partition size governs.
+    """
+    partition = workload.partition_bytes
+    read = partition / machine.storage.read_bandwidth
+    upload = partition / machine.pcie_bandwidth
+    return read + upload
+
+
+def recovery_model(
+    strategy: str,
+    workload: Workload,
+    interval: int,
+    tw_seconds: float,
+    machine: MachineSpec = A2_HIGHGPU_1G,
+    num_concurrent: int = 2,
+) -> RecoveryModel:
+    """Instantiate the §4.2 bound for a strategy."""
+    if interval < 1:
+        raise SimulationError(f"interval must be >= 1, got {interval}")
+    t = workload.scaled_iteration_time(machine.iteration_scale)
+    load = load_time(workload, machine)
+    if strategy == "ideal":
+        lost = 1.0  # checkpoints are free and always current
+    elif strategy == "gpm" or strategy == "traditional":
+        # Synchronous: the newest checkpoint is at most f iterations old.
+        lost = float(interval)
+    elif strategy in ("checkfreq", "gemini"):
+        # One async checkpoint in flight: l + 2·f·t bound.
+        lost = 2.0 * interval
+    elif strategy == "pccheck":
+        # Eq. 4: f + min(N·f, Tw/t) iterations, worst case.
+        lost = interval + min(num_concurrent * interval, tw_seconds / t)
+    else:
+        raise SimulationError(f"unknown strategy {strategy!r}")
+    if strategy == "gemini":
+        load = workload.partition_bytes / machine.network_bandwidth
+    return RecoveryModel(
+        strategy=strategy,
+        load_seconds=load,
+        max_lost_iterations=lost,
+        iteration_time=t,
+    )

@@ -1,0 +1,210 @@
+"""Simulation runners: throughput, per-checkpoint time, Tw probes.
+
+The figure generators call these.  ``run_throughput`` is the workhorse
+behind Figures 1, 8, 10, 12, 13, 14; ``persist_time`` behind Figure 11;
+``simulated_tw_probe`` plugs the DES into the §3.4 auto-tuner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import PCcheckConfig
+from repro.errors import SimulationError
+from repro.sim.hardware import A2_HIGHGPU_1G, MachineSpec
+from repro.sim.strategies import SimContext, get_strategy_sim
+from repro.sim.workloads import Workload, get_workload
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of one simulated training run."""
+
+    strategy: str
+    workload: str
+    interval: int
+    iterations: int
+    wall_seconds: float
+    throughput: float  # iterations/sec with checkpointing
+    slowdown: float  # vs. uncheckpointed
+    mean_tw: float  # per-checkpoint write time
+    checkpoints: int
+    checkpoint_stall_seconds: float
+    update_stall_seconds: float
+
+
+def default_iterations(workload: Workload, interval: int) -> int:
+    """Enough iterations to reach steady state: ≥20 checkpoints, ≥200 iters."""
+    return max(200, 20 * interval)
+
+
+def run_throughput(
+    workload_name: str,
+    strategy_name: str,
+    interval: int,
+    machine: MachineSpec = A2_HIGHGPU_1G,
+    config: Optional[PCcheckConfig] = None,
+    num_iterations: Optional[int] = None,
+    interference_factor: float = 0.0,
+) -> ThroughputResult:
+    """Simulate training with checkpointing every ``interval`` iterations."""
+    workload = get_workload(workload_name)
+    ctx = SimContext.create(machine, workload, interval,
+                            interference_factor=interference_factor)
+    strategy_cls = get_strategy_sim(strategy_name)
+    model = strategy_cls(ctx, config=config)
+    iterations = num_iterations or default_iterations(workload, interval)
+    ctx.sim.process(model.train(iterations), name=f"{strategy_name}-train")
+    ctx.sim.run()
+    stats = model.stats
+    if stats.wall_seconds <= 0:
+        raise SimulationError("simulation produced zero wall time")
+    return ThroughputResult(
+        strategy=strategy_name,
+        workload=workload_name,
+        interval=interval,
+        iterations=iterations,
+        wall_seconds=stats.wall_seconds,
+        throughput=stats.throughput,
+        slowdown=stats.slowdown(ctx.iteration_time),
+        mean_tw=stats.mean_tw,
+        checkpoints=stats.checkpoints_completed,
+        checkpoint_stall_seconds=stats.checkpoint_stall_seconds,
+        update_stall_seconds=stats.update_stall_seconds,
+    )
+
+
+def baseline_throughput(workload_name: str,
+                        machine: MachineSpec = A2_HIGHGPU_1G) -> float:
+    """Uncheckpointed iterations/sec (the black line in Figure 8)."""
+    workload = get_workload(workload_name)
+    return 1.0 / workload.scaled_iteration_time(machine.iteration_scale)
+
+
+def persist_time(
+    checkpoint_bytes: float,
+    strategy_name: str,
+    machine: MachineSpec = A2_HIGHGPU_1G,
+    config: Optional[PCcheckConfig] = None,
+) -> float:
+    """End-to-end time to copy + persist ONE checkpoint, no training
+    contention (the Figure 11 microbenchmark)."""
+    config = config or PCcheckConfig()
+    pcie = machine.pcie_bandwidth
+    storage = machine.storage
+    if strategy_name in ("traditional", "checkfreq"):
+        # Copy to DRAM, then single-stream flush, sequentially.
+        return checkpoint_bytes / pcie + checkpoint_bytes / storage.writer_cap(1)
+    if strategy_name == "gpm":
+        if storage.kind == "pmem":
+            # Native GPM: copy kernels persist directly over UVM.
+            rate = min(machine.uvm_copy_bandwidth, storage.write_bandwidth)
+            return checkpoint_bytes / rate
+        # SSD adaptation: UVM copy into the mmapped file, then msync.
+        return (
+            checkpoint_bytes / machine.uvm_copy_bandwidth
+            + checkpoint_bytes / storage.write_bandwidth
+        )
+    if strategy_name == "gemini":
+        return checkpoint_bytes / machine.network_bandwidth
+    if strategy_name == "pccheck":
+        # Pipelined chunks: copy of chunk i overlaps persist of chunk i-1;
+        # the persist stream (p writers) dominates, plus one chunk's copy
+        # to fill the pipeline.
+        chunk = config.effective_chunk_size(int(checkpoint_bytes))
+        persist_rate = storage.writer_cap(config.writer_threads)
+        return chunk / pcie + checkpoint_bytes / persist_rate
+    if strategy_name == "ideal":
+        return 0.0
+    raise SimulationError(f"unknown strategy {strategy_name!r}")
+
+
+def measure_tw(
+    workload_name: str,
+    interval: int,
+    num_concurrent: int,
+    machine: MachineSpec = A2_HIGHGPU_1G,
+    writer_threads: int = 3,
+    chunk_fraction: Optional[float] = 0.25,
+) -> float:
+    """Worst-case observed Tw when running PCcheck with N concurrent."""
+    workload = get_workload(workload_name)
+    chunk = None
+    if chunk_fraction is not None:
+        chunk = int(workload.partition_bytes * chunk_fraction)
+    config = PCcheckConfig(
+        num_concurrent=num_concurrent,
+        writer_threads=writer_threads,
+        chunk_size=chunk,
+        num_chunks=max(2, 2 * num_concurrent),
+        interval=interval,
+    )
+    result = run_throughput(
+        workload_name, "pccheck", interval, machine=machine, config=config
+    )
+    return result.mean_tw
+
+
+def simulated_tw_probe(
+    workload_name: str,
+    machine: MachineSpec = A2_HIGHGPU_1G,
+    writer_threads: int = 3,
+):
+    """A :func:`repro.core.autotune.tune`-compatible probe over the DES.
+
+    Matches the paper's profiling round: "initiates a checkpoint every t
+    seconds ... varies N ... measures Tw for each checkpoint" (§3.4) —
+    i.e. checkpoint every iteration at candidate concurrency N.
+    """
+
+    def probe(candidate_n: int) -> float:
+        return measure_tw(
+            workload_name,
+            interval=1,
+            num_concurrent=candidate_n,
+            machine=machine,
+            writer_threads=writer_threads,
+        )
+
+    return probe
+
+
+def sweep_intervals(
+    workload_name: str,
+    strategy_name: str,
+    intervals,
+    machine: MachineSpec = A2_HIGHGPU_1G,
+    config: Optional[PCcheckConfig] = None,
+) -> Dict[int, ThroughputResult]:
+    """Run one strategy across checkpoint intervals (a Figure 8 curve)."""
+    return {
+        interval: run_throughput(
+            workload_name, strategy_name, interval, machine=machine, config=config
+        )
+        for interval in intervals
+    }
+
+
+def pccheck_default_config(workload_name: str,
+                           machine: MachineSpec = A2_HIGHGPU_1G) -> PCcheckConfig:
+    """The configuration PCcheck's tool would pick (§3.4, §5.2.3).
+
+    2–4 concurrent checkpoints, 2–4 writer threads, a chunked DRAM pool
+    of ~2m split into quarters — "PCcheck picks a modest number of
+    concurrent checkpoints (2-4)".
+    """
+    workload = get_workload(workload_name)
+    m = workload.partition_bytes
+    threads = max(
+        2,
+        min(4, math.ceil(machine.storage.write_bandwidth
+                         / machine.storage.per_thread_bandwidth)),
+    )
+    return PCcheckConfig(
+        num_concurrent=2,
+        writer_threads=threads,
+        chunk_size=int(m / 4),
+        num_chunks=8,  # 8 × m/4 = 2m of DRAM (the paper's default budget)
+    )

@@ -1,0 +1,44 @@
+"""Simulated strategy process models for the performance experiments."""
+
+from typing import Dict, Type
+
+from repro.errors import ConfigError
+from repro.sim.strategies.base import SimContext, StrategySim, StrategyStats
+from repro.sim.strategies.checkfreq import CheckFreqSim, GeminiSim
+from repro.sim.strategies.pccheck import PCcheckSim
+from repro.sim.strategies.simple import GPMSim, IdealSim, TraditionalSim
+
+STRATEGY_SIMS: Dict[str, Type[StrategySim]] = {
+    "ideal": IdealSim,
+    "traditional": TraditionalSim,
+    "gpm": GPMSim,
+    "checkfreq": CheckFreqSim,
+    "gemini": GeminiSim,
+    "pccheck": PCcheckSim,
+}
+
+
+def get_strategy_sim(name: str) -> Type[StrategySim]:
+    """Look up a simulated strategy class by name."""
+    try:
+        return STRATEGY_SIMS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown simulated strategy {name!r}; "
+            f"available: {sorted(STRATEGY_SIMS)}"
+        ) from None
+
+
+__all__ = [
+    "STRATEGY_SIMS",
+    "CheckFreqSim",
+    "GPMSim",
+    "GeminiSim",
+    "IdealSim",
+    "PCcheckSim",
+    "SimContext",
+    "StrategySim",
+    "StrategyStats",
+    "TraditionalSim",
+    "get_strategy_sim",
+]

@@ -1,0 +1,116 @@
+"""CheckFreq's process model (Figure 4).
+
+The pipeline: at a checkpoint boundary the snapshot C (GPU→DRAM) starts
+and training *continues* into the next iteration, but the next weight
+update must wait for C to finish (the update would mutate the tensors
+being copied).  The persist P then runs fully in the background with a
+single flush stream.  The defining limitation: **one checkpoint at a
+time** — a boundary reached while the previous P is still running stalls
+training until it completes (the C₂-after-P₁ gap of Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim.core import Event
+from repro.sim.strategies.base import StrategySim
+
+
+class CheckFreqSim(StrategySim):
+    """Snapshot/persist pipelined, one checkpoint in flight."""
+
+    name = "checkfreq"
+
+    def __init__(self, ctx, config=None) -> None:
+        super().__init__(ctx, config)
+        self._snapshot_done: Optional[Event] = None
+        self._persist_done: Optional[Event] = None
+
+    def before_update(self, step: int) -> Generator[Event, object, None]:
+        # U waits for any in-flight GPU->DRAM copy (consistency).
+        if self._snapshot_done is not None and not self._snapshot_done.triggered:
+            since = self.ctx.sim.now
+            yield self._snapshot_done
+            self._stalled(since, "update")
+
+    def at_checkpoint(self, step: int) -> Generator[Event, object, None]:
+        # The stall: wait for the previous checkpoint to fully persist.
+        if self._persist_done is not None and not self._persist_done.triggered:
+            since = self.ctx.sim.now
+            yield self._persist_done
+            self._stalled(since, "checkpoint")
+        started = self.ctx.sim.now
+        self._snapshot_done = self.ctx.sim.event()
+        self._persist_done = self.ctx.sim.event()
+        process = self.ctx.sim.process(
+            self._checkpoint_pipeline(started, step, self._snapshot_done,
+                                      self._persist_done),
+            name=f"checkfreq-ckpt-{step}",
+        )
+        self._pending_checkpoints.append(process.done)
+
+    def _checkpoint_pipeline(
+        self, started: float, step: int, snapshot_done: Event,
+        persist_done: Event
+    ) -> Generator[Event, object, None]:
+        m = self.ctx.checkpoint_bytes
+        yield self.ctx.pcie.transfer(m)  # C: snapshot to DRAM
+        snapshot_done.succeed()
+        # P: background single-stream flush (torch.save + fsync style).
+        yield self.ctx.storage.transfer(m, cap=self.persist_cap(threads=1))
+        persist_done.succeed()
+        self._record_checkpoint(started, step=step)
+
+
+class GeminiSim(StrategySim):
+    """Gemini: checkpoint to remote CPU memory over the network.
+
+    Same one-at-a-time pipeline as CheckFreq, but the data path is the
+    inter-machine network instead of local storage — fast when the
+    network is fast, a bottleneck at the 15 Gbps the paper measured on
+    GCP (§5.2.1).  No persistent storage is touched (Table 1).
+    """
+
+    name = "gemini"
+    storage_slots = 0
+
+    def __init__(self, ctx, config=None) -> None:
+        super().__init__(ctx, config)
+        self._transfer_done: Optional[Event] = None
+        self._snapshot_done: Optional[Event] = None
+
+    def before_update(self, step: int) -> Generator[Event, object, None]:
+        if self._snapshot_done is not None and not self._snapshot_done.triggered:
+            since = self.ctx.sim.now
+            yield self._snapshot_done
+            self._stalled(since, "update")
+
+    def at_checkpoint(self, step: int) -> Generator[Event, object, None]:
+        if self._transfer_done is not None and not self._transfer_done.triggered:
+            since = self.ctx.sim.now
+            yield self._transfer_done
+            self._stalled(since, "checkpoint")
+        started = self.ctx.sim.now
+        self._snapshot_done = self.ctx.sim.event()
+        self._transfer_done = self.ctx.sim.event()
+        process = self.ctx.sim.process(
+            self._transfer_pipeline(started, step, self._snapshot_done,
+                                    self._transfer_done),
+            name=f"gemini-ckpt-{step}",
+        )
+        self._pending_checkpoints.append(process.done)
+
+    def _transfer_pipeline(
+        self, started: float, step: int, snapshot_done: Event,
+        transfer_done: Event
+    ) -> Generator[Event, object, None]:
+        m = self.ctx.checkpoint_bytes
+        # Gemini pipelines GPU->remote-GPU->remote-CPU; end to end the
+        # network is the bottleneck, and the sender's GPU buffer frees
+        # (allowing the next update) only as data drains onto the wire.
+        transfer = self.ctx.network.transfer(m)
+        yield transfer
+        snapshot_done.succeed()
+        transfer_done.succeed()
+        self._record_checkpoint(started, step=step)

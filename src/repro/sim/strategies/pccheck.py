@@ -1,0 +1,107 @@
+"""PCcheck's process model (Figures 6 and 7).
+
+Up to N checkpoints proceed concurrently; each is a two-stage pipeline:
+
+* **capture**: chunks of ``b`` bytes copied GPU→DRAM over the shared PCIe
+  link, each chunk into a pinned buffer from the shared pool of ``c``
+  buffers (capture waits when the pool is drained — the DRAM-size knob of
+  Figure 14);
+* **persist**: chunks written to storage in order, each flow capped at
+  ``p × per-thread-bandwidth`` (the writer-thread knob of Figure 13), all
+  concurrent checkpoints sharing the device's total bandwidth (the
+  concurrency knob of Figure 12).
+
+Training stalls in exactly two places, matching the paper:
+
+* starting a checkpoint when all N slots are busy (the ``Tw > N·f·t``
+  regime of §3.4's runtime model);
+* the weight update while any capture is still reading the live weights
+  (the T→U stall of Figure 6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, List
+
+from repro.sim.core import Event, Semaphore
+from repro.sim.strategies.base import SimContext, StrategySim
+
+
+class PCcheckSim(StrategySim):
+    """Concurrent, pipelined, multi-writer checkpointing."""
+
+    name = "pccheck"
+
+    def __init__(self, ctx: SimContext, config=None) -> None:
+        super().__init__(ctx, config)
+        self.storage_slots = self.config.num_slots
+        self._slots = Semaphore(ctx.sim, self.config.num_concurrent, name="slots")
+        self._buffers = Semaphore(ctx.sim, self.config.num_chunks, name="chunks")
+        self._snapshots: List[Event] = []
+
+    # ------------------------------------------------------------------
+    # training-side hooks
+
+    def before_update(self, step: int) -> Generator[Event, object, None]:
+        # U waits for every in-flight capture (they read the live weights).
+        pending = [event for event in self._snapshots if not event.triggered]
+        if pending:
+            since = self.ctx.sim.now
+            for event in pending:
+                yield event
+            self._stalled(since, "update")
+        self._snapshots = [e for e in self._snapshots if not e.triggered]
+
+    def at_checkpoint(self, step: int) -> Generator[Event, object, None]:
+        since = self.ctx.sim.now
+        yield self._slots.acquire()
+        self._stalled(since, "checkpoint")
+        started = self.ctx.sim.now
+        snapshot_done = self.ctx.sim.event()
+        self._snapshots.append(snapshot_done)
+        process = self.ctx.sim.process(
+            self._checkpoint_pipeline(started, step, snapshot_done),
+            name=f"pccheck-ckpt-{step}",
+        )
+        self._pending_checkpoints.append(process.done)
+
+    # ------------------------------------------------------------------
+    # the per-checkpoint pipeline
+
+    def _chunk_sizes(self) -> List[float]:
+        m = self.ctx.checkpoint_bytes
+        b = self.config.chunk_size
+        if b is None or b >= m:
+            return [m]
+        count = math.ceil(m / b)
+        sizes = [float(b)] * (count - 1)
+        sizes.append(m - b * (count - 1))
+        return sizes
+
+    def _checkpoint_pipeline(
+        self, started: float, step: int, snapshot_done: Event
+    ) -> Generator[Event, object, None]:
+        sizes = self._chunk_sizes()
+        captured: List[Event] = [self.ctx.sim.event() for _ in sizes]
+        persist = self.ctx.sim.process(
+            self._persist_stage(sizes, captured), name="pccheck-persist"
+        )
+        # Capture stage (runs inline in this process).
+        for index, size in enumerate(sizes):
+            yield self._buffers.acquire()
+            yield self.ctx.pcie.transfer(size)
+            captured[index].succeed()
+        snapshot_done.succeed()
+        yield persist.done
+        self._record_checkpoint(started, step=step)
+        self._slots.release()
+
+    def _persist_stage(
+        self, sizes: List[float], captured: List[Event]
+    ) -> Generator[Event, object, None]:
+        cap = self.persist_cap()
+        for index, size in enumerate(sizes):
+            yield captured[index]
+            yield self.ctx.storage.transfer(size, cap=cap)
+            self._buffers.release()

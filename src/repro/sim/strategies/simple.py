@@ -1,0 +1,81 @@
+"""The fully synchronous strategies: ideal, traditional, GPM.
+
+* :class:`IdealSim` — the paper's "ideal baseline, which saves
+  checkpoints with zero overhead" (§5.1): checkpoints are free and
+  instantaneous, so throughput equals ``1/t`` exactly.
+* :class:`TraditionalSim` — Figure 3: training stalls through the
+  GPU→DRAM copy (C) and the single-stream persist (P), sequentially.
+* :class:`GPMSim` — GPM's stall-and-persist: GPU copy kernels write the
+  checkpoint straight into the mmapped device (no DRAM hop), training is
+  stopped for the duration, and the rate is device-bound.  This is why
+  GPM beats CheckFreq *per checkpoint* (one hop at full device bandwidth
+  vs two hops with a single-stream flush) yet loses badly at moderate
+  frequencies — it never overlaps with training (§5.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.core import Event
+from repro.sim.strategies.base import StrategySim
+
+
+class IdealSim(StrategySim):
+    """Zero-cost checkpointing (upper bound)."""
+
+    name = "ideal"
+    storage_slots = 2
+
+    def at_checkpoint(self, step: int) -> Generator[Event, object, None]:
+        self._record_checkpoint(started_at=self.ctx.sim.now, step=step)
+        return
+        yield  # pragma: no cover - generator marker
+
+
+class TraditionalSim(StrategySim):
+    """PyTorch/TF-style synchronous save (Figure 3)."""
+
+    name = "traditional"
+
+    def at_checkpoint(self, step: int) -> Generator[Event, object, None]:
+        started = self.ctx.sim.now
+        m = self.ctx.checkpoint_bytes
+        # C: copy to DRAM over PCIe; training is blocked.
+        yield self.ctx.pcie.transfer(m)
+        # P: single-stream flush (torch.save + fsync), still blocked.
+        yield self.ctx.storage.transfer(m, cap=self.persist_cap(threads=1))
+        self.stats.checkpoint_stall_seconds += self.ctx.sim.now - started
+        self._record_checkpoint(started, step=step)
+
+
+class GPMSim(StrategySim):
+    """GPM: direct GPU-kernel copy to the device, training stalled."""
+
+    name = "gpm"
+
+    def at_checkpoint(self, step: int) -> Generator[Event, object, None]:
+        started = self.ctx.sim.now
+        m = self.ctx.checkpoint_bytes
+        if self.ctx.machine.storage.kind == "pmem":
+            # GPM's native path: copy kernels write straight into the
+            # UVM-mapped persistent region; one hop, UVM-rate bound.
+            cap = min(
+                self.ctx.machine.uvm_copy_bandwidth,
+                self.ctx.machine.storage.write_bandwidth,
+            )
+            yield self.ctx.storage.transfer(m, cap=cap)
+        else:
+            # The paper's SSD adaptation: hop 1, copy kernels stream over
+            # UVM into the mmapped (page-cached) file — slow, and it
+            # occupies the SMs, so training is stopped; hop 2, msync
+            # flushes the page cache with the kernel's multi-stream
+            # writeback at the device's full write bandwidth.
+            yield self.ctx.pcie.transfer(
+                m, cap=self.ctx.machine.uvm_copy_bandwidth
+            )
+            yield self.ctx.storage.transfer(
+                m, cap=self.ctx.machine.storage.write_bandwidth
+            )
+        self.stats.checkpoint_stall_seconds += self.ctx.sim.now - started
+        self._record_checkpoint(started, step=step)

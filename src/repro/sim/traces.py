@@ -1,0 +1,112 @@
+"""Preemption traces for the goodput experiments (Figures 2 and 9).
+
+The paper replays the spot-VM availability trace of André et al. [16]:
+a 16-hour window of a 64×A100 spot cluster on Google Cloud, where any
+worker's preemption rolls the whole (gang-scheduled, Varuna-style) job
+back to its latest checkpoint.  The raw trace is not published, so
+:func:`andre_gcp_trace` generates a deterministic synthetic
+reconstruction matching the published summary statistics:
+
+* André et al. observed 26 preemptions over 3.5 hours of the same
+  cluster type — a cluster-level preemption about every 8 minutes;
+* Thorpe et al. (Bamboo) report 127 events per 24 h on 64 spot VMs —
+  the same order of magnitude;
+* spot preemptions are *bursty* ("bulky VM preemptions are very
+  common"): revocations cluster when capacity tightens.
+
+The generator draws burst epochs from a Poisson process and 1–4 events
+per burst, seeded, yielding ~118 events per 16 h window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class PreemptionTrace:
+    """Failure timestamps (seconds) within a window of ``duration``."""
+
+    name: str
+    duration: float
+    events: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise SimulationError("trace duration must be positive")
+        previous = -1.0
+        for event in self.events:
+            if not 0 <= event <= self.duration:
+                raise SimulationError(
+                    f"event at {event} outside [0, {self.duration}]"
+                )
+            if event <= previous:
+                raise SimulationError("trace events must be strictly increasing")
+            previous = event
+
+    @property
+    def num_failures(self) -> int:
+        """Total preemption events in the window."""
+        return len(self.events)
+
+    @property
+    def mean_interval(self) -> float:
+        """Average seconds between failures (duration/(r+1) when r>0)."""
+        if not self.events:
+            return self.duration
+        return self.duration / (len(self.events) + 1)
+
+    def uptime_segments(self) -> List[float]:
+        """Lengths of the failure-free segments the job trains in."""
+        boundaries = [0.0, *self.events, self.duration]
+        return [b - a for a, b in zip(boundaries, boundaries[1:])]
+
+
+def andre_gcp_trace(seed: int = 42) -> PreemptionTrace:
+    """Synthetic reconstruction of the André et al. GCP A100 spot trace.
+
+    16-hour window; bursts arrive as a Poisson process with a ~12 min
+    mean gap, each burst preempting 1–2 VMs within a couple of minutes
+    (every event forces a rollback in gang-scheduled training).  The
+    resulting ~7.5 events/hour matches André et al.'s 26 preemptions in
+    3.5 hours.
+    """
+    duration = 16 * 3600.0
+    rng = np.random.default_rng(seed)
+    events: List[float] = []
+    clock = 0.0
+    while True:
+        clock += rng.exponential(720.0)  # ~12 min between bursts
+        if clock >= duration:
+            break
+        burst = int(rng.integers(1, 3))
+        offsets = np.sort(rng.uniform(0.0, 120.0, size=burst))
+        for offset in offsets:
+            at = clock + float(offset)
+            if at < duration and (not events or at > events[-1]):
+                events.append(at)
+    return PreemptionTrace(name="andre-gcp-a100", duration=duration,
+                           events=tuple(events))
+
+
+def periodic_trace(duration: float, period: float,
+                   name: str = "periodic") -> PreemptionTrace:
+    """Evenly spaced failures — the analytically checkable trace."""
+    if period <= 0:
+        raise SimulationError("period must be positive")
+    events = []
+    at = period
+    while at < duration:
+        events.append(at)
+        at += period
+    return PreemptionTrace(name=name, duration=duration, events=tuple(events))
+
+
+def failure_free_trace(duration: float) -> PreemptionTrace:
+    """A window with no failures (goodput == throughput sanity check)."""
+    return PreemptionTrace(name="failure-free", duration=duration, events=())

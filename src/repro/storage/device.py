@@ -1,0 +1,224 @@
+"""Abstract persistent-device interface.
+
+The checkpoint engine is written against this interface so it runs
+unchanged on every backend the paper evaluates:
+
+* :class:`repro.storage.ssd.FileBackedSSD` — a real file; ``persist`` maps
+  to ``os.fsync``, the analogue of the paper's ``msync`` on an mmapped
+  region.
+* :class:`repro.storage.ssd.InMemorySSD` — same semantics in RAM, with
+  crash injection for durability tests.
+* :class:`repro.storage.pmem.SimulatedPMEM` — byte-addressable persistent
+  memory with a volatile CPU-cache model, non-temporal stores and fences.
+
+The central abstraction is the *persistence domain*: ``write`` makes data
+visible to subsequent ``read`` calls but NOT durable; only ``persist``
+(msync / clwb+fence / sfence after nt-stores) guarantees the bytes survive
+a crash.  Fault-injecting devices exploit exactly this gap: ``crash()``
+discards (or partially, randomly applies) everything not yet persisted,
+which is the hazard the paper's BARRIER calls exist to close.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import DeviceClosedError, OutOfSpaceError, StorageError
+
+#: Size of a simulated CPU cache line; crash injection applies or drops
+#: volatile data at this granularity, matching PMEM failure atomicity.
+CACHE_LINE: int = 64
+
+
+class IntervalSet:
+    """A set of half-open byte intervals ``[start, stop)``.
+
+    Used by the in-memory devices to track which ranges are dirty
+    (written but not yet persisted).  Intervals are kept sorted and
+    coalesced; all operations are O(n) in the number of disjoint
+    intervals, which stays tiny for checkpoint workloads.
+    """
+
+    def __init__(self) -> None:
+        self._spans: List[Tuple[int, int]] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._spans)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def total_bytes(self) -> int:
+        """Sum of the lengths of all intervals."""
+        return sum(stop - start for start, stop in self._spans)
+
+    def add(self, start: int, stop: int) -> None:
+        """Insert ``[start, stop)``, merging with overlapping intervals."""
+        if stop <= start:
+            return
+        merged: List[Tuple[int, int]] = []
+        placed = False
+        for span_start, span_stop in self._spans:
+            if span_stop < start or span_start > stop:
+                if not placed and span_start > stop:
+                    merged.append((start, stop))
+                    placed = True
+                merged.append((span_start, span_stop))
+            else:
+                start = min(start, span_start)
+                stop = max(stop, span_stop)
+        if not placed:
+            merged.append((start, stop))
+            merged.sort()
+        self._spans = merged
+
+    def remove(self, start: int, stop: int) -> None:
+        """Delete ``[start, stop)`` from the set, splitting as needed."""
+        if stop <= start:
+            return
+        result: List[Tuple[int, int]] = []
+        for span_start, span_stop in self._spans:
+            if span_stop <= start or span_start >= stop:
+                result.append((span_start, span_stop))
+                continue
+            if span_start < start:
+                result.append((span_start, start))
+            if span_stop > stop:
+                result.append((stop, span_stop))
+        self._spans = result
+
+    def intersect(self, start: int, stop: int) -> List[Tuple[int, int]]:
+        """Return the parts of the set that overlap ``[start, stop)``."""
+        out: List[Tuple[int, int]] = []
+        for span_start, span_stop in self._spans:
+            lo = max(span_start, start)
+            hi = min(span_stop, stop)
+            if lo < hi:
+                out.append((lo, hi))
+        return out
+
+    def clear(self) -> None:
+        """Remove every interval."""
+        self._spans = []
+
+    def copy(self) -> "IntervalSet":
+        """Return an independent copy."""
+        clone = IntervalSet()
+        clone._spans = list(self._spans)
+        return clone
+
+
+class PersistentDevice(ABC):
+    """A fixed-capacity, byte-addressed persistent device.
+
+    Subclasses must make ``persist`` a durability barrier: once it
+    returns, the covered bytes must survive :meth:`crash` (where crash is
+    supported) or process death (for file-backed devices).
+    """
+
+    def __init__(self, capacity: int, name: str = "device") -> None:
+        if capacity <= 0:
+            raise StorageError(f"device capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._name = name
+        self._closed = False
+
+    @property
+    def capacity(self) -> int:
+        """Total device size in bytes."""
+        return self._capacity
+
+    @property
+    def name(self) -> str:
+        """Human-readable device name (used in error messages)."""
+        return self._name
+
+    @property
+    def closed(self) -> bool:
+        """True after :meth:`close`."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DeviceClosedError(f"{self._name} is closed")
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0:
+            raise StorageError(
+                f"negative range ({offset}, {length}) on {self._name}"
+            )
+        if offset + length > self._capacity:
+            raise OutOfSpaceError(
+                f"range [{offset}, {offset + length}) exceeds capacity "
+                f"{self._capacity} of {self._name}"
+            )
+
+    @abstractmethod
+    def write(self, offset: int, data: bytes) -> None:
+        """Store ``data`` at ``offset``; visible immediately, durable only
+        after :meth:`persist` covers the range."""
+
+    @abstractmethod
+    def read(self, offset: int, length: int) -> bytes:
+        """Return ``length`` bytes at ``offset`` (sees unpersisted writes)."""
+
+    @abstractmethod
+    def persist(self, offset: int, length: int) -> None:
+        """Durability barrier for ``[offset, offset + length)``."""
+
+    def persist_all(self) -> None:
+        """Durability barrier for the whole device."""
+        self.persist(0, self._capacity)
+
+    def close(self) -> None:
+        """Release resources; further operations raise."""
+        self._closed = True
+
+    def __enter__(self) -> "PersistentDevice":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def split_cache_lines(offset: int, length: int) -> Iterator[Tuple[int, int]]:
+    """Yield the cache-line-aligned sub-ranges covering ``[offset, offset+length)``.
+
+    Crash injection applies volatile data at cache-line granularity; this
+    helper enumerates the lines a dirty range touches.
+    """
+    if length <= 0:
+        return
+    line_start = (offset // CACHE_LINE) * CACHE_LINE
+    end = offset + length
+    while line_start < end:
+        line_stop = line_start + CACHE_LINE
+        yield max(line_start, offset), min(line_stop, end)
+        line_start = line_stop
+
+
+class DeviceStats:
+    """Byte and operation counters shared by the concrete devices."""
+
+    def __init__(self) -> None:
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.bytes_persisted = 0
+        self.write_ops = 0
+        self.read_ops = 0
+        self.persist_ops = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        return {
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+            "bytes_persisted": self.bytes_persisted,
+            "write_ops": self.write_ops,
+            "read_ops": self.read_ops,
+            "persist_ops": self.persist_ops,
+        }

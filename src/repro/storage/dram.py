@@ -1,0 +1,145 @@
+"""Pinned DRAM buffer pool for checkpoint staging.
+
+PCcheck stages checkpoint data in DRAM between the GPU copy and the
+persistent write (§3.1, §3.3).  The staging area is a pool of ``c``
+pinned buffers ("chunks") of ``b`` bytes each, where ``c = M / b`` for a
+user DRAM budget of ``M`` (Table 2).  A chunk is:
+
+1. acquired by a snapshot session,
+2. filled by the GPU copy engine,
+3. drained to persistent storage by writer threads, and
+4. released back to the pool.
+
+When every chunk is occupied, upcoming checkpoints wait — exactly the
+throughput/memory trade-off of §3.2.  The pool therefore exposes blocking
+acquisition with optional timeout, plus occupancy statistics so the
+orchestrator can report stall time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from repro.errors import EngineError
+
+
+class PinnedBuffer:
+    """One pinned staging chunk of fixed size.
+
+    Holds a ``bytearray`` plus the number of valid bytes currently staged
+    in it (a checkpoint's final chunk is usually shorter than ``size``).
+    """
+
+    def __init__(self, index: int, size: int) -> None:
+        self.index = index
+        self.size = size
+        self.data = bytearray(size)
+        self.used = 0
+
+    def fill(self, payload: bytes) -> None:
+        """Stage ``payload`` into the buffer (must fit)."""
+        if len(payload) > self.size:
+            raise EngineError(
+                f"payload of {len(payload)} bytes exceeds chunk size {self.size}"
+            )
+        self.data[: len(payload)] = payload
+        self.used = len(payload)
+
+    def view(self) -> bytes:
+        """The staged bytes."""
+        return bytes(self.data[: self.used])
+
+
+class DRAMBufferPool:
+    """A fixed pool of :class:`PinnedBuffer` chunks.
+
+    Thread-safe; ``acquire`` blocks while the pool is exhausted and
+    records the cumulative wait time, which surfaces in the orchestrator's
+    stall accounting (the quantity Figure 14 varies DRAM size to reduce).
+    """
+
+    def __init__(self, num_chunks: int, chunk_size: int) -> None:
+        if num_chunks <= 0:
+            raise EngineError(f"pool needs at least one chunk, got {num_chunks}")
+        if chunk_size <= 0:
+            raise EngineError(f"chunk size must be positive, got {chunk_size}")
+        self._chunk_size = chunk_size
+        self._free: List[PinnedBuffer] = [
+            PinnedBuffer(index, chunk_size) for index in range(num_chunks)
+        ]
+        self._total = num_chunks
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._wait_seconds = 0.0
+        self._acquisitions = 0
+
+    @property
+    def chunk_size(self) -> int:
+        """Size in bytes of each chunk (the parameter ``b``)."""
+        return self._chunk_size
+
+    @property
+    def total_chunks(self) -> int:
+        """Number of chunks in the pool (the parameter ``c``)."""
+        return self._total
+
+    @property
+    def free_chunks(self) -> int:
+        """Chunks currently available."""
+        with self._lock:
+            return len(self._free)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total DRAM dedicated to staging (the constraint ``M``)."""
+        return self._total * self._chunk_size
+
+    @property
+    def wait_seconds(self) -> float:
+        """Cumulative time acquirers spent blocked on an empty pool."""
+        with self._lock:
+            return self._wait_seconds
+
+    def acquire(self, timeout: Optional[float] = None) -> Optional[PinnedBuffer]:
+        """Take a free chunk, blocking until one is released.
+
+        Returns ``None`` on timeout.
+        """
+        start = time.monotonic()
+        with self._available:
+            while not self._free:
+                remaining = None
+                if timeout is not None:
+                    remaining = timeout - (time.monotonic() - start)
+                    if remaining <= 0:
+                        self._wait_seconds += time.monotonic() - start
+                        return None
+                self._available.wait(remaining)
+            waited = time.monotonic() - start
+            self._wait_seconds += waited
+            self._acquisitions += 1
+            buffer = self._free.pop()
+            buffer.used = 0
+            return buffer
+
+    def try_acquire(self) -> Optional[PinnedBuffer]:
+        """Non-blocking acquire; ``None`` when the pool is empty."""
+        with self._available:
+            if not self._free:
+                return None
+            self._acquisitions += 1
+            buffer = self._free.pop()
+            buffer.used = 0
+            return buffer
+
+    def release(self, buffer: PinnedBuffer) -> None:
+        """Return a chunk to the pool and wake one waiter."""
+        if buffer.size != self._chunk_size:
+            raise EngineError("buffer does not belong to this pool")
+        with self._available:
+            if len(self._free) >= self._total:
+                raise EngineError("double release into a full pool")
+            self._free.append(buffer)
+            self._available.notify()

@@ -1,0 +1,100 @@
+"""Crash-point injection for durability testing.
+
+The recovery guarantee of §4.1 — *at least one valid checkpoint exists at
+every instant, and it is the newest whose commit completed* — must hold no
+matter where a crash lands.  :class:`CrashPointDevice` wraps an in-memory
+device (SSD or PMEM model) and crashes it after a configurable number of
+mutating operations, so a property-based test can sweep the crash point
+across an entire checkpointing run and assert recovery succeeds at every
+single one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Protocol, Union
+
+import numpy as np
+
+from repro.errors import CrashedDeviceError
+from repro.storage.device import PersistentDevice
+from repro.storage.pmem import SimulatedPMEM
+from repro.storage.ssd import InMemorySSD
+
+
+class _Crashable(Protocol):
+    def crash(self, rng: Optional[np.random.Generator] = None) -> None: ...
+
+    def recover(self) -> None: ...
+
+
+class CrashBudgetExhausted(CrashedDeviceError):
+    """Raised on the operation that triggers the injected crash."""
+
+
+class CrashPointDevice(PersistentDevice):
+    """Delegate to an inner crashable device, crashing after ``budget`` ops.
+
+    Each ``write`` and ``persist`` consumes one unit of budget *before*
+    executing.  The operation that exhausts the budget crashes the inner
+    device first (so the operation's effect is lost along with all other
+    unpersisted state) and raises :class:`CrashBudgetExhausted` — the
+    checkpointing threads die exactly as they would on power loss.
+
+    ``budget=None`` disables injection; :meth:`operations_performed` after
+    such a run tells the test how many crash points exist to sweep.
+    """
+
+    def __init__(
+        self,
+        inner: Union[InMemorySSD, SimulatedPMEM],
+        budget: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(inner.capacity, f"crashpoint({inner.name})")
+        self._inner = inner
+        self._budget = budget
+        self._rng = rng
+        self._ops = 0
+        self._lock = threading.Lock()
+
+    @property
+    def inner(self) -> Union[InMemorySSD, SimulatedPMEM]:
+        """The wrapped device (inspect after a crash for recovery tests)."""
+        return self._inner
+
+    @property
+    def operations_performed(self) -> int:
+        """Mutating operations executed so far (crash-point count)."""
+        with self._lock:
+            return self._ops
+
+    def _spend(self) -> None:
+        with self._lock:
+            if self._budget is not None and self._ops >= self._budget:
+                if not self._inner.crashed:
+                    self._inner.crash(self._rng)
+                raise CrashBudgetExhausted(
+                    f"injected crash after {self._ops} operations on {self.name}"
+                )
+            self._ops += 1
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._spend()
+        self._inner.write(offset, data)
+
+    def read(self, offset: int, length: int) -> bytes:
+        return self._inner.read(offset, length)
+
+    def persist(self, offset: int, length: int) -> None:
+        self._spend()
+        self._inner.persist(offset, length)
+
+    def crash(self, rng: Optional[np.random.Generator] = None) -> None:
+        """Crash the inner device immediately (manual trigger)."""
+        self._inner.crash(rng)
+
+    def recover(self) -> None:
+        """Recover the inner device and reset nothing else — the budget
+        stays exhausted so further injected runs need a new wrapper."""
+        self._inner.recover()

@@ -1,0 +1,245 @@
+"""Simulated persistent main memory (PMEM).
+
+The paper evaluates PCcheck on Intel Optane DC persistent memory, persisted
+either with non-temporal stores followed by ``sfence`` (4.01 GB/s on their
+machine) or with ``clwb`` write-backs followed by a fence (2.46 GB/s).
+Optane is discontinued and absent here, so this module models the part of
+the hardware that the *algorithm's correctness* depends on: the persistence
+domain and its failure atomicity.
+
+Model
+-----
+The device keeps two byte images:
+
+``visible``
+    What loads observe — the CPU cache view.  Every store (cached or
+    non-temporal) updates it immediately.
+
+``durable``
+    What survives :meth:`crash` — media content.  Bytes move from
+    ``visible`` to ``durable`` only when ordered to: ``sfence`` drains
+    outstanding non-temporal stores, and ``clwb`` + fence (or the generic
+    :meth:`persist` barrier) writes back dirty cached lines.
+
+``crash(rng=...)`` freezes the device.  Unpersisted data is *partially and
+randomly* applied at cache-line (64 B) granularity, reproducing the
+reordering hazard the paper describes: "the order in which data is written
+to the cache may differ from the order in which the content reaches PMEM,
+leading to inconsistent states upon a failure" (§2.3).  Durability tests
+inject crashes at arbitrary points and assert the recovery invariant.
+
+Bandwidth
+---------
+An optional ``persist_bandwidth`` (bytes/second) makes durability barriers
+take real wall-clock time so functional benchmarks reflect the nt-store vs
+clwb asymmetry.  It defaults to ``None`` (instantaneous) for unit tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CrashedDeviceError, StorageError
+from repro.storage.device import (
+    DeviceStats,
+    IntervalSet,
+    PersistentDevice,
+    split_cache_lines,
+)
+
+#: Measured on the paper's PMEM machine (§3.3): non-temporal store + sfence.
+NT_STORE_BANDWIDTH: float = 4.01e9
+#: Measured on the paper's PMEM machine (§3.3): clwb + fence.
+CLWB_BANDWIDTH: float = 2.46e9
+
+
+class SimulatedPMEM(PersistentDevice):
+    """Byte-addressable persistent memory with an explicit persistence domain.
+
+    Thread-safe: the checkpoint engine persists with multiple writer
+    threads, each covering a disjoint range, and all of them may fence
+    concurrently.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        name: str = "pmem",
+        persist_bandwidth: Optional[float] = None,
+        use_nt_stores: bool = True,
+    ) -> None:
+        super().__init__(capacity, name)
+        self._visible = bytearray(capacity)
+        self._durable = bytearray(capacity)
+        self._dirty = IntervalSet()  # cached stores not yet written back
+        self._pending_nt = IntervalSet()  # nt stores not yet fenced
+        self._flush_queued = IntervalSet()  # clwb issued, fence pending
+        self._lock = threading.RLock()
+        self._crashed = False
+        self._persist_bandwidth = persist_bandwidth
+        self._use_nt_stores = use_nt_stores
+        self.stats = DeviceStats()
+
+    # ------------------------------------------------------------------
+    # state checks
+
+    def _check_alive(self) -> None:
+        self._check_open()
+        if self._crashed:
+            raise CrashedDeviceError(f"{self.name} has crashed; call recover()")
+
+    @property
+    def crashed(self) -> bool:
+        """True between :meth:`crash` and :meth:`recover`."""
+        return self._crashed
+
+    @property
+    def unpersisted_bytes(self) -> int:
+        """Bytes currently at risk (dirty + pending nt stores)."""
+        with self._lock:
+            return self._dirty.total_bytes() + self._pending_nt.total_bytes()
+
+    # ------------------------------------------------------------------
+    # store paths
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Default store path: nt-store when enabled, else cached store.
+
+        PCcheck writes checkpoint payloads exactly once without reading
+        them back, so the paper picks the non-temporal path (§3.3); this
+        device mirrors that default while still exposing both primitives.
+        """
+        if self._use_nt_stores:
+            self.nt_store(offset, data)
+        else:
+            self.cached_store(offset, data)
+
+    def cached_store(self, offset: int, data: bytes) -> None:
+        """A regular (write-back cached) store; durable only after
+        ``clwb`` + fence covers it."""
+        self._check_alive()
+        self._check_range(offset, len(data))
+        with self._lock:
+            self._visible[offset : offset + len(data)] = data
+            self._dirty.add(offset, offset + len(data))
+            self.stats.bytes_written += len(data)
+            self.stats.write_ops += 1
+
+    def nt_store(self, offset: int, data: bytes) -> None:
+        """A non-temporal store: bypasses the cache, durable after ``sfence``."""
+        self._check_alive()
+        self._check_range(offset, len(data))
+        with self._lock:
+            self._visible[offset : offset + len(data)] = data
+            self._pending_nt.add(offset, offset + len(data))
+            self.stats.bytes_written += len(data)
+            self.stats.write_ops += 1
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Load from the cache view (sees unpersisted stores)."""
+        self._check_alive()
+        self._check_range(offset, length)
+        with self._lock:
+            self.stats.bytes_read += length
+            self.stats.read_ops += 1
+            return bytes(self._visible[offset : offset + length])
+
+    # ------------------------------------------------------------------
+    # persistence barriers
+
+    def clwb(self, offset: int, length: int) -> None:
+        """Queue a write-back of the dirty lines in the range.
+
+        Like hardware ``clwb``, this does NOT guarantee durability by
+        itself: the data reaches the persistence domain only at the next
+        :meth:`sfence`.
+        """
+        self._check_alive()
+        self._check_range(offset, length)
+        with self._lock:
+            for lo, hi in self._dirty.intersect(offset, offset + length):
+                self._flush_queued.add(lo, hi)
+
+    def sfence(self) -> None:
+        """Drain pending non-temporal stores and queued write-backs.
+
+        On return, every byte covered by a prior ``nt_store`` or ``clwb``
+        is durable.
+        """
+        self._check_alive()
+        with self._lock:
+            drained = 0
+            for spans in (self._pending_nt, self._flush_queued):
+                for lo, hi in spans:
+                    self._durable[lo:hi] = self._visible[lo:hi]
+                    self._dirty.remove(lo, hi)
+                    drained += hi - lo
+            self._pending_nt.clear()
+            self._flush_queued.clear()
+            self.stats.bytes_persisted += drained
+            self.stats.persist_ops += 1
+        self._charge_bandwidth(drained)
+
+    def persist(self, offset: int, length: int) -> None:
+        """Generic durability barrier: clwb the range, then fence.
+
+        Also drains nt-stores, as a real ``sfence`` would; only the
+        requested cached range is written back.
+        """
+        self.clwb(offset, length)
+        self.sfence()
+
+    def _charge_bandwidth(self, nbytes: int) -> None:
+        if self._persist_bandwidth and nbytes > 0:
+            time.sleep(nbytes / self._persist_bandwidth)
+
+    # ------------------------------------------------------------------
+    # crash injection
+
+    def crash(self, rng: Optional[np.random.Generator] = None) -> None:
+        """Simulate power loss.
+
+        Unpersisted data (dirty lines and unfenced nt stores) is applied
+        to the media for a random subset of its cache lines — real PMEM
+        guarantees 8-byte failure atomicity but no cross-line ordering, so
+        any subset of outstanding lines may or may not land.  With
+        ``rng=None`` nothing unpersisted survives (the adversarial case).
+        Afterwards the device refuses operations until :meth:`recover`.
+        """
+        with self._lock:
+            if self._crashed:
+                raise StorageError(f"{self.name} already crashed")
+            if rng is not None:
+                at_risk = IntervalSet()
+                for lo, hi in self._dirty:
+                    at_risk.add(lo, hi)
+                for lo, hi in self._pending_nt:
+                    at_risk.add(lo, hi)
+                for lo, hi in at_risk:
+                    for line_lo, line_hi in split_cache_lines(lo, hi - lo):
+                        if rng.random() < 0.5:
+                            self._durable[line_lo:line_hi] = self._visible[
+                                line_lo:line_hi
+                            ]
+            self._crashed = True
+
+    def recover(self) -> None:
+        """Come back from a crash: the cache view is reset to the media
+        content and all volatile tracking state is discarded."""
+        with self._lock:
+            if not self._crashed:
+                raise StorageError(f"{self.name} has not crashed")
+            self._visible = bytearray(self._durable)
+            self._dirty.clear()
+            self._pending_nt.clear()
+            self._flush_queued.clear()
+            self._crashed = False
+
+    def durable_snapshot(self) -> bytes:
+        """Copy of the media content (test helper)."""
+        with self._lock:
+            return bytes(self._durable)

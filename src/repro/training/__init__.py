@@ -1,0 +1,109 @@
+"""Miniature pure-numpy DNN training substrate.
+
+Stands in for PyTorch/DeepSpeed in the functional experiments: real
+models, real backprop, real optimizer state — everything a checkpoint
+must capture and restore bit-exactly.
+"""
+
+from repro.training.attention import (
+    FeedForward,
+    MultiHeadSelfAttention,
+    TransformerBlock,
+)
+from repro.training.data import SyntheticImages, SyntheticRegression, SyntheticTokens
+from repro.training.layers import (
+    GELU,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.training.harness import (
+    PreemptionReport,
+    run_preemptible_training,
+    steps_from_trace,
+)
+from repro.training.loop import FailureInjection, Trainer, TrainReport
+from repro.training.losses import mse, softmax_cross_entropy
+from repro.training.models import MLP, MODEL_ZOO, MiniVGG, TransformerLM, build_model
+from repro.training.module import Module, Parameter
+from repro.training.monitor import (
+    Anomaly,
+    MonitorRecord,
+    TensorStats,
+    TrainingMonitor,
+)
+from repro.training.optim import SGD, Adam, AdamW, Optimizer
+from repro.training.schedule import (
+    LRScheduler,
+    StepDecaySchedule,
+    WarmupCosineSchedule,
+)
+from repro.training.state import (
+    TrainingState,
+    capture_state,
+    checkpoint_nbytes,
+    deserialize_state,
+    ensure_same_graph,
+    restore_state,
+    serialize_state,
+    states_equal,
+)
+
+__all__ = [
+    "GELU",
+    "MLP",
+    "Anomaly",
+    "MonitorRecord",
+    "TensorStats",
+    "TrainingMonitor",
+    "MODEL_ZOO",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "Conv2d",
+    "Dropout",
+    "Embedding",
+    "FailureInjection",
+    "FeedForward",
+    "Flatten",
+    "LRScheduler",
+    "LayerNorm",
+    "Linear",
+    "MaxPool2d",
+    "MiniVGG",
+    "Module",
+    "MultiHeadSelfAttention",
+    "Optimizer",
+    "Parameter",
+    "PreemptionReport",
+    "ReLU",
+    "Sequential",
+    "StepDecaySchedule",
+    "SyntheticImages",
+    "SyntheticRegression",
+    "SyntheticTokens",
+    "Trainer",
+    "TrainReport",
+    "TrainingState",
+    "TransformerBlock",
+    "TransformerLM",
+    "WarmupCosineSchedule",
+    "build_model",
+    "capture_state",
+    "checkpoint_nbytes",
+    "deserialize_state",
+    "ensure_same_graph",
+    "mse",
+    "restore_state",
+    "run_preemptible_training",
+    "serialize_state",
+    "softmax_cross_entropy",
+    "steps_from_trace",
+    "states_equal",
+]

@@ -1,0 +1,148 @@
+"""Multi-head self-attention and the transformer block.
+
+Backbone for the BERT / TransformerXL / OPT / BLOOM stand-ins in the
+model zoo.  Forward and backward are written out explicitly (no autograd
+framework), with the standard softmax-Jacobian trick for the attention
+weights.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.training.layers import GELU, Dropout, LayerNorm, Linear
+from repro.training.module import Module
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``num_heads`` heads.
+
+    Input/output shape ``(batch, seq, dim)``.  ``causal=True`` applies the
+    autoregressive mask used by the OPT/BLOOM-style language models;
+    ``False`` gives the bidirectional attention of the BERT stand-in.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        causal: bool = False,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads:
+            raise TrainingError(f"dim {dim} not divisible by {num_heads} heads")
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.causal = causal
+        self.qkv = Linear(dim, 3 * dim, rng)
+        self.proj = Linear(dim, dim, rng)
+        self._cache = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(
+            0, 2, 1, 3
+        )
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, heads, seq, head_dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * head_dim)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        qkv = self.qkv(x)
+        q, k, v = np.split(qkv, 3, axis=-1)
+        q, k, v = map(self._split_heads, (q, k, v))
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        if self.causal:
+            seq = scores.shape[-1]
+            mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
+            scores = np.where(mask, np.float32(-1e9), scores)
+        weights = _softmax(scores)
+        context = weights @ v
+        self._cache = (q, k, v, weights, scale)
+        return self.proj(self._merge_heads(context))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise TrainingError("backward before forward in attention")
+        q, k, v, weights, scale = self._cache
+        grad_context = self._split_heads(self.proj.backward(grad_output))
+        grad_weights = grad_context @ v.transpose(0, 1, 3, 2)
+        grad_v = weights.transpose(0, 1, 3, 2) @ grad_context
+        # Softmax Jacobian: dS = W * (dW - sum(dW * W)).
+        inner = (grad_weights * weights).sum(axis=-1, keepdims=True)
+        grad_scores = weights * (grad_weights - inner)
+        grad_scores *= scale
+        grad_q = grad_scores @ k
+        grad_k = grad_scores.transpose(0, 1, 3, 2) @ q
+        grad_qkv = np.concatenate(
+            [self._merge_heads(g) for g in (grad_q, grad_k, grad_v)], axis=-1
+        )
+        return self.qkv.backward(grad_qkv)
+
+
+class FeedForward(Module):
+    """Position-wise MLP: Linear → GELU → Linear."""
+
+    def __init__(
+        self, dim: int, hidden: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.up = Linear(dim, hidden, rng)
+        self.act = GELU()
+        self.down = Linear(hidden, dim, rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.down(self.act(self.up(x)))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.up.backward(self.act.backward(self.down.backward(grad_output)))
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block: LN → MHSA → residual, LN → FF → residual."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        ff_multiplier: int = 4,
+        causal: bool = False,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, num_heads, rng, causal=causal)
+        self.norm2 = LayerNorm(dim)
+        self.ff = FeedForward(dim, ff_multiplier * dim, rng)
+        self.drop: Optional[Dropout] = (
+            Dropout(dropout, rng) if dropout > 0.0 else None
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        attn_out = self.attn(self.norm1(x))
+        if self.drop is not None:
+            attn_out = self.drop(attn_out)
+        x = x + attn_out
+        return x + self.ff(self.norm2(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_ff = self.norm2.backward(self.ff.backward(grad_output))
+        grad_mid = grad_output + grad_ff
+        grad_attn = grad_mid
+        if self.drop is not None:
+            grad_attn = self.drop.backward(grad_attn)
+        grad_in = self.norm1.backward(self.attn.backward(grad_attn))
+        return grad_mid + grad_in

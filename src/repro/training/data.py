@@ -1,0 +1,114 @@
+"""Synthetic datasets standing in for ImageNet / SQuAD / WikiText.
+
+The paper's datasets only matter here as *sources of deterministic
+batches*: the checkpointing experiments measure systems behaviour, not
+accuracy.  Each dataset is seeded, reproducible, and indexable by batch
+number — so a recovered run can resume from the exact batch it crashed
+on, which the resume tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+class SyntheticImages:
+    """Gaussian images with class-dependent means (ImageNet stand-in)."""
+
+    def __init__(
+        self,
+        batch_size: int = 8,
+        channels: int = 3,
+        image_size: int = 16,
+        num_classes: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise TrainingError("batch size must be positive")
+        self.batch_size = batch_size
+        self.channels = channels
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self._seed = seed
+
+    def batch(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Deterministic batch ``index``: (images NCHW, labels)."""
+        rng = np.random.default_rng((self._seed, index))
+        labels = rng.integers(0, self.num_classes, size=self.batch_size)
+        images = rng.standard_normal(
+            (self.batch_size, self.channels, self.image_size, self.image_size)
+        ).astype(np.float32)
+        # Give each class a distinguishable mean so loss can decrease.
+        images += labels[:, None, None, None].astype(np.float32) * 0.1
+        return images, labels
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        index = 0
+        while True:
+            yield self.batch(index)
+            index += 1
+
+
+class SyntheticTokens:
+    """Integer token sequences with next-token structure (WikiText stand-in).
+
+    Sequences follow a noisy arithmetic progression through the vocab, so
+    a language model has real signal to fit.
+    """
+
+    def __init__(
+        self,
+        batch_size: int = 4,
+        seq_len: int = 32,
+        vocab_size: int = 256,
+        seed: int = 0,
+    ) -> None:
+        if seq_len < 2:
+            raise TrainingError("need sequence length >= 2 for LM targets")
+        self.batch_size = batch_size
+        self.seq_len = seq_len
+        self.vocab_size = vocab_size
+        self._seed = seed
+
+    def batch(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Deterministic batch ``index``: (input ids, next-token targets)."""
+        rng = np.random.default_rng((self._seed, index))
+        starts = rng.integers(0, self.vocab_size, size=(self.batch_size, 1))
+        strides = rng.integers(1, 7, size=(self.batch_size, 1))
+        offsets = np.arange(self.seq_len + 1)
+        tokens = (starts + strides * offsets) % self.vocab_size
+        noise = rng.integers(0, self.vocab_size, size=tokens.shape)
+        noisy = np.where(rng.random(tokens.shape) < 0.05, noise, tokens)
+        return noisy[:, :-1].astype(np.int64), noisy[:, 1:].astype(np.int64)
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        index = 0
+        while True:
+            yield self.batch(index)
+            index += 1
+
+
+class SyntheticRegression:
+    """Linear-plus-noise regression batches (MLP smoke tests)."""
+
+    def __init__(
+        self, batch_size: int = 16, in_dim: int = 32, out_dim: int = 10, seed: int = 0
+    ) -> None:
+        self.batch_size = batch_size
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self._seed = seed
+        rng = np.random.default_rng(seed)
+        self._true_weight = rng.standard_normal((in_dim, out_dim)).astype(np.float32)
+
+    def batch(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Deterministic batch ``index``: (inputs, targets)."""
+        rng = np.random.default_rng((self._seed, index))
+        x = rng.standard_normal((self.batch_size, self.in_dim)).astype(np.float32)
+        y = x @ self._true_weight
+        y += 0.01 * rng.standard_normal(y.shape).astype(np.float32)
+        return x, y

@@ -1,0 +1,138 @@
+"""Preemptible-training harness: functional failure/recovery loops.
+
+The performance simulator replays preemption traces against timing
+models; this harness replays them against the *real* stack — actual
+training steps, actual checkpoint strategies, actual recovery — at
+laptop scale.  Failures are injected at deterministic global step counts
+(derived from a trace or given directly), so runs are reproducible and
+the final weights of a preempted-and-recovered run can be compared
+bit-for-bit against an uninterrupted reference.
+
+This mirrors the Varuna-style elastic setup of §5.2.3: "whenever any
+worker fails or gets preempted, all workers resume from the latest
+checkpoint".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.baselines.base import CheckpointStrategy
+from repro.core.recovery import try_recover
+from repro.errors import TrainingError
+from repro.training.loop import FailureInjection, Trainer
+from repro.training.state import deserialize_state
+
+
+@dataclass
+class PreemptionReport:
+    """What a preemptible run did."""
+
+    target_steps: int
+    final_step: int
+    failures: int
+    total_steps_executed: int  # includes re-executed work
+    recoveries: List[int] = field(default_factory=list)  # step recovered to
+
+    @property
+    def wasted_steps(self) -> int:
+        """Steps executed more than once (rollback re-execution)."""
+        return self.total_steps_executed - self.final_step
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Useful fraction of executed work."""
+        if self.total_steps_executed == 0:
+            return 0.0
+        return self.final_step / self.total_steps_executed
+
+
+def steps_from_trace(trace, iterations_per_second: float) -> List[int]:
+    """Convert a time-based preemption trace into global step counts."""
+    if iterations_per_second <= 0:
+        raise TrainingError("iterations_per_second must be positive")
+    steps = []
+    for event in trace.events:
+        step = int(event * iterations_per_second)
+        if step > 0 and (not steps or step > steps[-1]):
+            steps.append(step)
+    return steps
+
+
+def run_preemptible_training(
+    make_trainer: Callable[[], Trainer],
+    strategy: CheckpointStrategy,
+    target_steps: int,
+    failure_steps: Sequence[int],
+    checkpoint_interval: Optional[int] = None,
+) -> PreemptionReport:
+    """Train to ``target_steps`` under injected preemptions.
+
+    ``make_trainer`` must build a *fresh* trainer (new process semantics:
+    all volatile state is lost at a failure).  After each failure the
+    harness recovers the newest checkpoint from the strategy's layout and
+    resumes — or restarts from scratch if none exists yet.
+    """
+    if target_steps < 1:
+        raise TrainingError("target_steps must be >= 1")
+    pending_failures = sorted(set(s for s in failure_steps if s >= 1))
+    if any(s > target_steps for s in pending_failures):
+        raise TrainingError("failure steps beyond the training target")
+    executed = 0
+    failures = 0
+    recoveries: List[int] = []
+
+    trainer = make_trainer()
+    if checkpoint_interval is not None:
+        trainer.interval = checkpoint_interval
+    trainer.strategy = strategy
+
+    while True:
+        next_failure = pending_failures[0] if pending_failures else None
+        before = trainer.step
+        try:
+            remaining = target_steps - trainer.step
+            if remaining <= 0:
+                break
+            trainer.train(remaining, fail_at_step=next_failure)
+            executed += trainer.step - before
+            break
+        except FailureInjection:
+            executed += trainer.step - before
+            failures += 1
+            pending_failures.pop(0)
+            strategy.drain()
+            # The "process" dies: rebuild everything from durable state.
+            trainer = make_trainer()
+            if checkpoint_interval is not None:
+                trainer.interval = checkpoint_interval
+            trainer.strategy = strategy
+            recovered = _recover_step(strategy)
+            if recovered is not None:
+                trainer.resume_from(recovered)
+            recoveries.append(trainer.step)
+            # A failure exactly at a future failure step would loop
+            # forever if the checkpoint interval never advances past it;
+            # the trainer re-executes from the recovered step, so pending
+            # failures at or before the current step are already "paid".
+            pending_failures = [s for s in pending_failures if s > trainer.step]
+
+    strategy.drain()
+    return PreemptionReport(
+        target_steps=target_steps,
+        final_step=trainer.step,
+        failures=failures,
+        total_steps_executed=executed,
+        recoveries=recoveries,
+    )
+
+
+def _recover_step(strategy: CheckpointStrategy):
+    layout = getattr(strategy, "layout", None)
+    if layout is None:
+        return None
+    recovered = try_recover(layout)
+    if recovered is None:
+        return None
+    return deserialize_state(recovered.payload)

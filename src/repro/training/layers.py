@@ -1,0 +1,314 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Enough of a layer zoo to assemble the model families the paper evaluates
+(a VGG-style convnet, BERT/OPT-style transformers, an MLP): linear,
+convolution (im2col), pooling, embeddings, layer norm, activations,
+dropout, and containers.  All single-input/single-output, float32.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.training.module import Module, Parameter
+
+
+def _kaiming(rng: np.random.Generator, fan_in: int, shape: Tuple[int, ...]) -> np.ndarray:
+    scale = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.standard_normal(shape).astype(np.float32) * scale
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` over the trailing dimension."""
+
+    def __init__(
+        self, in_features: int, out_features: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.weight = Parameter(_kaiming(rng, in_features, (in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32))
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        return x @ self.weight.data + self.bias.data
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise TrainingError("backward before forward in Linear")
+        x = self._input
+        flat_x = x.reshape(-1, x.shape[-1])
+        flat_g = grad_output.reshape(-1, grad_output.shape[-1])
+        self.weight.grad += flat_x.T @ flat_g
+        self.bias.grad += flat_g.sum(axis=0)
+        return grad_output @ self.weight.data.T
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise TrainingError("backward before forward in ReLU")
+        return grad_output * self._mask
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation)."""
+
+    _C = np.float32(np.sqrt(2.0 / np.pi))
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        inner = self._C * (x + 0.044715 * x**3)
+        return 0.5 * x * (1.0 + np.tanh(inner))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise TrainingError("backward before forward in GELU")
+        x = self._input
+        inner = self._C * (x + 0.044715 * x**3)
+        tanh = np.tanh(inner)
+        sech2 = 1.0 - tanh**2
+        d_inner = self._C * (1.0 + 3 * 0.044715 * x**2)
+        grad = 0.5 * (1.0 + tanh) + 0.5 * x * sech2 * d_inner
+        return grad_output * grad
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.gamma = Parameter(np.ones(dim, dtype=np.float32))
+        self.beta = Parameter(np.zeros(dim, dtype=np.float32))
+        self._eps = eps
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self._eps)
+        normalized = (x - mean) * inv_std
+        self._cache = (normalized, inv_std)
+        return normalized * self.gamma.data + self.beta.data
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise TrainingError("backward before forward in LayerNorm")
+        normalized, inv_std = self._cache
+        dim = normalized.shape[-1]
+        flat_n = normalized.reshape(-1, dim)
+        flat_g = grad_output.reshape(-1, dim)
+        self.gamma.grad += (flat_g * flat_n).sum(axis=0)
+        self.beta.grad += flat_g.sum(axis=0)
+        g_hat = grad_output * self.gamma.data
+        term1 = g_hat
+        term2 = g_hat.mean(axis=-1, keepdims=True)
+        term3 = normalized * (g_hat * normalized).mean(axis=-1, keepdims=True)
+        return (term1 - term2 - term3) * inv_std
+
+
+class Embedding(Module):
+    """Token-id to vector lookup table."""
+
+    def __init__(
+        self, vocab_size: int, dim: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.weight = Parameter(
+            rng.standard_normal((vocab_size, dim)).astype(np.float32) * 0.02
+        )
+        self._ids: Optional[np.ndarray] = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise TrainingError("Embedding expects integer token ids")
+        self._ids = ids
+        return self.weight.data[ids]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._ids is None:
+            raise TrainingError("backward before forward in Embedding")
+        np.add.at(
+            self.weight.grad,
+            self._ids.reshape(-1),
+            grad_output.reshape(-1, grad_output.shape[-1]),
+        )
+        return np.zeros_like(grad_output)  # ids have no gradient
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise TrainingError(f"dropout rate must be in [0, 1), got {rate}")
+        self._rate = rate
+        self._rng = rng
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self._rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self._rate
+        self._mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class Flatten(Module):
+    """Collapse all but the batch dimension."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise TrainingError("backward before forward in Flatten")
+        return grad_output.reshape(self._shape)
+
+
+class Conv2d(Module):
+    """2-D convolution (NCHW) via im2col, stride 1, symmetric padding."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        padding: int = 1,
+    ) -> None:
+        super().__init__()
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            _kaiming(rng, fan_in, (out_channels, in_channels, kernel_size, kernel_size))
+        )
+        self.bias = Parameter(np.zeros(out_channels, dtype=np.float32))
+        self._kernel = kernel_size
+        self._padding = padding
+        self._cache = None
+
+    def _im2col(self, x: np.ndarray) -> Tuple[np.ndarray, Tuple[int, int]]:
+        n, c, h, w = x.shape
+        k, p = self._kernel, self._padding
+        padded = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+        out_h, out_w = h + 2 * p - k + 1, w + 2 * p - k + 1
+        windows = np.lib.stride_tricks.sliding_window_view(padded, (k, k), axis=(2, 3))
+        # (n, c, out_h, out_w, k, k) -> (n * out_h * out_w, c * k * k)
+        cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+            n * out_h * out_w, c * k * k
+        )
+        return np.ascontiguousarray(cols), (out_h, out_w)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        cols, (out_h, out_w) = self._im2col(x)
+        flat_w = self.weight.data.reshape(self.weight.shape[0], -1)
+        out = cols @ flat_w.T + self.bias.data
+        self._cache = (x.shape, cols)
+        return out.reshape(n, out_h, out_w, -1).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise TrainingError("backward before forward in Conv2d")
+        x_shape, cols = self._cache
+        n, c, h, w = x_shape
+        k, p = self._kernel, self._padding
+        out_channels = self.weight.shape[0]
+        flat_g = grad_output.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+        self.weight.grad += (flat_g.T @ cols).reshape(self.weight.shape)
+        self.bias.grad += flat_g.sum(axis=0)
+        flat_w = self.weight.data.reshape(out_channels, -1)
+        grad_cols = flat_g @ flat_w  # (n*out_h*out_w, c*k*k)
+        # col2im: scatter-add the column gradients back to padded input.
+        out_h, out_w = h + 2 * p - k + 1, w + 2 * p - k + 1
+        grad_padded = np.zeros((n, c, h + 2 * p, w + 2 * p), dtype=np.float32)
+        grad_cols = grad_cols.reshape(n, out_h, out_w, c, k, k)
+        for di in range(k):
+            for dj in range(k):
+                grad_padded[:, :, di : di + out_h, dj : dj + out_w] += (
+                    grad_cols[:, :, :, :, di, dj].transpose(0, 3, 1, 2)
+                )
+        if p:
+            return grad_padded[:, :, p:-p, p:-p]
+        return grad_padded
+
+
+class MaxPool2d(Module):
+    """Non-overlapping 2-D max pooling (NCHW)."""
+
+    def __init__(self, size: int = 2) -> None:
+        super().__init__()
+        self._size = size
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        s = self._size
+        if h % s or w % s:
+            raise TrainingError(f"pool size {s} does not divide ({h}, {w})")
+        blocks = x.reshape(n, c, h // s, s, w // s, s)
+        out = blocks.max(axis=(3, 5))
+        mask = blocks == out[:, :, :, None, :, None]
+        self._cache = (mask, x.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise TrainingError("backward before forward in MaxPool2d")
+        mask, shape = self._cache
+        s = self._size
+        spread = grad_output[:, :, :, None, :, None] * mask
+        return spread.reshape(shape)
+
+
+class Sequential(Module):
+    """Chain layers; backward runs them in reverse."""
+
+    def __init__(self, layers: Sequence[Module]) -> None:
+        super().__init__()
+        self.layers: List[Module] = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,50 @@
+"""Loss functions returning both the scalar loss and the initial gradient."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy over integer class targets.
+
+    ``logits`` has shape ``(..., classes)``; ``targets`` the matching
+    integer shape ``(...)``.  Returns ``(loss, grad_wrt_logits)`` with the
+    gradient already averaged, so it feeds straight into ``backward``.
+    """
+    if logits.shape[:-1] != targets.shape:
+        raise TrainingError(
+            f"logits {logits.shape} incompatible with targets {targets.shape}"
+        )
+    if not np.issubdtype(targets.dtype, np.integer):
+        raise TrainingError("targets must be integer class indices")
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    shifted = flat_logits - flat_logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    count = flat_targets.shape[0]
+    picked = probs[np.arange(count), flat_targets]
+    loss = float(-np.log(np.maximum(picked, 1e-12)).mean())
+    grad = probs
+    grad[np.arange(count), flat_targets] -= 1.0
+    grad /= count
+    return loss, grad.reshape(logits.shape)
+
+
+def mse(predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error and its gradient."""
+    if predictions.shape != targets.shape:
+        raise TrainingError(
+            f"predictions {predictions.shape} != targets {targets.shape}"
+        )
+    diff = predictions - targets
+    loss = float((diff**2).mean())
+    grad = 2.0 * diff / diff.size
+    return loss, grad

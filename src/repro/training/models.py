@@ -1,0 +1,177 @@
+"""Model zoo: scaled-down stand-ins for the paper's Table 3 models.
+
+The paper trains VGG16, BERT, TransformerXL, OPT-{350M,1.3B,2.7B} and
+BLOOM-7B.  The *functional* experiments in this repo only need models
+whose state the checkpoint engine can snapshot and restore — so the zoo
+provides the same three architecture families at laptop scale:
+
+* :class:`MLP` — the minimal smoke-test model;
+* :class:`MiniVGG` — conv/pool blocks + classifier (the VGG16 family);
+* :class:`TransformerLM` — embeddings + transformer blocks + LM head,
+  with ``causal=True`` for the OPT/BLOOM decoder family and ``False``
+  for the BERT encoder family.
+
+Performance numbers for the *full-size* models come from the calibrated
+simulator's workload catalog (:mod:`repro.sim.workloads`), not from these
+miniatures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.training.attention import TransformerBlock
+from repro.training.layers import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.training.module import Module
+
+
+class MLP(Module):
+    """Fully connected network with ReLU activations."""
+
+    def __init__(self, sizes, rng: np.random.Generator) -> None:
+        super().__init__()
+        if len(sizes) < 2:
+            raise TrainingError("MLP needs at least input and output sizes")
+        layers = []
+        for index, (fan_in, fan_out) in enumerate(zip(sizes, sizes[1:])):
+            layers.append(Linear(fan_in, fan_out, rng))
+            if index < len(sizes) - 2:
+                layers.append(ReLU())
+        self.net = Sequential(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_output)
+
+
+class MiniVGG(Module):
+    """VGG-style convnet: (Conv-ReLU ×2 → MaxPool) blocks + MLP head.
+
+    Defaults assume 16×16 inputs so two pool stages leave a 4×4 map.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        width: int = 16,
+        image_size: int = 16,
+    ) -> None:
+        super().__init__()
+        if image_size % 4:
+            raise TrainingError("image size must be divisible by 4 (two pools)")
+        self.features = Sequential(
+            [
+                Conv2d(in_channels, width, 3, rng),
+                ReLU(),
+                Conv2d(width, width, 3, rng),
+                ReLU(),
+                MaxPool2d(2),
+                Conv2d(width, 2 * width, 3, rng),
+                ReLU(),
+                Conv2d(2 * width, 2 * width, 3, rng),
+                ReLU(),
+                MaxPool2d(2),
+            ]
+        )
+        feature_dim = 2 * width * (image_size // 4) ** 2
+        self.classifier = Sequential(
+            [Flatten(), Linear(feature_dim, 4 * width, rng), ReLU(),
+             Linear(4 * width, num_classes, rng)]
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.classifier(self.features(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.features.backward(self.classifier.backward(grad_output))
+
+
+class TransformerLM(Module):
+    """Transformer language model (decoder when ``causal=True``)."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        vocab_size: int = 256,
+        dim: int = 64,
+        num_heads: int = 4,
+        num_layers: int = 2,
+        max_seq: int = 64,
+        causal: bool = True,
+    ) -> None:
+        super().__init__()
+        from repro.training.layers import Embedding, LayerNorm
+
+        self.token_embed = Embedding(vocab_size, dim, rng)
+        self.pos_embed = Embedding(max_seq, dim, rng)
+        self.blocks = [
+            TransformerBlock(dim, num_heads, rng, causal=causal)
+            for _ in range(num_layers)
+        ]
+        self.final_norm = LayerNorm(dim)
+        self.lm_head = Linear(dim, vocab_size, rng)
+        self.max_seq = max_seq
+        self.causal = causal
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        batch, seq = ids.shape
+        if seq > self.max_seq:
+            raise TrainingError(f"sequence length {seq} exceeds max {self.max_seq}")
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        x = self.token_embed(ids) + self.pos_embed(np.ascontiguousarray(positions))
+        for block in self.blocks:
+            x = block(x)
+        return self.lm_head(self.final_norm(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.final_norm.backward(self.lm_head.backward(grad_output))
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        self.pos_embed.backward(grad)
+        return self.token_embed.backward(grad)
+
+
+#: Factories for the Table 3 stand-ins, keyed by the paper's model names.
+ModelFactory = Callable[[np.random.Generator], Module]
+
+MODEL_ZOO: Dict[str, ModelFactory] = {
+    "vgg16": lambda rng: MiniVGG(rng, width=16),
+    "bert": lambda rng: TransformerLM(
+        rng, dim=64, num_heads=4, num_layers=3, causal=False
+    ),
+    "transformer_xl": lambda rng: TransformerLM(
+        rng, dim=64, num_heads=4, num_layers=2, causal=True
+    ),
+    "opt_350m": lambda rng: TransformerLM(
+        rng, dim=48, num_heads=4, num_layers=2, causal=True
+    ),
+    "opt_1_3b": lambda rng: TransformerLM(
+        rng, dim=64, num_heads=4, num_layers=4, causal=True
+    ),
+    "mlp": lambda rng: MLP([32, 64, 32, 10], rng),
+}
+
+
+def build_model(name: str, seed: int = 0, rng: Optional[np.random.Generator] = None) -> Module:
+    """Instantiate a zoo model by its paper name."""
+    try:
+        factory = MODEL_ZOO[name]
+    except KeyError:
+        raise TrainingError(
+            f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}"
+        ) from None
+    return factory(rng if rng is not None else np.random.default_rng(seed))

@@ -1,0 +1,114 @@
+"""Learning-rate schedules with checkpointable state.
+
+Exact resume requires more than weights and optimizer moments: if the
+learning rate follows a schedule, the schedule's position must be part
+of the checkpoint too, or the resumed run silently trains with the wrong
+LR and diverges from the uninterrupted reference.  Schedules here expose
+``state_dict``/``load_state_dict`` like the optimizers, and the trainer
+steps them once per iteration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.training.optim import Optimizer
+
+
+class LRScheduler:
+    """Base scheduler: owns the optimizer's ``lr`` from now on."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.steps = 0
+
+    def step(self) -> float:
+        """Advance one iteration; returns the LR now in effect."""
+        self.steps += 1
+        lr = self.lr_at(self.steps)
+        if lr <= 0:
+            raise TrainingError(f"schedule produced non-positive LR {lr}")
+        self.optimizer.lr = lr
+        return lr
+
+    def lr_at(self, step: int) -> float:
+        """The schedule function (must be overridden)."""
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Schedule position + base LR, as checkpointable tensors."""
+        return {
+            "steps": np.array([self.steps], dtype=np.int64),
+            "base_lr": np.array([self.base_lr], dtype=np.float64),
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore and immediately re-apply the scheduled LR."""
+        if "steps" not in state or "base_lr" not in state:
+            raise TrainingError("scheduler state missing steps/base_lr")
+        self.steps = int(state["steps"][0])
+        self.base_lr = float(state["base_lr"][0])
+        if self.steps > 0:
+            self.optimizer.lr = self.lr_at(self.steps)
+
+
+class WarmupCosineSchedule(LRScheduler):
+    """Linear warmup to ``base_lr``, then cosine decay to ``min_lr``.
+
+    The schedule used (in spirit) by the OPT/BLOOM training runs the
+    paper checkpoints.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_steps: int,
+        total_steps: int,
+        min_lr_fraction: float = 0.1,
+    ) -> None:
+        super().__init__(optimizer)
+        if warmup_steps < 0 or total_steps <= 0:
+            raise TrainingError("invalid warmup/total step counts")
+        if warmup_steps >= total_steps:
+            raise TrainingError("warmup must end before training does")
+        if not 0.0 < min_lr_fraction <= 1.0:
+            raise TrainingError(
+                f"min LR fraction must be in (0, 1], got {min_lr_fraction}"
+            )
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr_fraction = min_lr_fraction
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        progress = min(
+            1.0,
+            (step - self.warmup_steps)
+            / max(1, self.total_steps - self.warmup_steps),
+        )
+        floor = self.base_lr * self.min_lr_fraction
+        return floor + 0.5 * (self.base_lr - floor) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class StepDecaySchedule(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``every`` steps (VGG-style)."""
+
+    def __init__(self, optimizer: Optimizer, every: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if every < 1:
+            raise TrainingError(f"decay period must be >= 1, got {every}")
+        if not 0.0 < gamma <= 1.0:
+            raise TrainingError(f"gamma must be in (0, 1], got {gamma}")
+        self.every = every
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.every)

@@ -1,0 +1,183 @@
+"""Training-state serialization: model + optimizer + step → bytes.
+
+This is the payload format the checkpoint engine persists — the
+equivalent of ``torch.save`` for the miniature stack, but with a flat,
+pickle-free binary layout so a torn read can never execute code:
+
+``PCSTATE1`` magic · u32 header length · JSON header · raw tensor bytes.
+
+The header records each tensor's dotted key, dtype, shape and byte range,
+plus the training step.  Encoding is canonical (sorted keys) so the same
+state always produces identical bytes — the recovery tests rely on
+bit-exactness.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import CorruptCheckpointError, TrainingError
+from repro.training.module import Module
+from repro.training.optim import Optimizer
+
+_MAGIC = b"PCSTATE1"
+_LEN_STRUCT = struct.Struct("<I")
+
+
+@dataclass
+class TrainingState:
+    """A decoded checkpoint: tensors by namespaced key, plus the step."""
+
+    step: int
+    tensors: Dict[str, np.ndarray]
+
+    def model_tensors(self) -> Dict[str, np.ndarray]:
+        """The ``model/``-namespaced tensors, keys stripped."""
+        return {
+            key[len("model/") :]: value
+            for key, value in self.tensors.items()
+            if key.startswith("model/")
+        }
+
+    def optimizer_tensors(self) -> Dict[str, np.ndarray]:
+        """The ``optim/``-namespaced tensors, keys stripped."""
+        return {
+            key[len("optim/") :]: value
+            for key, value in self.tensors.items()
+            if key.startswith("optim/")
+        }
+
+    def scheduler_tensors(self) -> Dict[str, np.ndarray]:
+        """The ``sched/``-namespaced tensors, keys stripped."""
+        return {
+            key[len("sched/") :]: value
+            for key, value in self.tensors.items()
+            if key.startswith("sched/")
+        }
+
+
+def capture_state(
+    model: Module,
+    optimizer: Optional[Optimizer] = None,
+    step: int = 0,
+    scheduler=None,
+) -> TrainingState:
+    """Snapshot model (and optimizer/scheduler) tensors into a
+    :class:`TrainingState`."""
+    tensors: Dict[str, np.ndarray] = {
+        f"model/{name}": value for name, value in model.state_dict().items()
+    }
+    if optimizer is not None:
+        for name, value in optimizer.state_dict().items():
+            tensors[f"optim/{name}"] = value
+    if scheduler is not None:
+        for name, value in scheduler.state_dict().items():
+            tensors[f"sched/{name}"] = value
+    return TrainingState(step=step, tensors=tensors)
+
+
+def restore_state(
+    state: TrainingState,
+    model: Module,
+    optimizer: Optional[Optimizer] = None,
+    scheduler=None,
+) -> None:
+    """Load a :class:`TrainingState` back into model/optimizer/scheduler."""
+    model.load_state_dict(state.model_tensors())
+    if optimizer is not None:
+        optimizer.load_state_dict(state.optimizer_tensors())
+    if scheduler is not None:
+        scheduler.load_state_dict(state.scheduler_tensors())
+
+
+def serialize_state(state: TrainingState) -> bytes:
+    """Encode a :class:`TrainingState` into the flat binary format."""
+    entries = []
+    payload_parts = []
+    offset = 0
+    for key in sorted(state.tensors):
+        tensor = np.ascontiguousarray(state.tensors[key])
+        raw = tensor.tobytes()
+        entries.append(
+            {
+                "key": key,
+                "dtype": tensor.dtype.str,
+                "shape": list(tensor.shape),
+                "offset": offset,
+                "nbytes": len(raw),
+            }
+        )
+        payload_parts.append(raw)
+        offset += len(raw)
+    header = json.dumps(
+        {"step": state.step, "tensors": entries}, sort_keys=True
+    ).encode("utf-8")
+    return b"".join(
+        [_MAGIC, _LEN_STRUCT.pack(len(header)), header, *payload_parts]
+    )
+
+
+def deserialize_state(raw: bytes) -> TrainingState:
+    """Decode bytes produced by :func:`serialize_state`.
+
+    Raises :class:`~repro.errors.CorruptCheckpointError` on any structural
+    problem — wrong magic, truncated header or payload, bad ranges.
+    """
+    prefix = len(_MAGIC) + _LEN_STRUCT.size
+    if len(raw) < prefix or raw[: len(_MAGIC)] != _MAGIC:
+        raise CorruptCheckpointError("not a PCSTATE1 training state")
+    (header_len,) = _LEN_STRUCT.unpack(raw[len(_MAGIC) : prefix])
+    if len(raw) < prefix + header_len:
+        raise CorruptCheckpointError("truncated training-state header")
+    try:
+        header = json.loads(raw[prefix : prefix + header_len])
+    except json.JSONDecodeError as exc:
+        raise CorruptCheckpointError("unparsable training-state header") from exc
+    payload = raw[prefix + header_len :]
+    tensors: Dict[str, np.ndarray] = {}
+    for entry in header.get("tensors", []):
+        start, nbytes = entry["offset"], entry["nbytes"]
+        if start < 0 or start + nbytes > len(payload):
+            raise CorruptCheckpointError(
+                f"tensor {entry['key']!r} range outside payload"
+            )
+        expected = int(np.prod(entry["shape"])) if entry["shape"] else 1
+        dtype = np.dtype(entry["dtype"])
+        if nbytes != expected * dtype.itemsize:
+            raise CorruptCheckpointError(
+                f"tensor {entry['key']!r} shape/size mismatch"
+            )
+        flat = np.frombuffer(payload[start : start + nbytes], dtype=dtype)
+        tensors[entry["key"]] = flat.reshape(entry["shape"]).copy()
+    return TrainingState(step=int(header.get("step", 0)), tensors=tensors)
+
+
+def checkpoint_nbytes(model: Module, optimizer: Optional[Optimizer] = None) -> int:
+    """Serialized size of a model(+optimizer) checkpoint, in bytes."""
+    return len(serialize_state(capture_state(model, optimizer)))
+
+
+def states_equal(first: TrainingState, second: TrainingState) -> bool:
+    """Bit-exact comparison of two training states (test helper)."""
+    if first.step != second.step or first.tensors.keys() != second.tensors.keys():
+        return False
+    return all(
+        np.array_equal(first.tensors[key], second.tensors[key], equal_nan=True)
+        for key in first.tensors
+    )
+
+
+def ensure_same_graph(model: Module, state: TrainingState) -> None:
+    """Sanity check: the state's model tensors match the module's names."""
+    expected = {f"model/{name}" for name, _ in model.named_parameters()}
+    got = {key for key in state.tensors if key.startswith("model/")}
+    if expected != got:
+        raise TrainingError(
+            f"checkpoint does not match model: missing="
+            f"{sorted(expected - got)}, unexpected={sorted(got - expected)}"
+        )

@@ -1,0 +1,54 @@
+"""Tests for the ``pccheck-repro`` command line."""
+
+import os
+
+import pytest
+
+from repro.analysis.figures import FIGURES
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_every_figure_has_a_subcommand(self):
+        parser = build_parser()
+        for name in FIGURES:
+            args = parser.parse_args([name])
+            assert args.command == name
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figZZ"])
+
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_prints_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert set(printed) == set(FIGURES)
+
+    def test_table_command_prints_rows(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "pccheck" in out
+        assert "checkfreq" in out
+
+    def test_out_writes_csv(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        assert main(["table3", "--out", out_dir]) == 0
+        assert os.path.exists(os.path.join(out_dir, "table3.csv"))
+        assert "wrote" in capsys.readouterr().out
+
+    def test_fig12_runs_end_to_end(self, capsys):
+        assert main(["fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "num_concurrent" in out
+
+    def test_tune_command(self, capsys):
+        assert main(["tune", "--model", "vgg16", "--slowdown", "1.1"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal N*" in out
+        assert "min interval f*" in out

@@ -1,0 +1,91 @@
+"""Tests for table rendering, CSV output, and the FigureData container."""
+
+import csv
+
+import pytest
+
+from repro.analysis.csvout import write_csv
+from repro.analysis.figures import FigureData
+from repro.analysis.tables import render_bars, render_table
+from repro.errors import ConfigError
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(["name", "value"], [["a", 1.5], ["bb", 20.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        assert "1.500" in text
+        assert "20.0" in text
+
+    def test_title_prepended(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_float_formatting_buckets(self):
+        text = render_table(["v"], [[0.0], [0.123456], [12.34], [12345.6]])
+        assert "0.123" in text
+        assert "12.3" in text
+        assert "12346" in text
+
+
+class TestRenderBars:
+    def test_bars_scale_to_peak(self):
+        text = render_bars(["small", "large"], [1.0, 4.0], width=8)
+        lines = text.splitlines()
+        small_hashes = lines[0].count("#")
+        large_hashes = lines[1].count("#")
+        assert large_hashes == 8
+        assert small_hashes == 2
+
+    def test_zero_values(self):
+        text = render_bars(["z"], [0.0])
+        assert "z" in text
+
+    def test_empty(self):
+        assert render_bars([], []) == ""
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(str(tmp_path / "out" / "data.csv"),
+                         ["a", "b"], [[1, "x"], [2, "y"]])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "x"], ["2", "y"]]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_csv(str(tmp_path / "deep" / "nested" / "f.csv"),
+                         ["c"], [[3]])
+        assert "nested" in path
+
+
+class TestFigureData:
+    @pytest.fixture
+    def data(self):
+        return FigureData(
+            name="demo", title="Demo",
+            columns=["strategy", "interval", "value"],
+            rows=[["a", 1, 10.0], ["a", 2, 20.0], ["b", 1, 30.0]],
+        )
+
+    def test_column(self, data):
+        assert data.column("value") == [10.0, 20.0, 30.0]
+
+    def test_select(self, data):
+        assert data.select(strategy="a") == [["a", 1, 10.0], ["a", 2, 20.0]]
+        assert data.select(strategy="a", interval=2) == [["a", 2, 20.0]]
+
+    def test_value(self, data):
+        assert data.value("value", strategy="b", interval=1) == 30.0
+
+    def test_value_requires_unique_match(self, data):
+        with pytest.raises(ConfigError):
+            data.value("value", strategy="a")
+        with pytest.raises(ConfigError):
+            data.value("value", strategy="missing", interval=1)

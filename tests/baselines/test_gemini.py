@@ -1,0 +1,124 @@
+"""Tests for the functional Gemini baseline (remote CPU memory)."""
+
+import time
+
+import pytest
+
+from repro.baselines.gemini import (
+    GeminiStrategy,
+    NetworkChannel,
+    RemoteMemoryStore,
+)
+from repro.errors import NoCheckpointError, StorageError
+
+CAPACITY = 64 * 1024
+
+
+def make_strategy(bandwidth=None, capacity=CAPACITY):
+    store = RemoteMemoryStore(capacity)
+    channel = NetworkChannel(bandwidth=bandwidth, chunk_size=4096)
+    return GeminiStrategy(store, channel)
+
+
+class TestRemoteMemoryStore:
+    def test_empty_store_has_no_checkpoint(self):
+        with pytest.raises(NoCheckpointError):
+            RemoteMemoryStore(1024).latest()
+
+    def test_commit_flips_latest(self):
+        store = RemoteMemoryStore(1024)
+        index = store.begin(step=1)
+        store.receive(index, 0, b"checkpoint-one")
+        store.commit(index)
+        assert store.latest() == (1, b"checkpoint-one")
+
+    def test_double_buffering_preserves_committed_during_transfer(self):
+        store = RemoteMemoryStore(1024)
+        first = store.begin(step=1)
+        store.receive(first, 0, b"v1")
+        store.commit(first)
+        # A second transfer in progress must not touch the committed copy.
+        second = store.begin(step=2)
+        assert second != first
+        store.receive(second, 0, b"v2-partial")
+        assert store.latest() == (1, b"v1")
+        store.commit(second)
+        assert store.latest() == (2, b"v2-partial")
+
+    def test_oversized_chunk_rejected(self):
+        store = RemoteMemoryStore(16)
+        index = store.begin(step=1)
+        with pytest.raises(StorageError):
+            store.receive(index, 8, b"too-long-chunk")
+
+    def test_remote_failure_loses_everything(self):
+        """Gemini's trade-off: no persistent storage means a remote
+        machine failure is unrecoverable."""
+        store = RemoteMemoryStore(1024)
+        index = store.begin(step=1)
+        store.receive(index, 0, b"gone")
+        store.commit(index)
+        store.fail()
+        with pytest.raises(NoCheckpointError):
+            store.latest()
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            RemoteMemoryStore(0)
+
+
+class TestGeminiStrategy:
+    def test_checkpoint_and_recover(self):
+        strategy = make_strategy()
+        payload = bytes(range(256)) * 16
+        strategy.checkpoint(payload, step=4)
+        strategy.drain()
+        step, recovered = strategy.recover()
+        assert step == 4
+        assert recovered == payload
+        assert strategy.latest_recoverable_step() == 4
+
+    def test_repeated_checkpoints_keep_newest(self):
+        strategy = make_strategy()
+        for step in (1, 2, 3):
+            strategy.checkpoint(f"v{step}".encode(), step=step)
+        strategy.drain()
+        assert strategy.recover() == (3, b"v3")
+
+    def test_first_call_returns_before_transfer_finishes(self):
+        strategy = make_strategy(bandwidth=2e6)  # ~32 ms for 64 KiB
+        payload = b"s" * CAPACITY
+        start = time.monotonic()
+        strategy.checkpoint(payload, step=1)
+        first_call = time.monotonic() - start
+        assert first_call < CAPACITY / 2e6 * 0.5
+        strategy.drain()
+
+    def test_second_call_stalls_behind_slow_network(self):
+        """The defining serialization: one transfer at a time."""
+        strategy = make_strategy(bandwidth=2e6)
+        payload = b"s" * CAPACITY
+        strategy.checkpoint(payload, step=1)
+        start = time.monotonic()
+        strategy.checkpoint(payload, step=2)
+        second_call = time.monotonic() - start
+        assert second_call >= CAPACITY / 2e6 * 0.3
+        strategy.drain()
+
+    def test_channel_accounts_bytes(self):
+        store = RemoteMemoryStore(CAPACITY)
+        channel = NetworkChannel(chunk_size=1024)
+        strategy = GeminiStrategy(store, channel)
+        strategy.checkpoint(b"x" * 5000, step=1)
+        strategy.drain()
+        assert channel.bytes_sent == 5000
+
+    def test_transfer_error_surfaces_on_next_call(self):
+        strategy = make_strategy(capacity=16)  # too small for the payload
+        strategy.checkpoint(b"y" * 64, step=1)
+        with pytest.raises(StorageError):
+            strategy.checkpoint(b"y" * 64, step=2)
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(StorageError):
+            NetworkChannel(chunk_size=0)

@@ -1,0 +1,150 @@
+"""Tests for the adaptive checkpoint-interval controller (§3.4 extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import AdaptiveIntervalController, Ewma
+from repro.core.autotune import min_checkpoint_interval
+from repro.errors import ConfigError
+
+
+class TestEwma:
+    def test_first_sample_initialises(self):
+        ewma = Ewma(alpha=0.5)
+        assert ewma.value is None
+        assert ewma.update(10.0) == 10.0
+
+    def test_converges_towards_constant_signal(self):
+        ewma = Ewma(alpha=0.3)
+        ewma.update(0.0)
+        for _ in range(50):
+            ewma.update(5.0)
+        assert ewma.value == pytest.approx(5.0, abs=1e-3)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ConfigError):
+            Ewma(alpha=0.0)
+        with pytest.raises(ConfigError):
+            Ewma(alpha=1.5)
+
+
+def make_controller(**kwargs):
+    defaults = dict(
+        num_concurrent=2, max_slowdown=1.05, initial_interval=10,
+        adjust_every=20, max_step_ratio=2.0, max_interval=1000,
+    )
+    defaults.update(kwargs)
+    return AdaptiveIntervalController(**defaults)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_concurrent": 0},
+            {"max_slowdown": 1.0},
+            {"initial_interval": 0},
+            {"initial_interval": 2000},
+            {"adjust_every": 0},
+            {"max_step_ratio": 1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            make_controller(**kwargs)
+
+    def test_invalid_observations_rejected(self):
+        controller = make_controller()
+        with pytest.raises(ConfigError):
+            controller.observe_iteration(0.0)
+        with pytest.raises(ConfigError):
+            controller.observe_checkpoint(-1.0)
+
+
+class TestCadence:
+    def test_should_checkpoint_every_interval(self):
+        controller = make_controller(initial_interval=5, adjust_every=1000)
+        boundaries = []
+        for step in range(1, 21):
+            controller.observe_iteration(0.1)
+            if controller.should_checkpoint():
+                boundaries.append(step)
+        assert boundaries == [5, 10, 15, 20]
+
+    def test_no_adjustment_without_tw_samples(self):
+        controller = make_controller(adjust_every=5)
+        for _ in range(30):
+            controller.observe_iteration(0.1)
+        assert controller.interval == 10
+        assert controller.history == [(0, 10)]
+
+
+class TestAdaptation:
+    def test_slow_storage_raises_interval(self):
+        """Tw far above N·f·t forces a coarser schedule (Eq. 3)."""
+        controller = make_controller(initial_interval=10, adjust_every=10)
+        controller.observe_checkpoint(50.0)  # huge Tw
+        for _ in range(100):
+            controller.observe_iteration(0.1)
+        target = min_checkpoint_interval(50.0, 2, 1.05, 0.1)
+        assert controller.interval > 10
+        # With damping (2x per adjustment, 10 adjustments) the controller
+        # has had room to reach the Eq. 3 target.
+        assert controller.interval == min(target, 1000)
+
+    def test_fast_storage_lowers_interval_to_floor(self):
+        controller = make_controller(initial_interval=64, adjust_every=10,
+                                     min_interval=2)
+        controller.observe_checkpoint(0.001)  # nearly free checkpoints
+        for _ in range(200):
+            controller.observe_iteration(0.1)
+        assert controller.interval == 2
+
+    def test_adjustment_is_damped_per_step(self):
+        controller = make_controller(initial_interval=10, adjust_every=10,
+                                     max_step_ratio=2.0)
+        controller.observe_checkpoint(1000.0)
+        for _ in range(10):
+            controller.observe_iteration(0.1)
+        # One adjustment: at most 2x the previous interval.
+        assert controller.interval == 20
+
+    def test_history_records_changes(self):
+        controller = make_controller(initial_interval=10, adjust_every=10)
+        controller.observe_checkpoint(100.0)
+        for _ in range(40):
+            controller.observe_iteration(0.1)
+        steps = [step for step, _ in controller.history]
+        intervals = [interval for _, interval in controller.history]
+        assert steps == sorted(steps)
+        assert intervals[0] == 10
+        assert intervals[-1] > 10
+
+    def test_interval_respects_bounds(self):
+        controller = make_controller(initial_interval=10, adjust_every=5,
+                                     max_interval=25)
+        controller.observe_checkpoint(10_000.0)
+        for _ in range(100):
+            controller.observe_iteration(0.01)
+        assert controller.interval == 25
+
+    @given(
+        tw=st.floats(0.01, 100.0),
+        t=st.floats(0.001, 1.0),
+        n=st.integers(1, 4),
+        q=st.floats(1.01, 1.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_converged_interval_matches_equation_3(self, tw, t, n, q):
+        """With stable measurements, the controller settles on Eq. 3's f*
+        (within the configured bounds)."""
+        controller = AdaptiveIntervalController(
+            num_concurrent=n, max_slowdown=q, initial_interval=10,
+            adjust_every=5, max_interval=100_000,
+        )
+        controller.observe_checkpoint(tw)
+        for _ in range(400):
+            controller.observe_iteration(t)
+        expected = min_checkpoint_interval(tw, n, q, t)
+        assert controller.interval == max(1, min(100_000, expected))

@@ -1,0 +1,65 @@
+"""Tests for the high-level open_checkpointer API (regression coverage
+for region-reopen behaviour)."""
+
+import os
+
+import pytest
+
+from repro import open_checkpointer
+from repro.core.snapshot import BytesSource
+from repro.errors import ConfigError
+
+
+class TestOpenCheckpointer:
+    def test_fresh_file_has_no_recovered_state(self, tmp_path):
+        with open_checkpointer(str(tmp_path / "a.pc"), 4096) as ckpt:
+            assert ckpt.recovered is None
+            assert ckpt.engine.max_concurrent == 2  # default N
+
+    def test_invalid_capacity_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            open_checkpointer(str(tmp_path / "a.pc"), 0)
+
+    def test_checkpoint_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "b.pc")
+        with open_checkpointer(path, 4096) as ckpt:
+            ckpt.orchestrator.checkpoint_sync(BytesSource(b"v1"), step=1)
+        with open_checkpointer(path, 4096) as ckpt:
+            assert ckpt.recovered is not None
+            assert ckpt.recovered.payload == b"v1"
+
+    def test_reopen_with_smaller_concurrency_does_not_shrink_region(
+        self, tmp_path
+    ):
+        """Regression: reopening an N=3 region with the default N=2 used
+        to truncate the file and amputate a slot."""
+        path = str(tmp_path / "c.pc")
+        with open_checkpointer(path, 8192, num_concurrent=3) as ckpt:
+            ckpt.orchestrator.checkpoint_sync(BytesSource(b"keep"), step=1)
+        size_before = os.path.getsize(path)
+        with open_checkpointer(path, 8192) as ckpt:  # default N=2
+            assert os.path.getsize(path) == size_before
+            assert ckpt.recovered.payload == b"keep"
+            # The opened layout keeps the on-disk geometry (4 slots).
+            assert ckpt.layout.num_slots == 4
+
+    def test_reopened_engine_continues_counters(self, tmp_path):
+        path = str(tmp_path / "d.pc")
+        with open_checkpointer(path, 4096) as ckpt:
+            ckpt.orchestrator.checkpoint_sync(BytesSource(b"one"), step=1)
+            first_counter = ckpt.engine.committed().counter
+        with open_checkpointer(path, 4096) as ckpt:
+            result = ckpt.orchestrator.checkpoint_sync(
+                BytesSource(b"two"), step=2
+            )
+            assert result.counter > first_counter
+            assert ckpt.recovered.meta.counter == first_counter
+
+    def test_config_reflected_in_handle(self, tmp_path):
+        with open_checkpointer(str(tmp_path / "e.pc"), 4096,
+                               num_concurrent=3, writer_threads=2,
+                               chunk_size=1024, num_chunks=3) as ckpt:
+            assert ckpt.config.num_concurrent == 3
+            assert ckpt.config.writer_threads == 2
+            assert ckpt.engine.writer_threads == 2
+            assert ckpt.orchestrator.config.chunk_size == 1024

@@ -1,0 +1,103 @@
+"""Tests for the emulated atomic primitives."""
+
+import threading
+
+from repro.core.atomics import AtomicCounter, AtomicFlag, AtomicReference
+
+
+class TestAtomicCounter:
+    def test_fetch_add_returns_previous(self):
+        counter = AtomicCounter(10)
+        assert counter.fetch_add(5) == 10
+        assert counter.load() == 15
+
+    def test_add_fetch_returns_new(self):
+        counter = AtomicCounter()
+        assert counter.add_fetch() == 1
+        assert counter.add_fetch() == 2
+
+    def test_store_overwrites(self):
+        counter = AtomicCounter()
+        counter.store(42)
+        assert counter.load() == 42
+
+    def test_concurrent_increments_are_unique_and_complete(self):
+        counter = AtomicCounter()
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [counter.add_fetch() for _ in range(500)]
+            with lock:
+                results.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(results) == list(range(1, 4001))
+
+
+class TestAtomicReference:
+    def test_cas_succeeds_on_expected(self):
+        ref = AtomicReference[str]("a")
+        assert ref.compare_and_swap("a", "b")
+        assert ref.load() == "b"
+
+    def test_cas_fails_on_stale_expected(self):
+        ref = AtomicReference[str]("a")
+        ref.store("b")
+        assert not ref.compare_and_swap("a", "c")
+        assert ref.load() == "b"
+
+    def test_cas_uses_identity_not_equality(self):
+        first = [1]
+        lookalike = [1]
+        ref = AtomicReference(first)
+        assert not ref.compare_and_swap(lookalike, [2])
+        assert ref.compare_and_swap(first, lookalike)
+
+    def test_cas_from_none(self):
+        ref = AtomicReference()
+        assert ref.compare_and_swap(None, "x")
+        assert ref.load() == "x"
+
+    def test_exactly_one_concurrent_cas_wins(self):
+        ref = AtomicReference(None)
+        wins = []
+        barrier = threading.Barrier(16)
+        lock = threading.Lock()
+
+        def worker(token):
+            barrier.wait()
+            if ref.compare_and_swap(None, token):
+                with lock:
+                    wins.append(token)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1
+        assert ref.load() == wins[0]
+
+
+class TestAtomicFlag:
+    def test_initially_unset(self):
+        assert not AtomicFlag().is_set()
+
+    def test_set_is_sticky(self):
+        flag = AtomicFlag()
+        flag.set()
+        flag.set()
+        assert flag.is_set()
+
+    def test_wait_returns_immediately_when_set(self):
+        flag = AtomicFlag()
+        flag.set()
+        assert flag.wait(timeout=0.01)
+
+    def test_wait_times_out_when_unset(self):
+        assert not AtomicFlag().wait(timeout=0.01)

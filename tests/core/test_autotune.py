@@ -1,0 +1,188 @@
+"""Tests for the §3.4 auto-tuner (Eq. 3 and the N* search)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.autotune import (
+    expected_runtime,
+    functional_tw_probe,
+    max_concurrency,
+    min_checkpoint_interval,
+    tune,
+)
+from repro.core.config import SystemParameters, UserConstraints
+from repro.errors import ConfigError
+
+GB = 1024**3
+
+
+def system(m=1 * GB, t=0.06):
+    return SystemParameters(
+        pcie_bandwidth=12.5e9,
+        storage_bandwidth=0.8e9,
+        iteration_time=t,
+        checkpoint_size=m,
+    )
+
+
+class TestEquation3:
+    def test_formula_matches_paper(self):
+        """f* = ceil(Tw / (N q t)) with q interpreted as allowed overhead."""
+        # Tw = 2s, N = 2, q = 1.05, t = 0.1 -> ceil(2 / (2*0.05*0.1)) = 200
+        assert min_checkpoint_interval(2.0, 2, 1.05, 0.1) == 200
+
+    def test_interval_at_least_one(self):
+        assert min_checkpoint_interval(0.0, 1, 2.0, 1.0) == 1
+
+    def test_larger_n_allows_smaller_interval(self):
+        f1 = min_checkpoint_interval(5.0, 1, 1.05, 0.1)
+        f4 = min_checkpoint_interval(5.0, 4, 1.05, 0.1)
+        assert f4 <= f1
+        assert f4 == math.ceil(f1 / 4) or abs(f4 - f1 / 4) < 1
+
+    def test_looser_slowdown_allows_smaller_interval(self):
+        tight = min_checkpoint_interval(5.0, 2, 1.02, 0.1)
+        loose = min_checkpoint_interval(5.0, 2, 1.20, 0.1)
+        assert loose < tight
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tw": -1.0, "num_concurrent": 1, "max_slowdown": 1.1, "iteration_time": 1},
+            {"tw": 1.0, "num_concurrent": 0, "max_slowdown": 1.1, "iteration_time": 1},
+            {"tw": 1.0, "num_concurrent": 1, "max_slowdown": 0.5, "iteration_time": 1},
+            {"tw": 1.0, "num_concurrent": 1, "max_slowdown": 1.1, "iteration_time": 0},
+        ],
+    )
+    def test_invalid_inputs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            min_checkpoint_interval(**kwargs)
+
+    @given(
+        tw=st.floats(0.0, 100.0),
+        n=st.integers(1, 8),
+        q=st.floats(1.001, 2.0),
+        t=st.floats(0.001, 10.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_fstar_satisfies_overhead_bound(self, tw, n, q, t):
+        """Plugging f* back into the steady-state overhead model must meet
+        the q bound: Tw / (f N t) <= q - 1 (within integer rounding)."""
+        f_star = min_checkpoint_interval(tw, n, q, t)
+        overhead = tw / (f_star * n * t)
+        assert overhead <= (q - 1) + 1e-6 or f_star == 1
+
+
+class TestMaxConcurrency:
+    def test_bound_is_s_over_m_minus_one(self):
+        constraints = UserConstraints(dram_budget=GB, storage_budget=5 * GB)
+        assert max_concurrency(system(m=GB), constraints) == 4
+
+    def test_too_small_budget_rejected(self):
+        constraints = UserConstraints(dram_budget=GB, storage_budget=GB)
+        with pytest.raises(ConfigError):
+            max_concurrency(system(m=GB), constraints)
+
+
+class TestTuneSearch:
+    def test_picks_n_minimising_tw_over_n(self):
+        # Fake probe: Tw(N) grows sublinearly then saturates -> best N=3.
+        measured = {1: 4.0, 2: 4.4, 3: 4.8, 4: 8.0}
+        result = tune(
+            lambda n: measured[n],
+            system(m=GB, t=0.1),
+            UserConstraints(dram_budget=GB, storage_budget=16 * GB),
+            max_candidates=4,
+        )
+        assert result.num_concurrent == 3
+        assert result.tw_seconds == 4.8
+        assert result.candidates == measured
+
+    def test_interval_comes_from_equation_3(self):
+        result = tune(
+            lambda n: 2.0,
+            system(m=GB, t=0.1),
+            UserConstraints(
+                dram_budget=GB, storage_budget=16 * GB, max_slowdown=1.05
+            ),
+            max_candidates=2,
+        )
+        expected = min_checkpoint_interval(2.0, 2, 1.05, 0.1)
+        assert result.interval == expected
+
+    def test_candidates_bounded_by_storage(self):
+        seen = []
+
+        def probe(n):
+            seen.append(n)
+            return 1.0
+
+        tune(
+            probe,
+            system(m=GB),
+            UserConstraints(dram_budget=GB, storage_budget=3 * GB),
+            max_candidates=8,
+        )
+        assert seen == [1, 2]  # S/m - 1 = 2
+
+    def test_negative_probe_rejected(self):
+        with pytest.raises(ConfigError):
+            tune(
+                lambda n: -1.0,
+                system(m=GB),
+                UserConstraints(dram_budget=GB, storage_budget=8 * GB),
+            )
+
+
+class TestRuntimeModel:
+    def test_no_checkpoint_cost_when_tw_zero(self):
+        runtime = expected_runtime(
+            total_iterations=1000, iteration_time=0.1, interval=10,
+            num_concurrent=1, tw=0.0,
+        )
+        # f*t + N*f*t*(A/(fN) - 1) + 0 == A*t
+        assert runtime == pytest.approx(1000 * 0.1)
+
+    def test_stalling_regime_grows_with_tw(self):
+        fast = expected_runtime(1000, 0.1, 10, 1, tw=0.5)
+        slow = expected_runtime(1000, 0.1, 10, 1, tw=5.0)
+        assert slow > fast
+
+    def test_more_concurrency_reduces_stall(self):
+        n1 = expected_runtime(1000, 0.1, 10, 1, tw=5.0)
+        n4 = expected_runtime(1000, 0.1, 10, 4, tw=5.0)
+        assert n4 < n1
+
+
+class TestFunctionalProbe:
+    def test_probe_measures_positive_tw(self):
+        probe = functional_tw_probe(
+            checkpoint_size=64 * 1024,
+            storage_bandwidth=50e6,  # slow device so Tw is measurable
+            writer_threads=2,
+            rounds=2,
+        )
+        tw = probe(2)
+        assert tw > 0
+
+    def test_end_to_end_tuning_with_functional_probe(self):
+        m = 64 * 1024
+        probe = functional_tw_probe(
+            checkpoint_size=m, storage_bandwidth=100e6, writer_threads=2, rounds=1
+        )
+        result = tune(
+            probe,
+            SystemParameters(
+                pcie_bandwidth=12.5e9,
+                storage_bandwidth=100e6,
+                iteration_time=0.005,
+                checkpoint_size=m,
+            ),
+            UserConstraints(dram_budget=2 * m, storage_budget=8 * m),
+            max_candidates=3,
+        )
+        assert 1 <= result.num_concurrent <= 3
+        assert result.interval >= 1

@@ -1,0 +1,154 @@
+"""Tests for configuration validation and the Table 1 footprint model."""
+
+import pytest
+
+from repro.core.config import (
+    MemoryFootprint,
+    PCcheckConfig,
+    SystemParameters,
+    UserConstraints,
+    baseline_footprint,
+)
+from repro.errors import ConfigError
+
+GB = 1024**3
+
+
+def system(m=1 * GB):
+    return SystemParameters(
+        pcie_bandwidth=12.5e9,
+        storage_bandwidth=0.8e9,
+        iteration_time=0.06,
+        checkpoint_size=m,
+    )
+
+
+class TestUserConstraints:
+    def test_valid_constraints(self):
+        constraints = UserConstraints(dram_budget=2 * GB, storage_budget=10 * GB)
+        assert constraints.max_slowdown == 1.05
+
+    def test_m_greater_than_s_rejected(self):
+        with pytest.raises(ConfigError):
+            UserConstraints(dram_budget=10 * GB, storage_budget=2 * GB)
+
+    def test_slowdown_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            UserConstraints(dram_budget=GB, storage_budget=GB, max_slowdown=0.9)
+
+    def test_nonpositive_dram_rejected(self):
+        with pytest.raises(ConfigError):
+            UserConstraints(dram_budget=0, storage_budget=GB)
+
+
+class TestSystemParameters:
+    def test_valid(self):
+        assert system().iteration_time == 0.06
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("pcie_bandwidth", 0),
+            ("storage_bandwidth", -1),
+            ("iteration_time", 0),
+            ("checkpoint_size", 0),
+        ],
+    )
+    def test_nonpositive_values_rejected(self, field, value):
+        kwargs = dict(
+            pcie_bandwidth=1e9,
+            storage_bandwidth=1e9,
+            iteration_time=0.1,
+            checkpoint_size=100,
+        )
+        kwargs[field] = value
+        with pytest.raises(ConfigError):
+            SystemParameters(**kwargs)
+
+
+class TestPCcheckConfig:
+    def test_defaults_are_valid(self):
+        config = PCcheckConfig()
+        assert config.num_slots == config.num_concurrent + 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_concurrent": 0},
+            {"writer_threads": 0},
+            {"interval": 0},
+            {"chunk_size": 0},
+            {"num_chunks": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            PCcheckConfig(**kwargs)
+
+    def test_effective_chunk_size_defaults_to_checkpoint(self):
+        config = PCcheckConfig(chunk_size=None)
+        assert config.effective_chunk_size(1000) == 1000
+
+    def test_effective_chunk_size_caps_at_checkpoint(self):
+        config = PCcheckConfig(chunk_size=5000)
+        assert config.effective_chunk_size(1000) == 1000
+
+    def test_chunks_per_checkpoint(self):
+        config = PCcheckConfig(chunk_size=100)
+        assert config.chunks_per_checkpoint(250) == 3
+        assert config.chunks_per_checkpoint(100) == 1
+
+    def test_validate_against_storage_bound(self):
+        """Table 2: N <= S/m - 1."""
+        config = PCcheckConfig(num_concurrent=4)
+        constraints = UserConstraints(dram_budget=2 * GB, storage_budget=3 * GB)
+        with pytest.raises(ConfigError):
+            config.validate_against(system(m=1 * GB), constraints)
+
+    def test_validate_against_dram_bound(self):
+        config = PCcheckConfig(num_concurrent=1, chunk_size=None, num_chunks=4)
+        constraints = UserConstraints(dram_budget=2 * GB, storage_budget=16 * GB)
+        with pytest.raises(ConfigError):
+            config.validate_against(system(m=1 * GB), constraints)
+
+    def test_valid_configuration_passes(self):
+        config = PCcheckConfig(num_concurrent=2, chunk_size=GB // 2, num_chunks=4)
+        constraints = UserConstraints(dram_budget=2 * GB, storage_budget=16 * GB)
+        config.validate_against(system(m=1 * GB), constraints)
+
+
+class TestTable1Footprints:
+    """The Table 1 memory-footprint comparison."""
+
+    M = 4 * GB
+
+    def test_pccheck_storage_is_n_plus_one(self):
+        config = PCcheckConfig(num_concurrent=3)
+        footprint = config.footprint(self.M)
+        assert footprint.storage == 4 * self.M
+        assert footprint.gpu == self.M
+
+    def test_pccheck_dram_between_m_and_2m(self):
+        config = PCcheckConfig(num_concurrent=2, chunk_size=None, num_chunks=2)
+        footprint = config.footprint(self.M)
+        assert self.M <= footprint.dram_max <= 2 * self.M
+
+    def test_checkfreq_row(self):
+        footprint = baseline_footprint("checkfreq", self.M)
+        assert footprint == MemoryFootprint(
+            gpu=self.M, dram_min=self.M, dram_max=self.M, storage=2 * self.M
+        )
+
+    def test_gpm_row_has_no_dram(self):
+        footprint = baseline_footprint("gpm", self.M)
+        assert footprint.dram_min == 0
+        assert footprint.storage == 2 * self.M
+
+    def test_gemini_row_has_no_storage_but_gpu_buffer(self):
+        footprint = baseline_footprint("gemini", self.M)
+        assert footprint.storage == 0
+        assert footprint.gpu == self.M + 32 * 1024 * 1024
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(ConfigError):
+            baseline_footprint("nope", self.M)

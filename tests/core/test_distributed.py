@@ -1,0 +1,180 @@
+"""Tests for distributed checkpoint coordination and consistent recovery."""
+
+import threading
+
+import pytest
+
+from repro.core.distributed import (
+    CheckpointBarrier,
+    DistributedWorker,
+    recover_consistent,
+    valid_checkpoints,
+)
+from repro.core.layout import DeviceLayout, Geometry
+from repro.core.meta import RECORD_SIZE
+from repro.errors import DistributedError, NoCheckpointError
+from repro.storage.ssd import InMemorySSD
+
+PAYLOAD_CAPACITY = 512
+
+
+def make_layout(num_slots=3):
+    slot_size = PAYLOAD_CAPACITY + RECORD_SIZE
+    geometry = Geometry(num_slots=num_slots, slot_size=slot_size)
+    device = InMemorySSD(capacity=geometry.total_size)
+    return DeviceLayout.format(device, num_slots=num_slots, slot_size=slot_size)
+
+
+def make_group(world_size, num_slots=3, timeout=10.0):
+    barrier = CheckpointBarrier(world_size, timeout=timeout)
+    workers = [
+        DistributedWorker.create(rank, make_layout(num_slots), barrier)
+        for rank in range(world_size)
+    ]
+    return barrier, workers
+
+
+def partition_payload(rank, step):
+    return f"rank={rank};step={step};".encode() * 4
+
+
+class TestBarrier:
+    def test_single_worker_releases_immediately(self):
+        barrier = CheckpointBarrier(1)
+        barrier.synchronize(0, step=5)
+        assert barrier.peer_check == 5
+
+    def test_all_workers_must_arrive(self):
+        barrier = CheckpointBarrier(2, timeout=5.0)
+        order = []
+
+        def peer():
+            barrier.synchronize(1, step=1)
+            order.append("peer-released")
+
+        thread = threading.Thread(target=peer)
+        thread.start()
+        import time
+
+        time.sleep(0.05)
+        assert not order  # peer still waiting
+        barrier.synchronize(0, step=1)
+        thread.join()
+        assert order == ["peer-released"]
+        assert barrier.peer_check == 1
+
+    def test_timeout_raises(self):
+        barrier = CheckpointBarrier(2, timeout=0.05)
+        with pytest.raises(DistributedError):
+            barrier.synchronize(0, step=1)
+
+    def test_invalid_rank_rejected(self):
+        barrier = CheckpointBarrier(2)
+        with pytest.raises(DistributedError):
+            barrier.synchronize(5, step=1)
+
+    def test_duplicate_report_rejected(self):
+        barrier = CheckpointBarrier(1)
+        barrier.synchronize(0, step=1)
+        with pytest.raises(DistributedError):
+            barrier.synchronize(0, step=1)
+
+    def test_independent_rounds(self):
+        barrier = CheckpointBarrier(1)
+        barrier.synchronize(0, step=3)
+        barrier.synchronize(0, step=1)  # late round for an older step
+        assert barrier.peer_check == 3
+
+
+class TestDistributedCheckpointing:
+    def test_lockstep_checkpoints_commit_everywhere(self):
+        _, workers = make_group(world_size=3)
+        for step in (1, 2, 3):
+            threads = [
+                threading.Thread(
+                    target=worker.checkpoint,
+                    args=(partition_payload(worker.rank, step), step),
+                )
+                for worker in workers
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        consistent = recover_consistent([w.engine.layout for w in workers])
+        assert consistent.step == 3
+        for rank, payload in enumerate(consistent.payloads):
+            assert payload == partition_payload(rank, 3)
+
+    def test_straggler_keeps_previous_step_recoverable(self):
+        """If one worker never commits step 2, the group must recover
+        step 1 — the old slots were held across the barrier."""
+        barrier = CheckpointBarrier(2, timeout=0.2)
+        workers = [
+            DistributedWorker.create(rank, make_layout(), barrier)
+            for rank in range(2)
+        ]
+        # Step 1 commits in lockstep.
+        threads = [
+            threading.Thread(
+                target=worker.checkpoint,
+                args=(partition_payload(worker.rank, 1), 1),
+            )
+            for worker in workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Step 2: only worker 0 tries; the barrier times out (peer died).
+        with pytest.raises(DistributedError):
+            workers[0].checkpoint(partition_payload(0, 2), 2)
+        consistent = recover_consistent([w.engine.layout for w in workers])
+        assert consistent.step == 1
+        assert consistent.payloads[0] == partition_payload(0, 1)
+        assert consistent.payloads[1] == partition_payload(1, 1)
+
+    def test_valid_checkpoints_includes_superseded_slots(self):
+        _, workers = make_group(world_size=1)
+        worker = workers[0]
+        worker.checkpoint(partition_payload(0, 1), 1)
+        worker.checkpoint(partition_payload(0, 2), 2)
+        steps = {meta.step for meta in valid_checkpoints(worker.engine.layout)}
+        assert steps == {1, 2}
+
+    def test_recovery_with_no_common_step_raises(self):
+        layout_a = make_layout()
+        layout_b = make_layout()
+        barrier = CheckpointBarrier(1)
+        worker_a = DistributedWorker.create(0, layout_a, barrier)
+        worker_a.checkpoint(b"only-a", 1)
+        with pytest.raises(NoCheckpointError):
+            recover_consistent([layout_a, layout_b])
+
+    def test_recovery_needs_layouts(self):
+        with pytest.raises(DistributedError):
+            recover_consistent([])
+
+    def test_pipeline_parallel_partitions_differ_per_rank(self):
+        """Each rank checkpoints its own partition; recovery returns the
+        rank-aligned payloads."""
+        _, workers = make_group(world_size=4)
+        step = 1
+        threads = [
+            threading.Thread(
+                target=worker.checkpoint,
+                args=(f"stage-{worker.rank}-weights".encode(), step),
+            )
+            for worker in workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        consistent = recover_consistent([w.engine.layout for w in workers])
+        assert consistent.payloads == [
+            b"stage-0-weights",
+            b"stage-1-weights",
+            b"stage-2-weights",
+            b"stage-3-weights",
+        ]

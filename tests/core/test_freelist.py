@@ -1,0 +1,162 @@
+"""Tests for the Morrison–Afek style free-slot queue."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.freelist import EMPTY, SlotQueue
+from repro.errors import EngineError
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        queue = SlotQueue(4)
+        for value in (3, 1, 2):
+            queue.enqueue(value)
+        assert [queue.dequeue() for _ in range(3)] == [3, 1, 2]
+
+    def test_dequeue_empty_returns_sentinel(self):
+        assert SlotQueue(2).dequeue() == EMPTY
+
+    def test_len_tracks_occupancy(self):
+        queue = SlotQueue(4)
+        queue.enqueue(0)
+        queue.enqueue(1)
+        assert len(queue) == 2
+        queue.dequeue()
+        assert len(queue) == 1
+
+    def test_wraparound_reuses_cells(self):
+        queue = SlotQueue(2)
+        for round_ in range(10):
+            queue.enqueue(round_)
+            assert queue.dequeue() == round_
+
+    def test_fill_drain_fill(self):
+        queue = SlotQueue(3)
+        for v in range(3):
+            queue.enqueue(v)
+        assert queue.drain() == [0, 1, 2]
+        for v in range(3):
+            queue.enqueue(10 + v)
+        assert queue.drain() == [10, 11, 12]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(EngineError):
+            SlotQueue(0)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(EngineError):
+            SlotQueue(2).enqueue(-1)
+
+    def test_dequeue_blocking_times_out(self):
+        assert SlotQueue(2).dequeue_blocking(timeout=0.02) == EMPTY
+
+    def test_dequeue_blocking_gets_concurrent_enqueue(self):
+        queue = SlotQueue(2)
+
+        def enqueue_later():
+            import time
+
+            time.sleep(0.02)
+            queue.enqueue(7)
+
+        thread = threading.Thread(target=enqueue_later)
+        thread.start()
+        assert queue.dequeue_blocking(timeout=1.0) == 7
+        thread.join()
+
+
+class TestConcurrency:
+    def test_no_loss_no_duplication_mpmc(self):
+        """8 producers and 8 consumers over a small ring: every element
+        comes out exactly once."""
+        capacity = 4
+        per_producer = 200
+        queue = SlotQueue(capacity)
+        produced = [
+            list(range(p * per_producer, (p + 1) * per_producer)) for p in range(8)
+        ]
+        consumed = []
+        consumed_lock = threading.Lock()
+        done = threading.Event()
+
+        def producer(items):
+            for item in items:
+                # Respect the ring bound: wait for space.
+                while len(queue) >= capacity:
+                    pass
+                queue.enqueue(item)
+
+        def consumer():
+            local = []
+            while not done.is_set() or len(queue) > 0:
+                value = queue.dequeue()
+                if value != EMPTY:
+                    local.append(value)
+            with consumed_lock:
+                consumed.extend(local)
+
+        consumers = [threading.Thread(target=consumer) for _ in range(8)]
+        producers = [threading.Thread(target=producer, args=(p,)) for p in produced]
+        for t in consumers + producers:
+            t.start()
+        for t in producers:
+            t.join()
+        done.set()
+        for t in consumers:
+            t.join()
+        expected = sorted(item for items in produced for item in items)
+        assert sorted(consumed) == expected
+
+    def test_per_producer_order_preserved(self):
+        """With a single producer, consumers observe FIFO order."""
+        queue = SlotQueue(8)
+        out = []
+
+        def consumer():
+            seen = 0
+            while seen < 100:
+                value = queue.dequeue()
+                if value != EMPTY:
+                    out.append(value)
+                    seen += 1
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        for value in range(100):
+            while len(queue) >= 8:
+                pass
+            queue.enqueue(value)
+        thread.join()
+        assert out == list(range(100))
+
+
+@given(
+    ops=st.lists(
+        st.one_of(st.integers(0, 100), st.none()),
+        max_size=60,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_sequential_matches_reference_deque(ops):
+    """Single-threaded, the queue behaves exactly like collections.deque.
+
+    ``None`` ops are dequeues; integers are enqueues (skipped when the
+    ring is full, since the checkpoint engine never overfills it).
+    """
+    from collections import deque
+
+    queue = SlotQueue(5)
+    reference = deque()
+    for op in ops:
+        if op is None:
+            got = queue.dequeue()
+            want = reference.popleft() if reference else EMPTY
+            assert got == want
+        elif len(reference) < 5:
+            queue.enqueue(op)
+            reference.append(op)
+    assert queue.drain() == list(reference)

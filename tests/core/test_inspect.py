@@ -1,0 +1,132 @@
+"""Tests for the checkpoint-region inspection tool."""
+
+import pytest
+
+from repro.core.engine import CheckpointEngine
+from repro.core.inspect import inspect_device, inspect_file
+from repro.core.layout import DeviceLayout, Geometry
+from repro.core.meta import RECORD_SIZE
+from repro.storage.ssd import FileBackedSSD, InMemorySSD
+
+PAYLOAD_CAPACITY = 512
+
+
+def make_engine(num_slots=3, device=None):
+    slot_size = PAYLOAD_CAPACITY + RECORD_SIZE
+    geometry = Geometry(num_slots=num_slots, slot_size=slot_size)
+    if device is None:
+        device = InMemorySSD(capacity=geometry.total_size)
+    layout = DeviceLayout.format(device, num_slots=num_slots,
+                                 slot_size=slot_size)
+    return CheckpointEngine(layout, writer_threads=2)
+
+
+class TestInspectDevice:
+    def test_unformatted_device(self):
+        report = inspect_device(InMemorySSD(1 << 16))
+        assert not report.formatted
+        assert "NOT a formatted" in "\n".join(report.summary_lines())
+
+    def test_fresh_region_has_blank_slots(self):
+        engine = make_engine()
+        report = inspect_device(engine.layout.device)
+        assert report.formatted
+        assert report.num_slots == 3
+        assert all(slot.status == "blank" for slot in report.slots)
+        assert report.recovery_choice is None
+
+    def test_committed_checkpoint_is_reported(self):
+        engine = make_engine()
+        engine.checkpoint(b"state-one", step=7)
+        report = inspect_device(engine.layout.device)
+        assert report.commit_record is not None
+        assert report.commit_record_trusted
+        assert report.recovery_choice.step == 7
+        assert report.recovery_source == "commit-record"
+        assert len(report.valid_checkpoints) == 1
+
+    def test_superseded_checkpoints_also_listed(self):
+        engine = make_engine()
+        engine.checkpoint(b"v1", step=1)
+        engine.checkpoint(b"v2", step=2)
+        report = inspect_device(engine.layout.device)
+        steps = sorted(s.step for s in report.valid_checkpoints)
+        assert steps == [1, 2]
+        assert report.recovery_choice.step == 2
+
+    def test_torn_commit_record_reported_with_slot_scan_fallback(self):
+        engine = make_engine()
+        engine.checkpoint(b"v1", step=1)
+        layout = engine.layout
+        layout.device.write(layout.commit_offset, b"\xff" * RECORD_SIZE)
+        report = inspect_device(layout.device)
+        assert report.commit_record is None
+        assert report.recovery_choice.step == 1
+        assert report.recovery_source == "slot-scan"
+
+    def test_corrupt_payload_flagged(self):
+        engine = make_engine()
+        engine.checkpoint(b"v1", step=1)
+        old = engine.committed()
+        engine.checkpoint(b"v2", step=2)
+        layout = engine.layout
+        layout.device.write(layout.payload_offset(old.slot), b"XX")
+        report = inspect_device(layout.device)
+        statuses = {s.slot: s.status for s in report.slots}
+        assert statuses[old.slot] == "corrupt-payload"
+        assert report.recovery_choice.step == 2
+
+    def test_summary_lines_cover_everything(self):
+        engine = make_engine()
+        engine.checkpoint(b"v1", step=3)
+        text = "\n".join(inspect_device(engine.layout.device).summary_lines())
+        assert "geometry: 3 slots" in text
+        assert "commit record: counter=1" in text
+        assert "recovery: step 3" in text
+
+
+class TestInspectFile:
+    def test_inspect_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "region.pc")
+        slot_size = PAYLOAD_CAPACITY + RECORD_SIZE
+        geometry = Geometry(num_slots=2, slot_size=slot_size)
+        device = FileBackedSSD(path, capacity=geometry.total_size)
+        layout = DeviceLayout.format(device, num_slots=2, slot_size=slot_size)
+        CheckpointEngine(layout, writer_threads=2).checkpoint(b"on-disk",
+                                                              step=11)
+        device.close()
+        report = inspect_file(path)
+        assert report.recovery_choice.step == 11
+
+    def test_inspect_empty_file(self, tmp_path):
+        path = tmp_path / "empty.pc"
+        path.touch()
+        report = inspect_file(str(path))
+        assert not report.formatted
+
+
+class TestCliInspect:
+    def test_cli_inspect_prints_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "cli.pc")
+        slot_size = PAYLOAD_CAPACITY + RECORD_SIZE
+        geometry = Geometry(num_slots=2, slot_size=slot_size)
+        device = FileBackedSSD(path, capacity=geometry.total_size)
+        layout = DeviceLayout.format(device, num_slots=2, slot_size=slot_size)
+        CheckpointEngine(layout, writer_threads=1).checkpoint(b"x", step=5)
+        device.close()
+        assert main(["inspect", path]) == 0
+        out = capsys.readouterr().out
+        assert "recovery: step 5" in out
+
+    def test_cli_inspect_exit_code_without_checkpoint(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "blank.pc")
+        slot_size = PAYLOAD_CAPACITY + RECORD_SIZE
+        geometry = Geometry(num_slots=2, slot_size=slot_size)
+        device = FileBackedSSD(path, capacity=geometry.total_size)
+        DeviceLayout.format(device, num_slots=2, slot_size=slot_size)
+        device.close()
+        assert main(["inspect", path]) == 1

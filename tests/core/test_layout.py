@@ -1,0 +1,125 @@
+"""Tests for the on-device region layout."""
+
+import pytest
+
+from repro.core.layout import SLOT_ALIGN, DeviceLayout, Geometry
+from repro.core.meta import RECORD_SIZE, CheckMeta, encode_slot_header
+from repro.errors import LayoutError
+from repro.storage.ssd import InMemorySSD
+
+
+def make_layout(num_slots=3, slot_size=1024, extra=0):
+    geometry = Geometry(num_slots=num_slots, slot_size=slot_size)
+    device = InMemorySSD(capacity=geometry.total_size + extra)
+    return DeviceLayout.format(device, num_slots=num_slots, slot_size=slot_size)
+
+
+class TestGeometry:
+    def test_payload_capacity_excludes_header(self):
+        geometry = Geometry(num_slots=2, slot_size=1000)
+        assert geometry.payload_capacity == 1000 - RECORD_SIZE
+
+    def test_data_offset_is_aligned(self):
+        geometry = Geometry(num_slots=2, slot_size=1000)
+        assert geometry.data_offset % SLOT_ALIGN == 0
+
+    def test_total_size_accounts_for_all_slots(self):
+        geometry = Geometry(num_slots=4, slot_size=512)
+        assert geometry.total_size == geometry.data_offset + 4 * 512
+
+
+class TestFormat:
+    def test_format_and_reopen(self):
+        layout = make_layout()
+        reopened = DeviceLayout.open(layout.device)
+        assert reopened.num_slots == 3
+        assert reopened.geometry == layout.geometry
+
+    def test_format_requires_two_slots(self):
+        device = InMemorySSD(capacity=1 << 20)
+        with pytest.raises(LayoutError):
+            DeviceLayout.format(device, num_slots=1, slot_size=1024)
+
+    def test_format_requires_payload_room(self):
+        device = InMemorySSD(capacity=1 << 20)
+        with pytest.raises(LayoutError):
+            DeviceLayout.format(device, num_slots=2, slot_size=RECORD_SIZE)
+
+    def test_format_rejects_undersized_device(self):
+        device = InMemorySSD(capacity=4096)
+        with pytest.raises(LayoutError):
+            DeviceLayout.format(device, num_slots=8, slot_size=1 << 20)
+
+    def test_open_rejects_unformatted_device(self):
+        device = InMemorySSD(capacity=1 << 20)
+        with pytest.raises(LayoutError):
+            DeviceLayout.open(device)
+
+    def test_open_rejects_corrupted_superblock(self):
+        layout = make_layout()
+        raw = bytearray(layout.device.read(0, 16))
+        raw[4] ^= 0xFF
+        layout.device.write(0, bytes(raw))
+        with pytest.raises(LayoutError):
+            DeviceLayout.open(layout.device)
+
+    def test_format_clears_stale_records(self):
+        """Reformatting a device invalidates every previous record."""
+        layout = make_layout()
+        meta = CheckMeta(counter=9, slot=1, payload_len=10, payload_crc=0)
+        layout.device.write(layout.slot_offset(1), encode_slot_header(meta))
+        layout.device.persist_all()
+        reformatted = DeviceLayout.format(
+            layout.device, num_slots=3, slot_size=1024
+        )
+        assert reformatted.read_slot_header(1) is None
+
+    def test_format_survives_crash(self):
+        """A freshly formatted region is durable before any checkpoint."""
+        layout = make_layout()
+        layout.device.crash()
+        layout.device.recover()
+        reopened = DeviceLayout.open(layout.device)
+        assert reopened.num_slots == 3
+
+
+class TestOffsets:
+    def test_slots_do_not_overlap(self):
+        layout = make_layout(num_slots=4, slot_size=512)
+        offsets = [layout.slot_offset(slot) for slot in range(4)]
+        for first, second in zip(offsets, offsets[1:]):
+            assert second - first == 512
+
+    def test_payload_offset_skips_header(self):
+        layout = make_layout()
+        assert layout.payload_offset(0) == layout.slot_offset(0) + RECORD_SIZE
+
+    def test_commit_record_precedes_slots(self):
+        layout = make_layout()
+        assert layout.commit_offset < layout.slot_offset(0)
+
+    def test_out_of_range_slot_rejected(self):
+        layout = make_layout(num_slots=3)
+        with pytest.raises(LayoutError):
+            layout.slot_offset(3)
+        with pytest.raises(LayoutError):
+            layout.slot_offset(-1)
+
+
+class TestRecordIO:
+    def test_blank_slot_header_reads_none(self):
+        layout = make_layout()
+        assert layout.read_slot_header(0) is None
+        assert layout.read_all_slot_headers() == [None, None, None]
+
+    def test_written_header_reads_back(self):
+        layout = make_layout()
+        meta = CheckMeta(counter=5, slot=1, payload_len=3, payload_crc=123, step=9)
+        layout.device.write(layout.slot_offset(1), encode_slot_header(meta))
+        assert layout.read_slot_header(1) == meta
+
+    def test_read_payload_returns_slot_bytes(self):
+        layout = make_layout()
+        layout.device.write(layout.payload_offset(2), b"payload")
+        meta = CheckMeta(counter=1, slot=2, payload_len=7, payload_crc=0)
+        assert layout.read_payload(meta) == b"payload"

@@ -1,0 +1,99 @@
+"""Tests for checkpoint metadata records."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.meta import (
+    RECORD_SIZE,
+    CheckMeta,
+    decode_commit_record,
+    decode_slot_header,
+    encode_commit_record,
+    encode_slot_header,
+    payload_crc,
+)
+from repro.errors import CorruptCheckpointError
+
+META = CheckMeta(counter=7, slot=2, payload_len=1234, payload_crc=0xDEADBEEF, step=42)
+
+
+class TestEncodeDecode:
+    def test_slot_header_roundtrip(self):
+        assert decode_slot_header(encode_slot_header(META)) == META
+
+    def test_commit_record_roundtrip(self):
+        assert decode_commit_record(encode_commit_record(META)) == META
+
+    def test_records_are_fixed_size(self):
+        assert len(encode_slot_header(META)) == RECORD_SIZE
+        assert len(encode_commit_record(META)) == RECORD_SIZE
+
+    def test_magic_disambiguates_record_kinds(self):
+        assert decode_commit_record(encode_slot_header(META)) is None
+        assert decode_slot_header(encode_commit_record(META)) is None
+
+    def test_blank_record_decodes_to_none(self):
+        assert decode_slot_header(bytes(RECORD_SIZE)) is None
+        assert decode_commit_record(bytes(RECORD_SIZE)) is None
+
+    def test_wrong_length_decodes_to_none(self):
+        assert decode_slot_header(b"short") is None
+
+    def test_single_flipped_bit_is_detected(self):
+        raw = bytearray(encode_slot_header(META))
+        raw[12] ^= 0x01
+        assert decode_slot_header(bytes(raw)) is None
+
+    @given(
+        counter=st.integers(0, 2**63 - 1),
+        slot=st.integers(0, 2**31 - 1),
+        length=st.integers(0, 2**62),
+        crc=st.integers(0, 2**32 - 1),
+        step=st.integers(0, 2**62),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_over_full_field_ranges(self, counter, slot, length, crc, step):
+        meta = CheckMeta(
+            counter=counter, slot=slot, payload_len=length, payload_crc=crc, step=step
+        )
+        assert decode_slot_header(encode_slot_header(meta)) == meta
+
+    @given(corruption=st.integers(0, RECORD_SIZE - 1), bit=st.integers(0, 7))
+    @settings(max_examples=100, deadline=None)
+    def test_any_single_bit_corruption_detected(self, corruption, bit):
+        raw = bytearray(encode_commit_record(META))
+        raw[corruption] ^= 1 << bit
+        assert decode_commit_record(bytes(raw)) is None
+
+
+class TestValidation:
+    def test_negative_counter_rejected(self):
+        with pytest.raises(CorruptCheckpointError):
+            CheckMeta(counter=-1, slot=0, payload_len=0, payload_crc=0)
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(CorruptCheckpointError):
+            CheckMeta(counter=0, slot=-1, payload_len=0, payload_crc=0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(CorruptCheckpointError):
+            CheckMeta(counter=0, slot=0, payload_len=-5, payload_crc=0)
+
+    def test_is_newer_than_orders_by_counter(self):
+        old = CheckMeta(counter=1, slot=0, payload_len=0, payload_crc=0)
+        new = CheckMeta(counter=2, slot=1, payload_len=0, payload_crc=0)
+        assert new.is_newer_than(old)
+        assert not old.is_newer_than(new)
+        assert old.is_newer_than(None)
+
+
+class TestPayloadCrc:
+    def test_stable_for_same_payload(self):
+        assert payload_crc(b"abc") == payload_crc(b"abc")
+
+    def test_differs_for_different_payload(self):
+        assert payload_crc(b"abc") != payload_crc(b"abd")
+
+    def test_empty_payload(self):
+        assert payload_crc(b"") == 0

@@ -1,0 +1,116 @@
+"""Integration: adaptive checkpoint frequency and monitoring in the loop."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_strategy
+from repro.core.adaptive import AdaptiveIntervalController
+from repro.core.recovery import recover
+from repro.storage.ssd import InMemorySSD
+from repro.training.data import SyntheticRegression
+from repro.training.loop import Trainer
+from repro.training.losses import mse
+from repro.training.models import MLP
+from repro.training.monitor import TrainingMonitor
+from repro.training.optim import Adam
+from repro.training.state import deserialize_state
+
+
+def make_trainer(seed=0, **kwargs):
+    model = MLP([16, 12, 4], np.random.default_rng(seed))
+    optimizer = Adam(model, lr=1e-2)
+    data = SyntheticRegression(batch_size=4, in_dim=16, out_dim=4, seed=seed)
+    return Trainer(model, optimizer, data, loss_fn=mse, **kwargs)
+
+
+def payload_capacity():
+    return len(make_trainer().serialized_state()) + 256
+
+
+class TestAdaptiveInLoop:
+    def test_adaptive_trainer_checkpoints_and_recovers(self):
+        controller = AdaptiveIntervalController(
+            num_concurrent=2, max_slowdown=1.5, initial_interval=4,
+            adjust_every=10,
+        )
+        strategy = build_strategy("pccheck", InMemorySSD, payload_capacity())
+        trainer = make_trainer(strategy=strategy, adaptive=controller)
+        trainer.train(20)
+        strategy.drain()
+        recovered = recover(strategy.layout)
+        state = deserialize_state(recovered.payload)
+        assert state.step > 0
+        assert state.step <= 20
+        strategy.close()
+
+    def test_slow_strategy_coarsens_the_interval(self):
+        """A strategy that blocks for a long Tw pushes f upward."""
+        controller = AdaptiveIntervalController(
+            num_concurrent=1, max_slowdown=1.05, initial_interval=2,
+            adjust_every=4, max_interval=500,
+        )
+        # A naive (blocking) strategy on a slow device: every checkpoint
+        # call costs ~20ms while iterations cost ~1ms.
+        strategy = build_strategy(
+            "naive",
+            lambda cap: InMemorySSD(cap, persist_bandwidth=2e8),
+            payload_capacity(),
+        )
+        trainer = make_trainer(strategy=strategy, adaptive=controller)
+        trainer.train(60)
+        assert controller.interval > 2
+        strategy.close()
+
+    def test_fixed_interval_unaffected_by_missing_controller(self):
+        strategy = build_strategy("pccheck", InMemorySSD, payload_capacity())
+        trainer = make_trainer(strategy=strategy, checkpoint_interval=5)
+        trainer.train(10)
+        strategy.drain()
+        state = deserialize_state(recover(strategy.layout).payload)
+        assert state.step == 10
+        strategy.close()
+
+
+class TestMonitorInLoop:
+    def test_monitor_captures_every_step(self):
+        monitor = TrainingMonitor()
+        trainer = make_trainer(monitor=monitor)
+        trainer.train(8)
+        assert [r.step for r in monitor.records] == list(range(1, 9))
+        assert all(r.loss is not None for r in monitor.records)
+
+    def test_healthy_run_has_no_anomalies(self):
+        monitor = TrainingMonitor(grad_norm_threshold=1e6)
+        trainer = make_trainer(monitor=monitor)
+        trainer.train(10)
+        assert monitor.anomalies == []
+
+    def test_injected_nan_is_caught(self):
+        monitor = TrainingMonitor()
+        trainer = make_trainer(monitor=monitor)
+        trainer.train(3)
+        trainer.model.parameters()[0].data[0, 0] = np.nan
+        trainer.train(1)
+        assert any(a.kind == "non-finite" for a in monitor.anomalies)
+
+    def test_monitor_and_strategy_compose(self):
+        """Monitoring plus concurrent checkpointing in the same run."""
+        monitor = TrainingMonitor()
+        strategy = build_strategy("pccheck", InMemorySSD, payload_capacity())
+        trainer = make_trainer(strategy=strategy, monitor=monitor,
+                               checkpoint_interval=3)
+        report = trainer.train(9)
+        strategy.drain()
+        assert report.steps_run == 9
+        assert len(monitor.records) == 9
+        assert deserialize_state(recover(strategy.layout).payload).step == 9
+        strategy.close()
+
+    def test_monitor_loss_series_tracks_training(self):
+        monitor = TrainingMonitor()
+        trainer = make_trainer(monitor=monitor)
+        trainer.train(40)
+        series = monitor.series("loss")
+        early = np.mean([v for _, v in series[:5]])
+        late = np.mean([v for _, v in series[-5:]])
+        assert late < early

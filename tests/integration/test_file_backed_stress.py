@@ -1,0 +1,116 @@
+"""Stress tests: the full stack under concurrency on real files."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import open_checkpointer
+from repro.core.engine import CheckpointEngine
+from repro.core.layout import DeviceLayout, Geometry
+from repro.core.meta import RECORD_SIZE
+from repro.core.recovery import recover
+from repro.core.snapshot import BytesSource
+from repro.storage.ssd import FileBackedSSD
+
+
+def payload_for(index: int, size: int = 8192) -> bytes:
+    rng = np.random.default_rng(index)
+    return rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+
+class TestFileBackedConcurrency:
+    def test_many_threads_checkpointing_to_one_file(self, tmp_path):
+        """8 threads, 64 checkpoints, fsync barriers: the newest committed
+        checkpoint must be intact and consistent with the engine's view."""
+        size = 8192
+        slot_size = size + RECORD_SIZE
+        geometry = Geometry(num_slots=5, slot_size=slot_size)
+        device = FileBackedSSD(str(tmp_path / "stress.pc"),
+                               capacity=geometry.total_size)
+        layout = DeviceLayout.format(device, num_slots=5, slot_size=slot_size)
+        engine = CheckpointEngine(layout, writer_threads=3)
+
+        def one(index):
+            return engine.checkpoint(payload_for(index), step=index)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(one, range(1, 65)))
+        stats = engine.stats.snapshot()
+        assert stats["commits"] + stats["superseded"] == 64
+        recovered = recover(layout)
+        committed = engine.committed()
+        assert recovered.meta.counter == committed.counter
+        assert recovered.payload == payload_for(recovered.meta.step)
+        device.close()
+
+    def test_orchestrator_pipelines_on_real_file(self, tmp_path):
+        """Chunked async checkpoints with real fsync; reopen and verify."""
+        path = str(tmp_path / "orch.pc")
+        size = 64 * 1024
+        with open_checkpointer(path, capacity_bytes=size, num_concurrent=3,
+                               writer_threads=2, chunk_size=8 * 1024,
+                               num_chunks=4) as ckpt:
+            handles = [
+                ckpt.orchestrator.checkpoint_async(
+                    BytesSource(payload_for(step, size)), step=step
+                )
+                for step in range(1, 13)
+            ]
+            results = [handle.wait() for handle in handles]
+            assert sum(r.committed for r in results) >= 1
+        with open_checkpointer(path, capacity_bytes=size) as ckpt:
+            assert ckpt.recovered is not None
+            step = ckpt.recovered.meta.step
+            assert ckpt.recovered.payload == payload_for(step, size)
+
+    def test_interleaved_writers_and_reader(self, tmp_path):
+        """A reader polling recovery mid-flight must always see a valid,
+        monotonically advancing checkpoint (readers never block writers)."""
+        size = 4096
+        slot_size = size + RECORD_SIZE
+        geometry = Geometry(num_slots=4, slot_size=slot_size)
+        device = FileBackedSSD(str(tmp_path / "rw.pc"),
+                               capacity=geometry.total_size)
+        layout = DeviceLayout.format(device, num_slots=4, slot_size=slot_size)
+        engine = CheckpointEngine(layout, writer_threads=2)
+        stop = threading.Event()
+        observed = []
+        errors = []
+
+        def reader():
+            from repro.core.recovery import try_recover
+
+            while not stop.is_set():
+                try:
+                    recovered = try_recover(layout)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+                if recovered is not None:
+                    observed.append(
+                        (recovered.source, recovered.meta, recovered.payload)
+                    )
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            list(pool.map(
+                lambda i: engine.checkpoint(payload_for(i, size), step=i),
+                range(1, 31),
+            ))
+        stop.set()
+        thread.join()
+        assert not errors
+        # Every observation is a complete checkpoint (never torn).
+        for _, meta, payload in observed:
+            assert payload == payload_for(meta.step, size)
+        # The commit record itself is monotone.  (The slot-scan fallback
+        # may transiently surface a fully persisted but not-yet-committed
+        # checkpoint, which is newer — safe, but not ordered w.r.t. the
+        # record, so only commit-record observations are compared.)
+        committed = [meta.counter for source, meta, _ in observed
+                     if source == "commit-record"]
+        assert committed == sorted(committed)
+        device.close()

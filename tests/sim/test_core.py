@@ -1,0 +1,199 @@
+"""Tests for the DES kernel: events, processes, semaphores."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.core import Event, Semaphore, Simulator, all_of
+
+
+class TestSimulatorBasics:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert fired == [5.0]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+
+        def proc(delay, tag):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        sim.process(proc(3.0, "c"))
+        sim.process(proc(1.0, "a"))
+        sim.process(proc(2.0, "b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("x", "y", "z"):
+            sim.process(proc(tag))
+        sim.run()
+        assert order == ["x", "y", "z"]
+
+    def test_run_until_stops_the_clock(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(100.0)
+
+        sim.process(proc())
+        assert sim.run(until=10.0) == 10.0
+        assert sim.now == 10.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_timeout_value_passthrough(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            value = yield sim.timeout(1.0, value="payload")
+            got.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["payload"]
+
+
+class TestEvents:
+    def test_manual_event_resumes_waiter(self):
+        sim = Simulator()
+        gate = sim.event()
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append((sim.now, value))
+
+        def opener():
+            yield sim.timeout(4.0)
+            gate.succeed("open")
+
+        sim.process(waiter())
+        sim.process(opener())
+        sim.run()
+        assert log == [(4.0, "open")]
+
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_callback_on_already_triggered_event_runs_immediately(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(7)
+        got = []
+        event.add_callback(lambda e: got.append(e.value))
+        assert got == [7]
+
+    def test_process_done_event_carries_return_value(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(2.0)
+            return 42
+
+        results = []
+
+        def parent():
+            value = yield sim.process(child()).done
+            results.append(value)
+
+        sim.process(parent())
+        sim.run()
+        assert results == [42]
+
+    def test_yielding_non_event_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield 5
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestSemaphore:
+    def test_tokens_grant_immediately(self):
+        sim = Simulator()
+        sem = Semaphore(sim, tokens=2)
+        grants = []
+
+        def proc(tag):
+            yield sem.acquire()
+            grants.append((tag, sim.now))
+
+        sim.process(proc("a"))
+        sim.process(proc("b"))
+        sim.run()
+        assert [tag for tag, _ in grants] == ["a", "b"]
+        assert sem.available == 0
+
+    def test_waiters_fifo_on_release(self):
+        sim = Simulator()
+        sem = Semaphore(sim, tokens=1)
+        order = []
+
+        def holder():
+            yield sem.acquire()
+            yield sim.timeout(5.0)
+            sem.release()
+
+        def waiter(tag, arrive):
+            yield sim.timeout(arrive)
+            yield sem.acquire()
+            order.append((tag, sim.now))
+            sem.release()
+
+        sim.process(holder())
+        sim.process(waiter("first", 1.0))
+        sim.process(waiter("second", 2.0))
+        sim.run()
+        assert order == [("first", 5.0), ("second", 5.0)]
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(SimulationError):
+            Semaphore(Simulator(), tokens=-1)
+
+
+class TestAllOf:
+    def test_barrier_waits_for_all(self):
+        sim = Simulator()
+        events = [sim.timeout(t) for t in (1.0, 5.0, 3.0)]
+        done_at = []
+
+        def proc():
+            yield all_of(sim, events)
+            done_at.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done_at == [5.0]
+
+    def test_empty_barrier_fires_immediately(self):
+        sim = Simulator()
+        barrier = all_of(sim, [])
+        assert barrier.triggered

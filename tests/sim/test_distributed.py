@@ -1,0 +1,129 @@
+"""Tests for the explicit multi-worker distributed simulation."""
+
+import pytest
+
+from repro.core.config import PCcheckConfig
+from repro.errors import SimulationError
+from repro.sim.distributed import (
+    DistributedPCcheckSim,
+    run_distributed_throughput,
+)
+from repro.sim.runner import pccheck_default_config, run_throughput
+from repro.sim.workloads import get_workload
+
+
+def config_for(workload_name, **overrides):
+    workload = get_workload(workload_name)
+    m = workload.partition_bytes
+    defaults = dict(num_concurrent=2, writer_threads=2,
+                    chunk_size=int(m / 4), num_chunks=8)
+    defaults.update(overrides)
+    return PCcheckConfig(**defaults)
+
+
+class TestValidation:
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            DistributedPCcheckSim(get_workload("opt_2_7b"), interval=0)
+
+    def test_wrong_straggler_count_rejected(self):
+        with pytest.raises(SimulationError):
+            DistributedPCcheckSim(
+                get_workload("opt_2_7b"), interval=10,
+                straggler_factors=[1.0],  # world size is 2
+            )
+
+    def test_nonpositive_straggler_rejected(self):
+        with pytest.raises(SimulationError):
+            DistributedPCcheckSim(
+                get_workload("opt_2_7b"), interval=10,
+                straggler_factors=[1.0, 0.0],
+            )
+
+
+class TestSymmetricWorkers:
+    def test_matches_single_worker_shortcut(self):
+        """With symmetric workers the explicit simulation agrees with the
+        representative-worker shortcut used by the figure generators."""
+        config = config_for("opt_2_7b")
+        explicit = run_distributed_throughput(
+            "opt_2_7b", 25, config=config, num_iterations=200
+        )
+        shortcut = run_throughput(
+            "opt_2_7b", "pccheck", 25, config=config, num_iterations=200
+        )
+        assert explicit.throughput == pytest.approx(
+            shortcut.throughput, rel=0.02
+        )
+
+    def test_barrier_skew_is_zero_for_symmetric_workers(self):
+        """§3.1: the coordination step "has negligible overhead" — with
+        identical workers the commits land simultaneously."""
+        result = run_distributed_throughput(
+            "bloom_7b", 25, config=config_for("bloom_7b"),
+            num_iterations=100,
+        )
+        assert result.mean_barrier_skew == pytest.approx(0.0, abs=1e-9)
+
+    def test_world_size_comes_from_table3(self):
+        result = run_distributed_throughput(
+            "opt_2_7b", 50, config=config_for("opt_2_7b"), num_iterations=100
+        )
+        assert result.world_size == 2
+        result = run_distributed_throughput(
+            "bloom_7b", 50, config=config_for("bloom_7b"), num_iterations=100
+        )
+        assert result.world_size == 6
+
+    def test_moderate_frequency_near_ideal(self):
+        """BLOOM-7B at f>=10 runs at the no-checkpoint rate (Fig 8f)."""
+        result = run_distributed_throughput(
+            "bloom_7b", 10, config=config_for("bloom_7b"), num_iterations=200
+        )
+        assert result.slowdown < 1.03
+
+
+class TestStragglers:
+    def test_slow_worker_creates_barrier_skew(self):
+        factors = [1.0, 0.4]  # rank 1 has a 2.5x slower disk
+        result = run_distributed_throughput(
+            "opt_2_7b", 10, config=config_for("opt_2_7b"),
+            num_iterations=150, straggler_factors=factors,
+        )
+        assert result.mean_barrier_skew > 0
+
+    def test_straggler_throttles_the_whole_pipeline_under_pressure(self):
+        """At fine intervals the straggler's slot-holding (the §4.1
+        barrier keeps old slots alive) slows every worker."""
+        config = config_for("opt_2_7b")
+        balanced = run_distributed_throughput(
+            "opt_2_7b", 5, config=config, num_iterations=150,
+        )
+        skewed = run_distributed_throughput(
+            "opt_2_7b", 5, config=config, num_iterations=150,
+            straggler_factors=[1.0, 0.25],
+        )
+        assert skewed.throughput < balanced.throughput
+
+    def test_straggler_harmless_at_coarse_intervals(self):
+        config = config_for("opt_2_7b")
+        skewed = run_distributed_throughput(
+            "opt_2_7b", 100, config=config, num_iterations=300,
+            straggler_factors=[1.0, 0.5],
+        )
+        assert skewed.slowdown < 1.05
+
+
+class TestSingleWorkerDegenerate:
+    def test_world_of_one_behaves_like_plain_pccheck(self):
+        config = config_for("opt_1_3b")
+        explicit = run_distributed_throughput(
+            "opt_1_3b", 25, config=config, num_iterations=200
+        )
+        shortcut = run_throughput(
+            "opt_1_3b", "pccheck", 25, config=config, num_iterations=200
+        )
+        assert explicit.world_size == 1
+        assert explicit.throughput == pytest.approx(
+            shortcut.throughput, rel=0.02
+        )

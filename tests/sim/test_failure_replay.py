@@ -1,0 +1,79 @@
+"""Tests for the event-level failure replay, cross-validated against the
+analytic goodput model."""
+
+import pytest
+
+from repro.sim.failure_replay import des_goodput
+from repro.sim.goodput import replay_goodput
+from repro.sim.runner import pccheck_default_config
+from repro.sim.traces import andre_gcp_trace, failure_free_trace, periodic_trace
+
+
+class TestBasics:
+    def test_failure_free_goodput_equals_throughput(self):
+        trace = failure_free_trace(600.0)
+        result = des_goodput("vgg16", "checkfreq", 25, trace)
+        analytic = replay_goodput("vgg16", "checkfreq", 25, trace)
+        assert result.goodput == pytest.approx(analytic.throughput, rel=0.02)
+        assert result.wasted_iterations == 0
+
+    def test_failures_waste_iterations(self):
+        trace = periodic_trace(600.0, 120.0)
+        result = des_goodput("vgg16", "checkfreq", 50, trace)
+        assert result.wasted_iterations > 0
+        assert 0 < result.waste_fraction < 1
+
+    def test_final_step_consistent_with_segments(self):
+        trace = periodic_trace(600.0, 150.0)
+        result = des_goodput("vgg16", "gpm", 25, trace)
+        assert result.final_step == result.segments[-1].committed_step
+        for segment in result.segments[:-1]:
+            # Rollback never runs forward: committed <= resume + run.
+            assert segment.committed_step <= (
+                segment.resume_step + segment.iterations_run
+            )
+
+    def test_committed_step_is_checkpoint_aligned_mid_trace(self):
+        """At a failure the recovery point is a checkpoint boundary."""
+        trace = periodic_trace(600.0, 100.0)
+        result = des_goodput("vgg16", "traditional", 25, trace)
+        for segment in result.segments[:-1]:
+            lost_into_segment = segment.committed_step - segment.resume_step
+            assert lost_into_segment % 25 == 0
+
+
+class TestCrossValidation:
+    """The DES replay and the analytic model must agree on shape."""
+
+    @pytest.mark.parametrize("strategy", ["checkfreq", "gpm", "pccheck"])
+    def test_goodput_within_band_of_analytic_model(self, strategy):
+        trace = andre_gcp_trace()
+        config = (pccheck_default_config("opt_1_3b")
+                  if strategy == "pccheck" else None)
+        des = des_goodput("opt_1_3b", strategy, 25, trace, config=config)
+        analytic = replay_goodput("opt_1_3b", strategy, 25, trace,
+                                  config=config)
+        assert des.goodput == pytest.approx(analytic.goodput, rel=0.25)
+
+    def test_des_preserves_the_pccheck_win(self):
+        trace = andre_gcp_trace()
+        config = pccheck_default_config("opt_1_3b")
+        pccheck = des_goodput("opt_1_3b", "pccheck", 10, trace, config=config)
+        checkfreq = des_goodput("opt_1_3b", "checkfreq", 10, trace)
+        assert pccheck.goodput > checkfreq.goodput
+        assert 1.2 < pccheck.goodput / checkfreq.goodput < 3.0
+
+    def test_frequent_checkpoints_waste_less_work(self):
+        trace = periodic_trace(4000.0, 400.0)
+        fine = des_goodput("opt_1_3b", "pccheck", 10, trace,
+                           config=pccheck_default_config("opt_1_3b"))
+        coarse = des_goodput("opt_1_3b", "pccheck", 100, trace,
+                             config=pccheck_default_config("opt_1_3b"))
+        assert fine.wasted_iterations < coarse.wasted_iterations
+
+    def test_gemini_skips_reattach_cost(self):
+        """Gemini recovers from remote DRAM: no pd-ssd reattach."""
+        trace = periodic_trace(2000.0, 200.0)
+        gemini = des_goodput("opt_2_7b", "gemini", 50, trace)
+        for segment in gemini.segments[1:]:
+            assert segment.recovery_overhead < 15  # no 5.5 s reattach term

@@ -1,0 +1,104 @@
+"""Tests pinning the hardware/workload catalogs to the paper's constants."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.hardware import (
+    A2_HIGHGPU_1G,
+    H100_VM,
+    PMEM_MACHINE,
+    PMEM_MACHINE_CLWB,
+    get_machine,
+)
+from repro.sim.workloads import (
+    FIGURE8_INTERVALS,
+    FIGURE8_MODELS,
+    WORKLOADS,
+    get_workload,
+)
+
+GB = 1e9
+
+
+class TestMachineCatalog:
+    def test_pdssd_naive_path_matches_the_37_second_measurement(self):
+        """§1: 16 GB of OPT-1.3B state takes 37 s with torch.save+flush."""
+        seconds = 16.2 * GB / A2_HIGHGPU_1G.storage.per_thread_bandwidth
+        assert seconds == pytest.approx(37.0, abs=0.1)
+
+    def test_network_is_15_gbps(self):
+        assert A2_HIGHGPU_1G.network_bandwidth == pytest.approx(15e9 / 8)
+
+    def test_pmem_bandwidths_match_section_3_3(self):
+        assert PMEM_MACHINE.storage.write_bandwidth == pytest.approx(4.01 * GB)
+        assert PMEM_MACHINE_CLWB.storage.write_bandwidth == pytest.approx(
+            2.46 * GB
+        )
+
+    def test_h100_halves_iterations_and_doubles_disk(self):
+        assert H100_VM.iteration_scale == pytest.approx(0.5)
+        assert H100_VM.storage.write_bandwidth == pytest.approx(
+            2 * A2_HIGHGPU_1G.storage.write_bandwidth
+        )
+
+    def test_reattach_time_is_5_5_seconds(self):
+        """§5.2.3: reattaching a pd-ssd takes around 5.5 s."""
+        assert A2_HIGHGPU_1G.reattach_seconds == pytest.approx(5.5)
+
+    def test_writer_cap_saturates_at_device_bandwidth(self):
+        storage = A2_HIGHGPU_1G.storage
+        assert storage.writer_cap(1) == pytest.approx(storage.per_thread_bandwidth)
+        assert storage.writer_cap(10) == pytest.approx(storage.write_bandwidth)
+
+    def test_writer_cap_rejects_zero_threads(self):
+        with pytest.raises(ConfigError):
+            A2_HIGHGPU_1G.storage.writer_cap(0)
+
+    def test_machine_lookup(self):
+        assert get_machine("a2-highgpu-1g") is A2_HIGHGPU_1G
+        with pytest.raises(ConfigError):
+            get_machine("tpu-v9")
+
+
+class TestWorkloadCatalog:
+    def test_table3_checkpoint_sizes(self):
+        expected = {
+            "vgg16": 1.1, "bert": 4.0, "transformer_xl": 2.7,
+            "opt_350m": 4.2, "opt_1_3b": 16.2, "opt_2_7b": 45.0,
+            "bloom_7b": 108.0,
+        }
+        for name, size_gb in expected.items():
+            assert WORKLOADS[name].checkpoint_bytes == pytest.approx(
+                size_gb * GB
+            )
+
+    def test_distributed_partitions(self):
+        assert get_workload("opt_2_7b").partition_bytes == pytest.approx(
+            22.5 * GB
+        )
+        assert get_workload("bloom_7b").partition_bytes == pytest.approx(
+            18.0 * GB
+        )
+
+    def test_opt13b_anchor_from_goodput_example(self):
+        """§5.2.3: PCcheck at ~0.5 it/s with small overhead implies a
+        ~1.9 s iteration."""
+        workload = get_workload("opt_1_3b")
+        assert 1.0 / workload.iteration_time == pytest.approx(0.526, abs=0.01)
+
+    def test_figure8_panels_are_the_six_table3_models(self):
+        assert FIGURE8_MODELS == [
+            "vgg16", "bert", "transformer_xl", "opt_1_3b", "opt_2_7b",
+            "bloom_7b",
+        ]
+        assert FIGURE8_INTERVALS == [1, 10, 25, 50, 100]
+
+    def test_machine_scaling_applies_to_iteration_time(self):
+        workload = get_workload("bert")
+        assert workload.scaled_iteration_time(0.5) == pytest.approx(
+            workload.iteration_time / 2
+        )
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            get_workload("gpt5")

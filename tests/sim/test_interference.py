@@ -1,0 +1,64 @@
+"""Tests for the optional CPU/input-pipeline interference model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.runner import run_throughput
+from repro.sim.strategies.base import SimContext
+from repro.sim.hardware import A2_HIGHGPU_1G
+from repro.sim.workloads import get_workload
+
+
+class TestInterferenceModel:
+    def test_default_is_off(self):
+        result = run_throughput("vgg16", "checkfreq", 100, num_iterations=400)
+        assert result.slowdown < 1.02
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(SimulationError):
+            SimContext.create(A2_HIGHGPU_1G, get_workload("vgg16"), 10,
+                              interference_factor=-0.1)
+
+    def test_interference_slows_overlapped_baselines(self):
+        """With persists overlapped, interference is the only residual
+        cost — it must surface in the slowdown."""
+        clean = run_throughput("opt_1_3b", "checkfreq", 50)
+        noisy = run_throughput("opt_1_3b", "checkfreq", 50,
+                               interference_factor=0.4)
+        assert clean.slowdown < 1.05
+        assert noisy.slowdown > clean.slowdown + 0.05
+
+    def test_interference_closes_the_paper_gap(self):
+        """§5.2.1 reports CheckFreq at 1.17x on OPT-1.3B at f=50 even
+        though the persist is fully overlapped; with a ~40% interference
+        factor the fluid model lands in the same regime."""
+        noisy = run_throughput("opt_1_3b", "checkfreq", 50,
+                               interference_factor=0.45)
+        assert 1.08 < noisy.slowdown < 1.30
+
+    def test_ideal_strategy_immune_to_interference(self):
+        """No I/O in flight -> nothing to interfere with."""
+        result = run_throughput("vgg16", "ideal", 10,
+                                interference_factor=0.5)
+        assert result.slowdown == pytest.approx(1.0)
+
+    def test_gemini_unaffected_when_transfer_overlaps_the_stall(self):
+        """Gemini's U-consistency stall spans the whole network transfer,
+        so no iteration actually executes while the flow is active — the
+        interference term has nothing to inflate."""
+        clean = run_throughput("opt_2_7b", "gemini", 50)
+        noisy = run_throughput("opt_2_7b", "gemini", 50,
+                               interference_factor=0.4)
+        assert noisy.slowdown == pytest.approx(clean.slowdown)
+
+    def test_pccheck_still_beats_checkfreq_under_interference(self):
+        """Interference hits PCcheck harder in absolute terms (its
+        persists span more wall time at fine f), but it still wins."""
+        from repro.sim.runner import pccheck_default_config
+
+        config = pccheck_default_config("opt_1_3b")
+        pccheck = run_throughput("opt_1_3b", "pccheck", 10, config=config,
+                                 interference_factor=0.2)
+        checkfreq = run_throughput("opt_1_3b", "checkfreq", 10,
+                                   interference_factor=0.2)
+        assert pccheck.throughput > checkfreq.throughput

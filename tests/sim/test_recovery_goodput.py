@@ -1,0 +1,174 @@
+"""Tests for the recovery-time model (Eq. 4), traces, and goodput replay."""
+
+import pytest
+
+from repro.core.config import PCcheckConfig
+from repro.errors import SimulationError
+from repro.sim.goodput import replay_goodput
+from repro.sim.hardware import A2_HIGHGPU_1G
+from repro.sim.recovery import load_time, recovery_model
+from repro.sim.runner import pccheck_default_config, run_throughput
+from repro.sim.traces import (
+    andre_gcp_trace,
+    failure_free_trace,
+    periodic_trace,
+)
+from repro.sim.workloads import get_workload
+
+
+class TestRecoveryModel:
+    def test_equation4_bound_structure(self):
+        """PCcheck: recovery <= l + f·t + t·min(N·f, Tw/t)."""
+        workload = get_workload("opt_1_3b")
+        t = workload.iteration_time
+        model = recovery_model(
+            "pccheck", workload, interval=10, tw_seconds=40.0, num_concurrent=2
+        )
+        expected_lost = 10 + min(2 * 10, 40.0 / t)
+        assert model.max_lost_iterations == pytest.approx(expected_lost)
+        assert model.worst_case_seconds == pytest.approx(
+            model.load_seconds + expected_lost * t
+        )
+
+    def test_checkfreq_bound_is_two_intervals(self):
+        workload = get_workload("bert")
+        model = recovery_model("checkfreq", workload, 25, tw_seconds=10.0)
+        assert model.max_lost_iterations == 50
+
+    def test_gpm_bound_is_one_interval(self):
+        workload = get_workload("bert")
+        model = recovery_model("gpm", workload, 25, tw_seconds=10.0)
+        assert model.max_lost_iterations == 25
+
+    def test_average_is_half_worst_case_reexecution(self):
+        workload = get_workload("vgg16")
+        model = recovery_model("checkfreq", workload, 10, tw_seconds=2.0)
+        assert model.average_seconds == pytest.approx(
+            model.load_seconds + 0.5 * 20 * workload.iteration_time
+        )
+
+    def test_load_time_uses_partition_for_distributed(self):
+        bloom = get_workload("bloom_7b")
+        opt = get_workload("opt_1_3b")
+        # BLOOM's 108 GB is split over 6 VMs -> 18 GB per worker, so its
+        # load time is close to OPT-1.3B's 16.2 GB, not 6.7x larger.
+        ratio = load_time(bloom, A2_HIGHGPU_1G) / load_time(opt, A2_HIGHGPU_1G)
+        assert ratio == pytest.approx(18.0 / 16.2, rel=0.01)
+
+    def test_pccheck_frequent_checkpoints_cut_recovery(self):
+        """§5.2.2: checkpointing every 10 instead of 100 iterations cuts
+        recovery time roughly 10x."""
+        workload = get_workload("bert")
+        coarse = recovery_model("pccheck", workload, 100, tw_seconds=6.0)
+        fine = recovery_model("pccheck", workload, 10, tw_seconds=6.0)
+        # The re-execution term scales ~10x; the constant load time l
+        # dilutes the end-to-end ratio.
+        coarse_redo = coarse.worst_case_seconds - coarse.load_seconds
+        fine_redo = fine.worst_case_seconds - fine.load_seconds
+        assert coarse_redo > 3.5 * fine_redo
+        assert coarse.worst_case_seconds > 2.5 * fine.worst_case_seconds
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SimulationError):
+            recovery_model("??", get_workload("bert"), 10, tw_seconds=1.0)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            recovery_model("gpm", get_workload("bert"), 0, tw_seconds=1.0)
+
+
+class TestTraces:
+    def test_andre_trace_is_deterministic(self):
+        assert andre_gcp_trace(seed=42).events == andre_gcp_trace(seed=42).events
+
+    def test_andre_trace_matches_published_scale(self):
+        """~ one cluster preemption event every 8-12 minutes over 16h."""
+        trace = andre_gcp_trace()
+        assert trace.duration == 16 * 3600
+        per_hour = trace.num_failures / 16
+        assert 4 <= per_hour <= 12
+
+    def test_events_sorted_and_in_window(self):
+        trace = andre_gcp_trace()
+        events = list(trace.events)
+        assert events == sorted(events)
+        assert all(0 <= e <= trace.duration for e in events)
+
+    def test_uptime_segments_sum_to_duration(self):
+        trace = andre_gcp_trace()
+        assert sum(trace.uptime_segments()) == pytest.approx(trace.duration)
+        assert len(trace.uptime_segments()) == trace.num_failures + 1
+
+    def test_periodic_trace(self):
+        trace = periodic_trace(100.0, 30.0)
+        assert trace.events == (30.0, 60.0, 90.0)
+
+    def test_failure_free_trace(self):
+        trace = failure_free_trace(1000.0)
+        assert trace.num_failures == 0
+        assert trace.uptime_segments() == [1000.0]
+
+    def test_invalid_trace_rejected(self):
+        from repro.sim.traces import PreemptionTrace
+
+        with pytest.raises(SimulationError):
+            PreemptionTrace("bad", 10.0, events=(5.0, 3.0))
+        with pytest.raises(SimulationError):
+            PreemptionTrace("bad", 10.0, events=(15.0,))
+
+
+class TestGoodput:
+    def test_no_failures_means_goodput_equals_throughput(self):
+        trace = failure_free_trace(3600.0)
+        result = replay_goodput("vgg16", "checkfreq", 25, trace)
+        assert result.goodput == pytest.approx(result.throughput)
+        assert result.efficiency == pytest.approx(1.0)
+
+    def test_failures_reduce_goodput(self):
+        healthy = replay_goodput("vgg16", "checkfreq", 25,
+                                 failure_free_trace(16 * 3600.0))
+        failing = replay_goodput("vgg16", "checkfreq", 25, andre_gcp_trace())
+        assert failing.goodput < healthy.goodput
+
+    def test_goodput_never_negative_or_above_throughput(self):
+        trace = periodic_trace(3600.0, 60.0)  # failure every minute
+        result = replay_goodput("opt_1_3b", "checkfreq", 100, trace)
+        assert 0.0 <= result.goodput <= result.throughput
+
+    def test_pccheck_beats_baselines_on_the_trace(self):
+        """Figure 9's headline: PCcheck dominates at fine intervals."""
+        trace = andre_gcp_trace()
+        config = pccheck_default_config("opt_1_3b")
+        pccheck = replay_goodput("opt_1_3b", "pccheck", 10, trace, config=config)
+        checkfreq = replay_goodput("opt_1_3b", "checkfreq", 10, trace)
+        gpm = replay_goodput("opt_1_3b", "gpm", 10, trace)
+        assert pccheck.goodput > checkfreq.goodput
+        assert pccheck.goodput > gpm.goodput
+        # §5.2.3 example: 1.77x over CheckFreq at f=10 — allow a band.
+        assert 1.3 < pccheck.goodput / checkfreq.goodput < 2.6
+
+    def test_optimal_interval_is_fine_grained_for_pccheck(self):
+        """§5.2.3: on this trace it is optimal to checkpoint every 10-25
+        iterations; goodput at coarse intervals is lower."""
+        trace = andre_gcp_trace()
+        config = pccheck_default_config("opt_1_3b")
+        by_interval = {
+            interval: replay_goodput(
+                "opt_1_3b", "pccheck", interval, trace, config=config
+            ).goodput
+            for interval in (10, 25, 100)
+        }
+        assert max(by_interval, key=by_interval.get) in (10, 25)
+
+    def test_periodic_trace_analytic_check(self):
+        """On an evenly spaced trace the replay matches hand arithmetic."""
+        trace = periodic_trace(10_000.0, 1000.0)  # 9 failures
+        result = replay_goodput("vgg16", "ideal", 10, trace)
+        workload = get_workload("vgg16")
+        t = workload.iteration_time
+        model = recovery_model("ideal", workload, 10, tw_seconds=0.0)
+        per_failure = model.load_seconds + A2_HIGHGPU_1G.reattach_seconds
+        progress = 10_000.0 - 9 * per_failure
+        lost = 9 * model.average_lost_iterations
+        expected = (progress / t - lost) / 10_000.0
+        assert result.goodput == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,152 @@
+"""Tests for the simulation runners and cross-model consistency."""
+
+import pytest
+
+from repro.core.autotune import expected_runtime, tune
+from repro.core.config import PCcheckConfig, SystemParameters, UserConstraints
+from repro.errors import ConfigError, SimulationError
+from repro.sim.hardware import A2_HIGHGPU_1G, H100_VM
+from repro.sim.runner import (
+    baseline_throughput,
+    default_iterations,
+    measure_tw,
+    pccheck_default_config,
+    persist_time,
+    run_throughput,
+    simulated_tw_probe,
+    sweep_intervals,
+)
+from repro.sim.workloads import get_workload
+
+
+class TestRunnerBasics:
+    def test_default_iterations_scale_with_interval(self):
+        workload = get_workload("vgg16")
+        assert default_iterations(workload, 1) == 200
+        assert default_iterations(workload, 100) == 2000
+
+    def test_baseline_throughput_is_inverse_iteration_time(self):
+        assert baseline_throughput("vgg16") == pytest.approx(1 / 0.06)
+        assert baseline_throughput("vgg16", H100_VM) == pytest.approx(2 / 0.06)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            run_throughput("resnet-9000", "ideal", 10)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError):
+            run_throughput("vgg16", "magic", 10)
+
+    def test_sweep_returns_one_result_per_interval(self):
+        results = sweep_intervals("vgg16", "ideal", [1, 10, 100])
+        assert set(results) == {1, 10, 100}
+        assert all(r.slowdown == pytest.approx(1.0) for r in results.values())
+
+    def test_result_contains_stall_breakdown(self):
+        result = run_throughput("vgg16", "traditional", 10, num_iterations=50)
+        assert result.checkpoint_stall_seconds > 0
+        assert result.update_stall_seconds == 0
+
+
+class TestPersistTimeModel:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SimulationError):
+            persist_time(1e9, "magic")
+
+    def test_ideal_is_free(self):
+        assert persist_time(1e9, "ideal") == 0.0
+
+    def test_model_matches_des_measurement(self):
+        """The closed-form persist_time must agree with the DES-measured
+        Tw when there is no training contention (N=1, coarse interval)."""
+        m = get_workload("opt_1_3b").checkpoint_bytes
+        config = PCcheckConfig(num_concurrent=1, writer_threads=2,
+                               chunk_size=int(m / 4), num_chunks=8)
+        modelled = persist_time(m, "pccheck", config=config)
+        measured = measure_tw("opt_1_3b", interval=100, num_concurrent=1,
+                              writer_threads=2)
+        assert measured == pytest.approx(modelled, rel=0.10)
+
+    def test_checkfreq_model_matches_des(self):
+        result = run_throughput("bert", "checkfreq", 100, num_iterations=300)
+        modelled = persist_time(4.0e9, "checkfreq")
+        assert result.mean_tw == pytest.approx(modelled, rel=0.05)
+
+
+class TestRuntimeModelCrossValidation:
+    """§3.4's closed-form runtime model vs the DES, where comparable."""
+
+    def test_expected_runtime_tracks_des_in_stall_regime(self):
+        """Non-pipelined PCcheck, N=1, Tw >> f·t: both models are
+        dominated by Tw per checkpoint."""
+        workload = get_workload("opt_1_3b")
+        interval = 5
+        iterations = 200
+        config = PCcheckConfig(num_concurrent=1, writer_threads=1,
+                               chunk_size=None, num_chunks=2)
+        des = run_throughput("opt_1_3b", "pccheck", interval,
+                             config=config, num_iterations=iterations)
+        tw = des.mean_tw
+        modelled = expected_runtime(
+            total_iterations=iterations,
+            iteration_time=workload.iteration_time,
+            interval=interval,
+            num_concurrent=1,
+            tw=tw,
+        )
+        assert des.wall_seconds == pytest.approx(modelled, rel=0.15)
+
+    def test_expected_runtime_tracks_des_in_overlap_regime(self):
+        """Tw << f·t: both models collapse to A·t."""
+        workload = get_workload("vgg16")
+        config = PCcheckConfig(num_concurrent=2, writer_threads=2,
+                               chunk_size=None, num_chunks=3)
+        des = run_throughput("vgg16", "pccheck", 100, config=config,
+                             num_iterations=1000)
+        modelled = expected_runtime(1000, workload.iteration_time, 100, 2,
+                                    des.mean_tw)
+        assert des.wall_seconds == pytest.approx(modelled, rel=0.10)
+
+
+class TestSimulatedTwProbe:
+    def test_probe_feeds_the_tuner(self):
+        workload = get_workload("vgg16")
+        system = SystemParameters(
+            pcie_bandwidth=A2_HIGHGPU_1G.pcie_bandwidth,
+            storage_bandwidth=A2_HIGHGPU_1G.storage.write_bandwidth,
+            iteration_time=workload.iteration_time,
+            checkpoint_size=int(workload.checkpoint_bytes),
+        )
+        constraints = UserConstraints(
+            dram_budget=int(2 * workload.checkpoint_bytes),
+            storage_budget=int(8 * workload.checkpoint_bytes),
+            max_slowdown=1.05,
+        )
+        result = tune(simulated_tw_probe("vgg16"), system, constraints,
+                      max_candidates=3)
+        assert 1 <= result.num_concurrent <= 3
+        assert result.interval >= 1
+        # Tw grows with contention but Tw/N should not explode.
+        tws = list(result.candidates.values())
+        assert tws == sorted(tws)  # more concurrency -> more contention
+
+    def test_tuned_interval_meets_the_slowdown_budget(self):
+        """End-to-end §3.4 workflow: tune, then verify by simulation."""
+        workload = get_workload("bert")
+        q = 1.05
+        system = SystemParameters(
+            pcie_bandwidth=A2_HIGHGPU_1G.pcie_bandwidth,
+            storage_bandwidth=A2_HIGHGPU_1G.storage.write_bandwidth,
+            iteration_time=workload.iteration_time,
+            checkpoint_size=int(workload.checkpoint_bytes),
+        )
+        constraints = UserConstraints(
+            dram_budget=int(2 * workload.checkpoint_bytes),
+            storage_budget=int(8 * workload.checkpoint_bytes),
+            max_slowdown=q,
+        )
+        tuned = tune(simulated_tw_probe("bert"), system, constraints)
+        config = pccheck_default_config("bert")
+        verification = run_throughput("bert", "pccheck", tuned.interval,
+                                      config=config)
+        assert verification.slowdown <= q + 0.02

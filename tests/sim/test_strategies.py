@@ -1,0 +1,211 @@
+"""Tests for the simulated strategy process models."""
+
+import pytest
+
+from repro.core.config import PCcheckConfig
+from repro.sim.hardware import A2_HIGHGPU_1G
+from repro.sim.runner import (
+    baseline_throughput,
+    pccheck_default_config,
+    run_throughput,
+)
+from repro.sim.strategies import STRATEGY_SIMS, get_strategy_sim
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_all_strategies_registered(self):
+        assert set(STRATEGY_SIMS) == {
+            "ideal", "traditional", "gpm", "checkfreq", "gemini", "pccheck",
+        }
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError):
+            get_strategy_sim("nope")
+
+
+class TestIdeal:
+    def test_ideal_has_zero_overhead(self):
+        result = run_throughput("vgg16", "ideal", 10, num_iterations=100)
+        assert result.slowdown == pytest.approx(1.0)
+        assert result.throughput == pytest.approx(baseline_throughput("vgg16"))
+
+    def test_ideal_counts_checkpoints(self):
+        result = run_throughput("vgg16", "ideal", 10, num_iterations=100)
+        assert result.checkpoints == 10
+
+
+class TestTraditional:
+    def test_stall_matches_copy_plus_persist(self):
+        """Figure 3: each checkpoint stalls for C + P exactly."""
+        result = run_throughput("vgg16", "traditional", 10, num_iterations=100)
+        machine = A2_HIGHGPU_1G
+        m = 1.1e9
+        per_checkpoint = m / machine.pcie_bandwidth + m / machine.storage.writer_cap(1)
+        expected_wall = 100 * 0.06 + 10 * per_checkpoint
+        assert result.wall_seconds == pytest.approx(expected_wall, rel=1e-6)
+
+    def test_tw_is_copy_plus_persist(self):
+        result = run_throughput("vgg16", "traditional", 50, num_iterations=100)
+        machine = A2_HIGHGPU_1G
+        expected = 1.1e9 / machine.pcie_bandwidth + 1.1e9 / machine.storage.writer_cap(1)
+        assert result.mean_tw == pytest.approx(expected, rel=1e-6)
+
+
+class TestCheckFreq:
+    def test_no_stall_at_low_frequency(self):
+        """When f·t >> Tw, CheckFreq fully overlaps (near-zero overhead)."""
+        result = run_throughput("vgg16", "checkfreq", 100, num_iterations=400)
+        assert result.slowdown < 1.02
+
+    def test_high_frequency_serialises_on_persist(self):
+        """At f=1 each checkpoint must wait for the previous persist."""
+        result = run_throughput("vgg16", "checkfreq", 1, num_iterations=50)
+        machine = A2_HIGHGPU_1G
+        tw = 1.1e9 / machine.pcie_bandwidth + 1.1e9 / machine.storage.writer_cap(1)
+        # Steady-state period per iteration ~ Tw (>> t = 60 ms).
+        assert result.slowdown == pytest.approx(tw / 0.06, rel=0.15)
+
+    def test_calibration_anchor_opt13b_f10(self):
+        """§5.2.3 states CheckFreq reaches 0.256 iters/sec on OPT-1.3B at
+        f=10 — the simulator must land within 5%."""
+        result = run_throughput("opt_1_3b", "checkfreq", 10)
+        assert result.throughput == pytest.approx(0.256, rel=0.05)
+
+
+class TestGPM:
+    def test_gpm_beats_checkfreq_at_every_iteration(self):
+        """Figure 8 (a, d–f): GPM outperforms CheckFreq at f=1."""
+        gpm = run_throughput("opt_1_3b", "gpm", 1, num_iterations=40)
+        checkfreq = run_throughput("opt_1_3b", "checkfreq", 1, num_iterations=40)
+        assert gpm.throughput > checkfreq.throughput
+
+    def test_gpm_loses_to_checkfreq_at_moderate_frequency(self):
+        """§5.2.1: GPM's overhead becomes more substantial than CheckFreq
+        at lower checkpointing frequency (it never overlaps)."""
+        gpm = run_throughput("opt_1_3b", "gpm", 50)
+        checkfreq = run_throughput("opt_1_3b", "checkfreq", 50)
+        assert gpm.throughput < checkfreq.throughput
+
+    def test_gpm_stalls_training_completely(self):
+        result = run_throughput("bert", "gpm", 10, num_iterations=100)
+        assert result.checkpoint_stall_seconds > 0
+        assert result.update_stall_seconds == 0
+
+
+class TestGemini:
+    def test_gemini_overhead_shrinks_with_interval(self):
+        """§5.2.1: 1.62×–1.06× slowdown from f=10 to f=100 (OPT-2.7B)."""
+        slow10 = run_throughput("opt_2_7b", "gemini", 10).slowdown
+        slow100 = run_throughput("opt_2_7b", "gemini", 100).slowdown
+        assert slow10 > slow100
+        assert 1.1 < slow10 < 2.0
+        assert slow100 < 1.1
+
+    def test_gemini_unaffected_by_storage_bandwidth(self):
+        """Gemini never touches storage (Table 1)."""
+        result = run_throughput("opt_2_7b", "gemini", 10)
+        assert result.mean_tw == pytest.approx(
+            (45e9 / 2) / A2_HIGHGPU_1G.network_bandwidth, rel=0.01
+        )
+
+
+class TestPCcheck:
+    def test_near_ideal_at_moderate_frequency(self):
+        """§5.2.1: <1.05× slowdown at f≥25 for OPT-1.3B."""
+        config = pccheck_default_config("opt_1_3b")
+        result = run_throughput("opt_1_3b", "pccheck", 25, config=config)
+        assert result.slowdown < 1.05
+
+    def test_beats_checkfreq_everywhere(self):
+        for interval in (1, 10, 50):
+            config = pccheck_default_config("opt_1_3b")
+            pccheck = run_throughput("opt_1_3b", "pccheck", interval, config=config)
+            checkfreq = run_throughput("opt_1_3b", "checkfreq", interval)
+            assert pccheck.throughput >= checkfreq.throughput
+
+    def test_calibration_anchor_opt13b_f10(self):
+        """§5.2.3 states PCcheck reaches ~0.5 iters/sec at f=10."""
+        config = pccheck_default_config("opt_1_3b")
+        result = run_throughput("opt_1_3b", "pccheck", 10, config=config)
+        assert result.throughput == pytest.approx(0.5, rel=0.1)
+
+    def test_concurrency_helps_under_pressure(self):
+        """Figure 12: more concurrent checkpoints reduce slowdown at high
+        frequency (up to saturation)."""
+        slowdowns = {}
+        for n in (1, 2, 4):
+            config = PCcheckConfig(
+                num_concurrent=n, writer_threads=2,
+                chunk_size=int(1.1e9 / 4), num_chunks=2 * 4,
+            )
+            slowdowns[n] = run_throughput(
+                "vgg16", "pccheck", 5, config=config
+            ).slowdown
+        assert slowdowns[2] < slowdowns[1]
+        assert slowdowns[4] <= slowdowns[2] * 1.02  # saturation: no big gain
+
+    def test_more_writer_threads_help(self):
+        """Figure 13: 3 writer threads beat 1 at N=1, f=10."""
+        results = {}
+        for p in (1, 3):
+            config = PCcheckConfig(
+                num_concurrent=1, writer_threads=p,
+                chunk_size=int(4.2e9 / 4), num_chunks=8,
+            )
+            results[p] = run_throughput(
+                "opt_350m", "pccheck", 10, config=config
+            ).slowdown
+        assert results[3] < results[1]
+
+    def test_pipelining_not_worse_than_single_chunk(self):
+        """Figure 14: chunked pipelining >= non-pipelined throughput."""
+        whole = run_throughput(
+            "opt_1_3b", "pccheck", 15,
+            config=PCcheckConfig(num_concurrent=2, writer_threads=2,
+                                 chunk_size=None, num_chunks=2),
+        )
+        chunked = run_throughput(
+            "opt_1_3b", "pccheck", 15,
+            config=PCcheckConfig(num_concurrent=2, writer_threads=2,
+                                 chunk_size=int(16.2e9 / 8), num_chunks=16),
+        )
+        assert chunked.throughput >= whole.throughput * 0.99
+
+    def test_tight_dram_still_functions(self):
+        """Figure 14: a DRAM pool of m (not 2m) costs only a little."""
+        tight = run_throughput(
+            "opt_1_3b", "pccheck", 15,
+            config=PCcheckConfig(num_concurrent=2, writer_threads=2,
+                                 chunk_size=int(16.2e9 / 4), num_chunks=4),
+        )
+        roomy = run_throughput(
+            "opt_1_3b", "pccheck", 15,
+            config=PCcheckConfig(num_concurrent=2, writer_threads=2,
+                                 chunk_size=int(16.2e9 / 4), num_chunks=8),
+        )
+        assert tight.throughput >= roomy.throughput * 0.90
+
+
+class TestOrderingInvariants:
+    """who-wins relations that must hold at every point."""
+
+    @pytest.mark.parametrize("interval", [1, 10, 100])
+    @pytest.mark.parametrize("workload", ["vgg16", "opt_1_3b"])
+    def test_sandwich_traditional_le_strategies_le_ideal(self, workload, interval):
+        ideal = run_throughput(workload, "ideal", interval)
+        traditional = run_throughput(workload, "traditional", interval)
+        config = pccheck_default_config(workload)
+        pccheck = run_throughput(workload, "pccheck", interval, config=config)
+        checkfreq = run_throughput(workload, "checkfreq", interval)
+        eps = 1e-6
+        assert traditional.throughput <= checkfreq.throughput + eps
+        assert checkfreq.throughput <= pccheck.throughput + eps
+        assert pccheck.throughput <= ideal.throughput + eps
+
+    def test_throughput_monotone_in_interval(self):
+        previous = 0.0
+        for interval in (1, 5, 10, 25, 50, 100):
+            result = run_throughput("bert", "checkfreq", interval)
+            assert result.throughput >= previous - 1e-9
+            previous = result.throughput

@@ -1,0 +1,163 @@
+"""Unit and property tests for the dirty-range interval set."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.storage.device import CACHE_LINE, IntervalSet, split_cache_lines
+
+
+class TestIntervalSetBasics:
+    def test_empty_set_is_falsy(self):
+        assert not IntervalSet()
+
+    def test_add_single_interval(self):
+        spans = IntervalSet()
+        spans.add(10, 20)
+        assert list(spans) == [(10, 20)]
+        assert spans.total_bytes() == 10
+
+    def test_add_empty_interval_is_noop(self):
+        spans = IntervalSet()
+        spans.add(5, 5)
+        spans.add(7, 3)
+        assert not spans
+
+    def test_adjacent_intervals_merge(self):
+        spans = IntervalSet()
+        spans.add(0, 10)
+        spans.add(10, 20)
+        assert list(spans) == [(0, 20)]
+
+    def test_overlapping_intervals_merge(self):
+        spans = IntervalSet()
+        spans.add(0, 15)
+        spans.add(10, 25)
+        assert list(spans) == [(0, 25)]
+
+    def test_disjoint_intervals_stay_separate(self):
+        spans = IntervalSet()
+        spans.add(0, 5)
+        spans.add(10, 15)
+        assert list(spans) == [(0, 5), (10, 15)]
+
+    def test_insert_between_disjoint_spans(self):
+        spans = IntervalSet()
+        spans.add(0, 5)
+        spans.add(20, 25)
+        spans.add(10, 12)
+        assert list(spans) == [(0, 5), (10, 12), (20, 25)]
+
+    def test_bridge_merge_covers_many(self):
+        spans = IntervalSet()
+        spans.add(0, 5)
+        spans.add(10, 15)
+        spans.add(20, 25)
+        spans.add(3, 22)
+        assert list(spans) == [(0, 25)]
+
+    def test_remove_middle_splits(self):
+        spans = IntervalSet()
+        spans.add(0, 30)
+        spans.remove(10, 20)
+        assert list(spans) == [(0, 10), (20, 30)]
+
+    def test_remove_exact_interval(self):
+        spans = IntervalSet()
+        spans.add(5, 10)
+        spans.remove(5, 10)
+        assert not spans
+
+    def test_remove_nonexistent_is_noop(self):
+        spans = IntervalSet()
+        spans.add(0, 5)
+        spans.remove(10, 20)
+        assert list(spans) == [(0, 5)]
+
+    def test_intersect(self):
+        spans = IntervalSet()
+        spans.add(0, 10)
+        spans.add(20, 30)
+        assert spans.intersect(5, 25) == [(5, 10), (20, 25)]
+
+    def test_intersect_empty(self):
+        spans = IntervalSet()
+        spans.add(0, 10)
+        assert spans.intersect(15, 20) == []
+
+    def test_clear(self):
+        spans = IntervalSet()
+        spans.add(0, 10)
+        spans.clear()
+        assert not spans
+
+    def test_copy_is_independent(self):
+        spans = IntervalSet()
+        spans.add(0, 10)
+        clone = spans.copy()
+        clone.add(20, 30)
+        assert list(spans) == [(0, 10)]
+        assert list(clone) == [(0, 10), (20, 30)]
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["add", "remove"]),
+            st.integers(0, 200),
+            st.integers(0, 200),
+        ),
+        max_size=40,
+    ),
+    probe=st.integers(0, 199),
+)
+@settings(max_examples=200, deadline=None)
+def test_interval_set_matches_reference_bitmap(ops, probe):
+    """The interval set must agree with a naive per-byte bitmap."""
+    spans = IntervalSet()
+    bitmap = [False] * 200
+    for op, a, b in ops:
+        lo, hi = min(a, b), max(a, b)
+        if op == "add":
+            spans.add(lo, hi)
+            for i in range(lo, hi):
+                bitmap[i] = True
+        else:
+            spans.remove(lo, hi)
+            for i in range(lo, hi):
+                bitmap[i] = False
+    covered = any(lo <= probe < hi for lo, hi in spans)
+    assert covered == bitmap[probe]
+    assert spans.total_bytes() == sum(bitmap)
+    # Intervals stay sorted, disjoint and non-empty.
+    prev_stop = -1
+    for lo, hi in spans:
+        assert lo < hi
+        assert lo > prev_stop
+        prev_stop = hi
+
+
+class TestSplitCacheLines:
+    def test_aligned_range(self):
+        lines = list(split_cache_lines(0, 2 * CACHE_LINE))
+        assert lines == [(0, CACHE_LINE), (CACHE_LINE, 2 * CACHE_LINE)]
+
+    def test_unaligned_range(self):
+        lines = list(split_cache_lines(10, CACHE_LINE))
+        assert lines == [(10, CACHE_LINE), (CACHE_LINE, CACHE_LINE + 10)]
+
+    def test_subline_range(self):
+        assert list(split_cache_lines(5, 20)) == [(5, 25)]
+
+    def test_zero_length(self):
+        assert list(split_cache_lines(100, 0)) == []
+
+    @given(offset=st.integers(0, 1000), length=st.integers(1, 1000))
+    @settings(max_examples=100, deadline=None)
+    def test_lines_exactly_cover_range(self, offset, length):
+        pieces = list(split_cache_lines(offset, length))
+        assert pieces[0][0] == offset
+        assert pieces[-1][1] == offset + length
+        for (_, prev_hi), (lo, _) in zip(pieces, pieces[1:]):
+            assert prev_hi == lo
+        for lo, hi in pieces:
+            assert hi - lo <= CACHE_LINE

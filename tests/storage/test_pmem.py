@@ -1,0 +1,152 @@
+"""Tests for the simulated PMEM persistence-domain model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CrashedDeviceError, OutOfSpaceError, StorageError
+from repro.storage.pmem import SimulatedPMEM
+
+
+@pytest.fixture
+def pmem():
+    return SimulatedPMEM(capacity=4096)
+
+
+class TestVisibility:
+    def test_read_sees_nt_store_before_fence(self, pmem):
+        pmem.nt_store(0, b"hello")
+        assert pmem.read(0, 5) == b"hello"
+
+    def test_read_sees_cached_store(self, pmem):
+        pmem.cached_store(100, b"world")
+        assert pmem.read(100, 5) == b"world"
+
+    def test_default_write_path_uses_nt_stores(self, pmem):
+        pmem.write(0, b"abc")
+        assert pmem.unpersisted_bytes == 3
+        pmem.sfence()
+        assert pmem.unpersisted_bytes == 0
+
+    def test_cached_store_mode(self):
+        pmem = SimulatedPMEM(capacity=1024, use_nt_stores=False)
+        pmem.write(0, b"abc")
+        pmem.sfence()  # fences nothing: no clwb was issued
+        assert pmem.unpersisted_bytes == 3
+
+    def test_out_of_range_write_rejected(self, pmem):
+        with pytest.raises(OutOfSpaceError):
+            pmem.write(4090, b"too long")
+
+    def test_negative_offset_rejected(self, pmem):
+        with pytest.raises(StorageError):
+            pmem.read(-1, 4)
+
+
+class TestDurability:
+    def test_unfenced_nt_store_lost_on_crash(self, pmem):
+        pmem.nt_store(0, b"volatile")
+        pmem.crash()
+        pmem.recover()
+        assert pmem.read(0, 8) == bytes(8)
+
+    def test_fenced_nt_store_survives_crash(self, pmem):
+        pmem.nt_store(0, b"durable!")
+        pmem.sfence()
+        pmem.crash()
+        pmem.recover()
+        assert pmem.read(0, 8) == b"durable!"
+
+    def test_clwb_without_fence_is_not_durable(self, pmem):
+        pmem.cached_store(0, b"dirty")
+        pmem.clwb(0, 5)
+        pmem.crash()
+        pmem.recover()
+        assert pmem.read(0, 5) == bytes(5)
+
+    def test_clwb_plus_fence_is_durable(self, pmem):
+        pmem.cached_store(0, b"clean")
+        pmem.clwb(0, 5)
+        pmem.sfence()
+        pmem.crash()
+        pmem.recover()
+        assert pmem.read(0, 5) == b"clean"
+
+    def test_persist_is_clwb_plus_fence(self, pmem):
+        pmem.cached_store(10, b"x" * 20)
+        pmem.persist(10, 20)
+        pmem.crash()
+        pmem.recover()
+        assert pmem.read(10, 20) == b"x" * 20
+
+    def test_persist_covers_only_requested_cached_range(self, pmem):
+        pmem.cached_store(0, b"aaaa")
+        pmem.cached_store(2000, b"bbbb")
+        pmem.persist(0, 4)
+        pmem.crash()
+        pmem.recover()
+        assert pmem.read(0, 4) == b"aaaa"
+        assert pmem.read(2000, 4) == bytes(4)
+
+    def test_sfence_drains_all_pending_nt_stores(self, pmem):
+        pmem.nt_store(0, b"one")
+        pmem.nt_store(500, b"two")
+        pmem.sfence()
+        pmem.crash()
+        pmem.recover()
+        assert pmem.read(0, 3) == b"one"
+        assert pmem.read(500, 3) == b"two"
+
+
+class TestCrashSemantics:
+    def test_operations_rejected_after_crash(self, pmem):
+        pmem.crash()
+        with pytest.raises(CrashedDeviceError):
+            pmem.write(0, b"x")
+        with pytest.raises(CrashedDeviceError):
+            pmem.read(0, 1)
+        with pytest.raises(CrashedDeviceError):
+            pmem.sfence()
+
+    def test_double_crash_rejected(self, pmem):
+        pmem.crash()
+        with pytest.raises(StorageError):
+            pmem.crash()
+
+    def test_recover_without_crash_rejected(self, pmem):
+        with pytest.raises(StorageError):
+            pmem.recover()
+
+    def test_partial_application_is_cache_line_granular(self):
+        """With an rng, some unpersisted lines may land — but only whole
+        ones, and persisted data always survives."""
+        pmem = SimulatedPMEM(capacity=64 * 64)
+        pmem.nt_store(0, b"P" * 64)
+        pmem.sfence()
+        pmem.nt_store(64, b"U" * (64 * 10))
+        rng = np.random.default_rng(7)
+        pmem.crash(rng)
+        pmem.recover()
+        assert pmem.read(0, 64) == b"P" * 64  # persisted line intact
+        surviving = pmem.read(64, 64 * 10)
+        for line in range(10):
+            chunk = surviving[line * 64 : (line + 1) * 64]
+            assert chunk in (b"U" * 64, bytes(64))
+
+    def test_usable_again_after_recover(self, pmem):
+        pmem.crash()
+        pmem.recover()
+        pmem.write(0, b"back")
+        pmem.sfence()
+        assert pmem.read(0, 4) == b"back"
+
+
+class TestStats:
+    def test_counters_track_operations(self, pmem):
+        pmem.write(0, b"abcd")
+        pmem.read(0, 4)
+        pmem.sfence()
+        stats = pmem.stats.as_dict()
+        assert stats["bytes_written"] == 4
+        assert stats["bytes_read"] == 4
+        assert stats["bytes_persisted"] == 4
+        assert stats["persist_ops"] == 1

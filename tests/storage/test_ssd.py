@@ -1,0 +1,109 @@
+"""Tests for the file-backed and in-memory SSD devices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CrashedDeviceError, DeviceClosedError, OutOfSpaceError
+from repro.storage.ssd import FileBackedSSD, InMemorySSD
+
+
+class TestFileBackedSSD:
+    def test_write_read_roundtrip(self, tmp_path):
+        with FileBackedSSD(str(tmp_path / "d.bin"), capacity=1024) as dev:
+            dev.write(100, b"persist me")
+            assert dev.read(100, 10) == b"persist me"
+
+    def test_file_is_preallocated(self, tmp_path):
+        path = tmp_path / "d.bin"
+        with FileBackedSSD(str(path), capacity=4096):
+            assert path.stat().st_size == 4096
+
+    def test_persist_calls_fsync_without_error(self, tmp_path):
+        with FileBackedSSD(str(tmp_path / "d.bin"), capacity=1024) as dev:
+            dev.write(0, b"x" * 512)
+            dev.persist(0, 512)
+            assert dev.stats.persist_ops == 1
+
+    def test_contents_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "d.bin")
+        with FileBackedSSD(path, capacity=1024) as dev:
+            dev.write(10, b"still here")
+            dev.persist_all()
+        with FileBackedSSD(path, capacity=1024) as dev:
+            assert dev.read(10, 10) == b"still here"
+
+    def test_out_of_range_rejected(self, tmp_path):
+        with FileBackedSSD(str(tmp_path / "d.bin"), capacity=64) as dev:
+            with pytest.raises(OutOfSpaceError):
+                dev.write(60, b"too much")
+
+    def test_closed_device_rejects_operations(self, tmp_path):
+        dev = FileBackedSSD(str(tmp_path / "d.bin"), capacity=64)
+        dev.close()
+        with pytest.raises(DeviceClosedError):
+            dev.read(0, 1)
+
+
+class TestInMemorySSD:
+    def test_write_read_roundtrip(self):
+        dev = InMemorySSD(capacity=1024)
+        dev.write(0, b"hello")
+        assert dev.read(0, 5) == b"hello"
+
+    def test_unsynced_write_lost_on_crash(self):
+        dev = InMemorySSD(capacity=1024)
+        dev.write(0, b"gone")
+        dev.crash()
+        dev.recover()
+        assert dev.read(0, 4) == bytes(4)
+
+    def test_msynced_write_survives_crash(self):
+        dev = InMemorySSD(capacity=1024)
+        dev.write(0, b"kept")
+        dev.persist(0, 4)
+        dev.crash()
+        dev.recover()
+        assert dev.read(0, 4) == b"kept"
+
+    def test_persist_range_is_selective(self):
+        dev = InMemorySSD(capacity=1024)
+        dev.write(0, b"aaaa")
+        dev.write(512, b"bbbb")
+        dev.persist(0, 4)
+        dev.crash()
+        dev.recover()
+        assert dev.read(0, 4) == b"aaaa"
+        assert dev.read(512, 4) == bytes(4)
+
+    def test_unpersisted_bytes_tracking(self):
+        dev = InMemorySSD(capacity=1024)
+        dev.write(0, b"x" * 100)
+        assert dev.unpersisted_bytes == 100
+        dev.persist(0, 50)
+        assert dev.unpersisted_bytes == 50
+
+    def test_crashed_device_rejects_operations(self):
+        dev = InMemorySSD(capacity=64)
+        dev.crash()
+        with pytest.raises(CrashedDeviceError):
+            dev.write(0, b"x")
+
+    def test_partial_crash_application(self):
+        dev = InMemorySSD(capacity=64 * 20)
+        dev.write(0, b"S" * (64 * 20))
+        rng = np.random.default_rng(3)
+        dev.crash(rng)
+        dev.recover()
+        surviving = dev.read(0, 64 * 20)
+        lines = {surviving[i * 64 : (i + 1) * 64] for i in range(20)}
+        assert lines <= {b"S" * 64, bytes(64)}
+
+    def test_rewrite_after_persist_then_crash_keeps_old_value(self):
+        """A persisted value overwritten but not re-synced may roll back."""
+        dev = InMemorySSD(capacity=1024)
+        dev.write(0, b"old!")
+        dev.persist(0, 4)
+        dev.write(0, b"new!")
+        dev.crash()
+        dev.recover()
+        assert dev.read(0, 4) == b"old!"

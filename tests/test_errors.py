@@ -1,0 +1,49 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_every_error_derives_from_pccheck_error(self):
+        leaves = [
+            errors.StorageError,
+            errors.DeviceClosedError,
+            errors.OutOfSpaceError,
+            errors.CrashedDeviceError,
+            errors.LayoutError,
+            errors.CorruptCheckpointError,
+            errors.NoCheckpointError,
+            errors.EngineError,
+            errors.EngineClosedError,
+            errors.ConfigError,
+            errors.SimulationError,
+            errors.TrainingError,
+            errors.DistributedError,
+        ]
+        for leaf in leaves:
+            assert issubclass(leaf, errors.PCcheckError)
+
+    def test_storage_sub_hierarchy(self):
+        assert issubclass(errors.DeviceClosedError, errors.StorageError)
+        assert issubclass(errors.OutOfSpaceError, errors.StorageError)
+        assert issubclass(errors.CrashedDeviceError, errors.StorageError)
+
+    def test_engine_sub_hierarchy(self):
+        assert issubclass(errors.EngineClosedError, errors.EngineError)
+
+    def test_one_catch_covers_the_library(self):
+        """A caller can wrap any repro API in one except clause."""
+        from repro.core.config import PCcheckConfig
+        from repro.storage.ssd import InMemorySSD
+
+        with pytest.raises(errors.PCcheckError):
+            PCcheckConfig(num_concurrent=0)
+        with pytest.raises(errors.PCcheckError):
+            InMemorySSD(0)
+
+    def test_crash_budget_is_a_crashed_device_error(self):
+        from repro.storage.faults import CrashBudgetExhausted
+
+        assert issubclass(CrashBudgetExhausted, errors.CrashedDeviceError)

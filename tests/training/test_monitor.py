@@ -1,0 +1,172 @@
+"""Tests for the training-dynamics monitor (§2.1 debugging use case)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.training.models import MLP
+from repro.training.monitor import (
+    Anomaly,
+    MonitorRecord,
+    TensorStats,
+    TrainingMonitor,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def model_with_grads(seed=0, grad_scale=1.0):
+    model = MLP([4, 6, 2], np.random.default_rng(seed))
+    for param in model.parameters():
+        param.grad[...] = grad_scale * np.random.default_rng(seed).standard_normal(
+            param.shape
+        ).astype(np.float32)
+    return model
+
+
+class TestTensorStats:
+    def test_basic_statistics(self):
+        stats = TensorStats.of(np.array([3.0, 4.0], dtype=np.float32))
+        assert stats.l2_norm == pytest.approx(5.0)
+        assert stats.mean == pytest.approx(3.5)
+        assert stats.abs_max == pytest.approx(4.0)
+        assert stats.healthy
+
+    def test_nan_and_inf_counted(self):
+        stats = TensorStats.of(np.array([1.0, np.nan, np.inf, -np.inf]))
+        assert stats.nan_count == 1
+        assert stats.inf_count == 2
+        assert not stats.healthy
+
+    def test_all_nonfinite_tensor(self):
+        stats = TensorStats.of(np.array([np.nan, np.nan]))
+        assert stats.l2_norm == 0.0
+        assert stats.nan_count == 2
+
+
+class TestCapture:
+    def test_capture_covers_all_parameters(self):
+        monitor = TrainingMonitor()
+        model = model_with_grads()
+        record = monitor.capture(model, step=3, loss=0.5)
+        names = {name for name, _ in model.named_parameters()}
+        assert set(record.parameters) == names
+        assert set(record.gradients) == names
+        assert record.step == 3
+        assert monitor.latest() is record
+
+    def test_capture_without_gradients(self):
+        monitor = TrainingMonitor()
+        record = monitor.capture(model_with_grads(), step=1,
+                                 include_gradients=False)
+        assert not record.gradients
+
+    def test_global_grad_norm_combines_parameters(self):
+        monitor = TrainingMonitor()
+        record = monitor.capture(model_with_grads(), step=1)
+        manual = np.sqrt(sum(
+            float((p.grad.astype(np.float64) ** 2).sum())
+            for p in model_with_grads().parameters()
+        ))
+        assert record.global_grad_norm == pytest.approx(manual, rel=1e-6)
+
+    def test_history_limit_evicts_oldest(self):
+        monitor = TrainingMonitor(history_limit=3)
+        model = model_with_grads()
+        for step in range(6):
+            monitor.capture(model, step=step)
+        assert [r.step for r in monitor.records] == [3, 4, 5]
+
+
+class TestAnomalies:
+    def test_nan_parameter_flags_non_finite(self):
+        monitor = TrainingMonitor()
+        model = model_with_grads()
+        model.parameters()[0].data[0, 0] = np.nan
+        monitor.capture(model, step=7, loss=0.1)
+        kinds = {a.kind for a in monitor.anomalies}
+        assert "non-finite" in kinds
+
+    def test_exploding_gradient_detected(self):
+        monitor = TrainingMonitor(grad_norm_threshold=10.0)
+        monitor.capture(model_with_grads(grad_scale=1e4), step=2)
+        assert any(a.kind == "exploding-gradient" for a in monitor.anomalies)
+
+    def test_loss_spike_detected(self):
+        monitor = TrainingMonitor(loss_spike_ratio=5.0)
+        model = model_with_grads()
+        for step in range(5):
+            monitor.capture(model, step=step, loss=1.0)
+        monitor.capture(model, step=5, loss=50.0)
+        spikes = [a for a in monitor.anomalies if a.kind == "loss-spike"]
+        assert spikes and spikes[0].step == 5
+
+    def test_steady_loss_raises_no_anomalies(self):
+        monitor = TrainingMonitor()
+        model = model_with_grads(grad_scale=0.1)
+        for step in range(10):
+            monitor.capture(model, step=step, loss=1.0 - 0.01 * step)
+        assert monitor.anomalies == []
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(TrainingError):
+            TrainingMonitor(grad_norm_threshold=0)
+        with pytest.raises(TrainingError):
+            TrainingMonitor(loss_spike_ratio=1.0)
+
+
+class TestQueriesAndSerialization:
+    def test_loss_series(self):
+        monitor = TrainingMonitor()
+        model = model_with_grads()
+        for step in (1, 2, 3):
+            monitor.capture(model, step=step, loss=float(step))
+        assert monitor.series("loss") == [(1, 1.0), (2, 2.0), (3, 3.0)]
+
+    def test_parameter_series_needs_name(self):
+        monitor = TrainingMonitor()
+        monitor.capture(model_with_grads(), step=1)
+        with pytest.raises(TrainingError):
+            monitor.series("l2_norm")
+
+    def test_parameter_series(self):
+        monitor = TrainingMonitor()
+        model = model_with_grads()
+        name = next(iter(dict(model.named_parameters())))
+        monitor.capture(model, step=1)
+        series = monitor.series("l2_norm", parameter=name)
+        assert len(series) == 1 and series[0][0] == 1
+
+    def test_serialization_roundtrip(self):
+        monitor = TrainingMonitor(grad_norm_threshold=10.0)
+        monitor.capture(model_with_grads(grad_scale=1e4), step=1, loss=0.4)
+        restored = TrainingMonitor.from_bytes(monitor.to_bytes())
+        assert len(restored.records) == 1
+        assert restored.records[0].loss == pytest.approx(0.4)
+        assert restored.anomalies == monitor.anomalies
+        assert restored.records[0].parameters.keys() == (
+            monitor.records[0].parameters.keys()
+        )
+
+    def test_bad_bytes_rejected(self):
+        with pytest.raises(TrainingError):
+            TrainingMonitor.from_bytes(b"not json")
+
+    def test_monitor_log_rides_inside_checkpoints(self):
+        """End-to-end: the serialized log survives an engine roundtrip."""
+        from repro.core.engine import CheckpointEngine
+        from repro.core.layout import DeviceLayout, Geometry
+        from repro.core.meta import RECORD_SIZE
+        from repro.core.recovery import recover
+        from repro.storage.ssd import InMemorySSD
+
+        monitor = TrainingMonitor()
+        monitor.capture(model_with_grads(), step=5, loss=0.25)
+        payload = monitor.to_bytes()
+        slot_size = len(payload) + RECORD_SIZE
+        geometry = Geometry(num_slots=2, slot_size=slot_size)
+        device = InMemorySSD(geometry.total_size)
+        layout = DeviceLayout.format(device, num_slots=2, slot_size=slot_size)
+        CheckpointEngine(layout, writer_threads=2).checkpoint(payload, step=5)
+        restored = TrainingMonitor.from_bytes(recover(layout).payload)
+        assert restored.records[0].step == 5

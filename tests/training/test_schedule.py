@@ -1,0 +1,165 @@
+"""Tests for LR schedules and their checkpoint fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.training.data import SyntheticRegression
+from repro.training.loop import Trainer
+from repro.training.losses import mse
+from repro.training.models import MLP
+from repro.training.optim import SGD, Adam
+from repro.training.schedule import StepDecaySchedule, WarmupCosineSchedule
+from repro.training.state import capture_state, deserialize_state, serialize_state
+
+
+def tiny_optimizer(lr=0.1, seed=0):
+    model = MLP([4, 4, 2], np.random.default_rng(seed))
+    return model, SGD(model, lr=lr)
+
+
+class TestWarmupCosine:
+    def test_warmup_ramps_linearly(self):
+        _, optimizer = tiny_optimizer(lr=1.0)
+        schedule = WarmupCosineSchedule(optimizer, warmup_steps=10,
+                                        total_steps=100)
+        lrs = [schedule.step() for _ in range(10)]
+        np.testing.assert_allclose(lrs, np.arange(1, 11) / 10)
+
+    def test_cosine_decays_to_floor(self):
+        _, optimizer = tiny_optimizer(lr=1.0)
+        schedule = WarmupCosineSchedule(optimizer, warmup_steps=0,
+                                        total_steps=100, min_lr_fraction=0.1)
+        for _ in range(100):
+            last = schedule.step()
+        assert last == pytest.approx(0.1, abs=1e-6)
+
+    def test_peak_is_base_lr(self):
+        _, optimizer = tiny_optimizer(lr=0.5)
+        schedule = WarmupCosineSchedule(optimizer, warmup_steps=5,
+                                        total_steps=50)
+        lrs = [schedule.step() for _ in range(6)]
+        assert max(lrs) == pytest.approx(0.5)
+
+    def test_lr_is_monotone_after_warmup(self):
+        _, optimizer = tiny_optimizer(lr=1.0)
+        schedule = WarmupCosineSchedule(optimizer, warmup_steps=3,
+                                        total_steps=60)
+        lrs = [schedule.step() for _ in range(60)]
+        decay = lrs[3:]
+        assert all(a >= b - 1e-12 for a, b in zip(decay, decay[1:]))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"warmup_steps": -1, "total_steps": 10},
+            {"warmup_steps": 10, "total_steps": 10},
+            {"warmup_steps": 0, "total_steps": 0},
+            {"warmup_steps": 0, "total_steps": 10, "min_lr_fraction": 0.0},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        _, optimizer = tiny_optimizer()
+        with pytest.raises(TrainingError):
+            WarmupCosineSchedule(optimizer, **kwargs)
+
+
+class TestStepDecay:
+    def test_decays_every_period(self):
+        _, optimizer = tiny_optimizer(lr=1.0)
+        schedule = StepDecaySchedule(optimizer, every=3, gamma=0.5)
+        lrs = [schedule.step() for _ in range(7)]
+        assert lrs == pytest.approx([1, 1, 0.5, 0.5, 0.5, 0.25, 0.25])
+
+    def test_invalid_period_rejected(self):
+        _, optimizer = tiny_optimizer()
+        with pytest.raises(TrainingError):
+            StepDecaySchedule(optimizer, every=0)
+
+
+class TestScheduleCheckpointFidelity:
+    def test_state_roundtrip_restores_position(self):
+        model, optimizer = tiny_optimizer(lr=1.0)
+        schedule = WarmupCosineSchedule(optimizer, warmup_steps=5,
+                                        total_steps=50)
+        for _ in range(12):
+            schedule.step()
+        state = capture_state(model, optimizer, step=12, scheduler=schedule)
+        raw = serialize_state(state)
+
+        model2, optimizer2 = tiny_optimizer(lr=1.0)
+        schedule2 = WarmupCosineSchedule(optimizer2, warmup_steps=5,
+                                         total_steps=50)
+        from repro.training.state import restore_state
+
+        restore_state(deserialize_state(raw), model2, optimizer2,
+                      scheduler=schedule2)
+        assert schedule2.steps == 12
+        assert optimizer2.lr == pytest.approx(optimizer.lr)
+        assert schedule2.step() == pytest.approx(schedule.step())
+
+    def test_resume_with_schedule_matches_uninterrupted_run(self):
+        """The headline: crash/resume with a scheduled LR stays bit-exact."""
+
+        def make_trainer(seed=3):
+            model = MLP([8, 6, 2], np.random.default_rng(seed))
+            optimizer = Adam(model, lr=0.01)
+            schedule = WarmupCosineSchedule(optimizer, warmup_steps=5,
+                                            total_steps=40)
+            data = SyntheticRegression(batch_size=4, in_dim=8, out_dim=2,
+                                       seed=seed)
+            return Trainer(model, optimizer, data, loss_fn=mse,
+                           scheduler=schedule)
+
+        reference = make_trainer()
+        reference.train(30)
+
+        crashed = make_trainer()
+        crashed.train(17)
+        saved = crashed.serialized_state()
+
+        resumed = make_trainer()
+        resumed.resume_from(deserialize_state(saved))
+        resumed.train(13)
+        for key, value in reference.model.state_dict().items():
+            np.testing.assert_array_equal(
+                value, resumed.model.state_dict()[key]
+            )
+
+    def test_resume_without_scheduler_state_diverges(self):
+        """Negative control: dropping the schedule from the checkpoint
+        produces a different trajectory — the state is load-bearing."""
+
+        def make_trainer(seed=3, with_schedule=True):
+            model = MLP([8, 6, 2], np.random.default_rng(seed))
+            optimizer = Adam(model, lr=0.01)
+            schedule = (WarmupCosineSchedule(optimizer, warmup_steps=5,
+                                             total_steps=40)
+                        if with_schedule else None)
+            data = SyntheticRegression(batch_size=4, in_dim=8, out_dim=2,
+                                       seed=seed)
+            return Trainer(model, optimizer, data, loss_fn=mse,
+                           scheduler=schedule)
+
+        reference = make_trainer()
+        reference.train(30)
+
+        crashed = make_trainer()
+        crashed.train(17)
+        # Serialize WITHOUT the scheduler (a buggy checkpointer).
+        broken = serialize_state(
+            capture_state(crashed.model, crashed.optimizer, step=17)
+        )
+        resumed = make_trainer()
+        state = deserialize_state(broken)
+        # Restore only model+optimizer; the schedule restarts from zero.
+        from repro.training.state import restore_state
+
+        restore_state(state, resumed.model, resumed.optimizer)
+        resumed.step = 17
+        resumed.train(13)
+        identical = all(
+            np.array_equal(value, resumed.model.state_dict()[key])
+            for key, value in reference.model.state_dict().items()
+        )
+        assert not identical
