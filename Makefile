@@ -1,12 +1,24 @@
 # Convenience targets for the PCcheck reproduction.
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test test-sanitize lint bench figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
+# Matches the tier-1 verify command: run against the source tree, no
+# installed package required.
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q tests/
+
+# Same tests with the runtime invariant sanitizer asserting the engine
+# invariants on every transition.
+test-sanitize:
+	PYTHONPATH=src REPRO_SANITIZE=1 python -m pytest -x -q tests/
+
+# Concurrency-invariant static analysis (rules PC001-PC006); must stay
+# clean — CI fails on any finding.
+lint:
+	PYTHONPATH=src python -m repro.cli lint src
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,38 @@
+"""pccheck-lint: a concurrency-invariant static analyzer for this repo.
+
+The checkpoint engine's correctness argument (Listing 1, §4.1) rests on
+discipline that ordinary tests cannot guard: no blocking work while a
+lock is held, lock-protected state never mutated outside its lock,
+every ``begin()`` ticket resolved by ``commit()``/``abort()``, commit
+records fenced before they can be trusted, engine errors never
+swallowed, and no magic-number backoffs.  ``pccheck-lint`` encodes each
+of those as an AST rule (PC001–PC006) so a future PR that silently
+regresses lock or fence discipline fails CI instead of failing a
+recovery two weeks later.
+
+Entry points::
+
+    python -m repro.cli lint src/          # via the main CLI
+    pccheck-lint src/                      # console script
+    make lint
+
+Diagnostics can be silenced per line with ``# pclint: disable=PC001``
+(or ``# pclint: disable`` for all rules) on the offending line or on a
+standalone comment line directly above it; a whole file opts out with
+``# pclint: skip-file``.
+"""
+
+from repro.analysis.static.diagnostics import Diagnostic, Severity
+from repro.analysis.static.rulebase import FileContext, Rule, all_rules
+from repro.analysis.static.runner import lint_paths, lint_source, main
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "FileContext",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

@@ -1,0 +1,80 @@
+"""Small AST helpers shared by every lint rule."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """Terminal name of a call: ``time.sleep(...)`` -> ``sleep``."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def dotted_name(expr: ast.expr) -> Optional[str]:
+    """Best-effort dotted path: ``self._lock`` -> ``"self._lock"``.
+
+    Returns None for expressions that are not plain name/attribute
+    chains (calls, subscripts, ...).
+    """
+    parts = []
+    node: ast.expr = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(expr: ast.expr) -> Optional[str]:
+    """Last segment of a name/attribute chain, else None."""
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def iter_functions(tree: ast.AST) -> Iterator[FunctionNode]:
+    """Every function and method in the module, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, FUNCTION_NODES):
+            yield node
+
+
+def iter_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Every Call node in ``node``'s subtree (including ``node``)."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def contains_call_named(node: ast.AST, name: str) -> bool:
+    """Does the subtree contain a call whose terminal name is ``name``?"""
+    return any(call_name(call) == name for call in iter_calls(node))
+
+
+def mentions_name(node: ast.AST, name: str) -> bool:
+    """Does the subtree reference ``name`` as a Name or attribute?"""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == name:
+            return True
+        if isinstance(child, ast.Attribute) and child.attr == name:
+            return True
+    return False
+
+
+def position(node: ast.AST) -> tuple:
+    """(line, col) sort key for ordering nodes by source position."""
+    return (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))

@@ -1,0 +1,48 @@
+"""Diagnostic records produced by lint rules."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; both levels fail the build today."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule violation anchored to a file position.
+
+    Ordering is (path, line, col, rule) so reports are stable and
+    grouped by file regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def format(self) -> str:
+        """Render as the conventional ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation for the machine reporter."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+            "severity": self.severity.value,
+        }
+
+
+#: Pseudo-rule id used for files that fail to parse.
+SYNTAX_RULE_ID = "PC000"

@@ -1,0 +1,90 @@
+"""Heuristics for recognising locks and lock-guarded regions.
+
+CPython gives us no types at lint time, so lock detection is lexical:
+an expression is "a lock" when its final name segment looks like one
+(``self._lock``, ``cell.lock``, ``self._commit_write_lock``, a bare
+``mutex``) or when it is a direct ``threading.Lock()``/``RLock()``
+construction.  The repo's own naming convention makes this reliable;
+the suppression machinery covers the rest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.static.astutils import dotted_name, terminal_name
+
+#: Constructors that produce lock-like objects.
+LOCK_FACTORIES: Set[str] = {"Lock", "RLock", "Semaphore", "BoundedSemaphore"}
+
+#: Last-segment substrings that mark a name as a lock.
+_LOCK_MARKERS = ("lock", "mutex")
+
+#: Substrings that veto the marker match ("blocking", "unblock", ...).
+_LOCK_VETOES = ("block",)
+
+
+def name_is_lock(name: Optional[str]) -> bool:
+    """Does this identifier's spelling look like a lock?"""
+    if not name:
+        return False
+    lowered = name.lower()
+    if any(veto in lowered for veto in _LOCK_VETOES):
+        return False
+    return any(marker in lowered for marker in _LOCK_MARKERS)
+
+
+def expr_is_lock(expr: ast.expr) -> bool:
+    """Is this with-item / call target a lock object?"""
+    if isinstance(expr, ast.Call):
+        callee = terminal_name(expr.func)
+        return callee in LOCK_FACTORIES
+    return name_is_lock(terminal_name(expr))
+
+
+def with_lock_names(node: ast.With) -> List[str]:
+    """Lock expressions guarded by this ``with``; empty if none."""
+    names: List[str] = []
+    for item in node.items:
+        expr = item.context_expr
+        if expr_is_lock(expr):
+            names.append(dotted_name(expr) or terminal_name(expr) or "<lock>")
+    return names
+
+
+def iter_lock_regions(
+    func: ast.AST,
+) -> Iterator[Tuple[ast.With, List[str]]]:
+    """Every ``with <lock>:`` statement in ``func``'s subtree."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.With):
+            names = with_lock_names(node)
+            if names:
+                yield node, names
+
+
+def lock_attributes_of_class(cls: ast.ClassDef) -> Set[str]:
+    """Attribute names this class assigns a lock object to.
+
+    Finds ``self.X = threading.Lock()`` (and RLock/Semaphore) anywhere
+    in the class body, plus attributes whose spelling is lock-like and
+    assigned in ``__init__``.
+    """
+    attrs: Set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                if isinstance(node.value, ast.Call) and terminal_name(
+                    node.value.func
+                ) in LOCK_FACTORIES:
+                    attrs.add(target.attr)
+                elif name_is_lock(target.attr):
+                    attrs.add(target.attr)
+    return attrs

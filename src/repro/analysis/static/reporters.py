@@ -1,0 +1,40 @@
+"""Render lint diagnostics as text or JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List
+
+from repro.analysis.static.diagnostics import Diagnostic
+
+
+def render_text(diagnostics: List[Diagnostic], files_checked: int) -> str:
+    """Human-readable ``path:line:col: RULE message`` listing + summary."""
+    lines = [d.format() for d in diagnostics]
+    if diagnostics:
+        by_rule = Counter(d.rule_id for d in diagnostics)
+        breakdown = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append("")
+        lines.append(
+            f"{len(diagnostics)} finding(s) in {files_checked} file(s) "
+            f"({breakdown})"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {files_checked} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: List[Diagnostic], files_checked: int) -> str:
+    """Machine-readable report for CI annotation tooling."""
+    payload = {
+        "files_checked": files_checked,
+        "findings": [d.to_dict() for d in diagnostics],
+        "counts": dict(Counter(d.rule_id for d in diagnostics)),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+REPORTERS = {"text": render_text, "json": render_json}

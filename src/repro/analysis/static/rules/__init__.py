@@ -1,0 +1,17 @@
+"""Rule modules; importing this package registers every rule."""
+
+from repro.analysis.static.rules.pc001 import BlockingCallUnderLock
+from repro.analysis.static.rules.pc002 import UnguardedSharedMutation
+from repro.analysis.static.rules.pc003 import TicketNotResolved
+from repro.analysis.static.rules.pc004 import UnfencedCommitRecord
+from repro.analysis.static.rules.pc005 import SwallowedEngineError
+from repro.analysis.static.rules.pc006 import MagicNumberBackoff
+
+__all__ = [
+    "BlockingCallUnderLock",
+    "UnguardedSharedMutation",
+    "TicketNotResolved",
+    "UnfencedCommitRecord",
+    "SwallowedEngineError",
+    "MagicNumberBackoff",
+]

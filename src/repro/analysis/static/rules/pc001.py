@@ -1,0 +1,74 @@
+"""PC001: blocking call while a lock is held.
+
+The engine's atomic emulation promises its locks are "never held
+across user code" — a ``time.sleep``, file I/O, or an ``msync``-style
+persist inside a ``with <lock>:`` block breaks that promise and turns
+every concurrent checkpoint into a convoy.  Acquiring a *second* lock
+inside a held one is flagged too (lock-ordering hazard).
+
+``Condition.wait`` is deliberately not in the blocking set: it
+releases the lock while waiting, which is the whole point of the
+pattern the freelist uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.analysis.static.astutils import call_name, iter_functions
+from repro.analysis.static.diagnostics import Diagnostic
+from repro.analysis.static.lockutils import iter_lock_regions, with_lock_names
+from repro.analysis.static.rulebase import FileContext, Rule, register
+
+#: Terminal call names that block the calling thread.
+BLOCKING_CALLS: Set[str] = {
+    "sleep",
+    "open",
+    "fsync",
+    "fdatasync",
+    "msync",
+    "persist",
+    "sfence",
+    "flush",
+    "join",
+    "acquire",
+    "dequeue_blocking",
+    "result",
+}
+
+
+@register
+class BlockingCallUnderLock(Rule):
+    rule_id = "PC001"
+    title = "blocking call while a lock is held"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for func in iter_functions(ctx.tree):
+            for region, lock_names in iter_lock_regions(func):
+                yield from self._scan_region(ctx, region, lock_names)
+
+    def _scan_region(
+        self, ctx: FileContext, region: ast.With, lock_names: list
+    ) -> Iterable[Diagnostic]:
+        held = ", ".join(lock_names)
+        for stmt in region.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    name = call_name(node)
+                    if name in BLOCKING_CALLS:
+                        yield self.report(
+                            ctx,
+                            node,
+                            f"blocking call '{name}' while lock "
+                            f"'{held}' is held",
+                        )
+                elif isinstance(node, ast.With) and node is not region:
+                    nested = with_lock_names(node)
+                    if nested:
+                        yield self.report(
+                            ctx,
+                            node,
+                            f"acquires lock '{', '.join(nested)}' while "
+                            f"lock '{held}' is held (ordering hazard)",
+                        )

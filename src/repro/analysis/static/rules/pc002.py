@@ -1,0 +1,111 @@
+"""PC002: lock-protected attribute mutated outside the lock.
+
+For every class that owns a lock, the rule infers which instance
+attributes that lock protects: any ``self.X`` written inside a
+``with self.<lock>:`` block (outside ``__init__``) is considered
+guarded state.  A write to the same attribute outside any lock region
+is then a data race waiting for a scheduler to expose it — exactly the
+class of bug the engine's invariants (monotone committed counter,
+slot bookkeeping) cannot survive.
+
+``__init__``/``__new__``/``__post_init__`` are exempt: the object is
+not yet shared while it is being constructed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.static.astutils import FUNCTION_NODES
+from repro.analysis.static.diagnostics import Diagnostic
+from repro.analysis.static.lockutils import (
+    lock_attributes_of_class,
+    with_lock_names,
+)
+from repro.analysis.static.rulebase import FileContext, Rule, register
+
+_CONSTRUCTORS = {"__init__", "__new__", "__post_init__", "__init_subclass__"}
+
+
+def _self_attr_writes(stmt: ast.stmt) -> List[Tuple[str, ast.AST]]:
+    """(attribute, node) pairs for every ``self.X = ...`` style write."""
+    writes: List[Tuple[str, ast.AST]] = []
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    for target in targets:
+        node = target
+        # Unwrap subscript stores: ``self._steps[i] = v`` mutates _steps.
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            writes.append((node.attr, target))
+    return writes
+
+
+@register
+class UnguardedSharedMutation(Rule):
+    rule_id = "PC002"
+    title = "lock-protected attribute mutated outside the lock"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Iterable[Diagnostic]:
+        lock_attrs = lock_attributes_of_class(cls)
+        if not lock_attrs:
+            return
+        guarded: Dict[str, List[ast.AST]] = {}
+        unguarded: Dict[str, List[ast.AST]] = {}
+        for method in cls.body:
+            if not isinstance(method, FUNCTION_NODES):
+                continue
+            if method.name in _CONSTRUCTORS:
+                continue
+            self._collect(method.body, under_lock=False, guarded=guarded,
+                          unguarded=unguarded)
+        racy = set(guarded) & set(unguarded) - lock_attrs
+        for attr in sorted(racy):
+            for node in unguarded[attr]:
+                yield self.report(
+                    ctx,
+                    node,
+                    f"attribute 'self.{attr}' is written under a lock "
+                    f"elsewhere in this class but mutated here without it",
+                )
+
+    def _collect(
+        self,
+        stmts: List[ast.stmt],
+        under_lock: bool,
+        guarded: Dict[str, List[ast.AST]],
+        unguarded: Dict[str, List[ast.AST]],
+    ) -> None:
+        for stmt in stmts:
+            for attr, node in _self_attr_writes(stmt):
+                bucket = guarded if under_lock else unguarded
+                bucket.setdefault(attr, []).append(node)
+            if isinstance(stmt, ast.With):
+                locked = under_lock or bool(with_lock_names(stmt))
+                self._collect(stmt.body, locked, guarded, unguarded)
+            elif isinstance(stmt, (ast.If, ast.While, ast.For)):
+                self._collect(stmt.body, under_lock, guarded, unguarded)
+                self._collect(stmt.orelse, under_lock, guarded, unguarded)
+            elif isinstance(stmt, ast.Try):
+                self._collect(stmt.body, under_lock, guarded, unguarded)
+                for handler in stmt.handlers:
+                    self._collect(handler.body, under_lock, guarded, unguarded)
+                self._collect(stmt.orelse, under_lock, guarded, unguarded)
+                self._collect(stmt.finalbody, under_lock, guarded, unguarded)
+            # Nested function/class definitions are analysed separately.

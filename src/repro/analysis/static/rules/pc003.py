@@ -1,0 +1,200 @@
+"""PC003: a ``begin()`` ticket must be committed or aborted on every path.
+
+``engine.begin()`` reserves a counter and — more importantly — a free
+slot.  A ticket that is never resolved leaks the slot forever; with
+N+1 slots total, N leaked tickets deadlock every future checkpoint.
+The rule tracks each ``name = <obj>.begin(...)`` assignment and
+requires that every *normal* (non-exception) path through the rest of
+the function either
+
+* resolves the ticket — ``name.commit()`` / ``name.abort()``, or the
+  ticket passed positionally to a ``commit``/``abort`` call — or
+* lets the ticket escape (returned, yielded, stored, or passed to any
+  other call), transferring ownership to the receiver.
+
+Exception paths are exempt by design: the engine documents that a
+crash mid-checkpoint must leave the ticket dangling, exactly as power
+loss would (only clean aborts recycle the slot).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.static.astutils import (
+    FUNCTION_NODES,
+    call_name,
+    iter_functions,
+)
+from repro.analysis.static.diagnostics import Diagnostic
+from repro.analysis.static.rulebase import FileContext, Rule, register
+
+_RESOLVE_NAMES = {"commit", "abort", "cancel", "release"}
+
+
+def _is_begin_call(node: ast.expr) -> bool:
+    return isinstance(node, ast.Call) and call_name(node) == "begin"
+
+
+class _TicketUse:
+    """Classify how a tracked name is used inside one subtree."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.resolves = False
+        self.escapes = False
+
+    def scan(self, node: ast.AST) -> "_TicketUse":
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                self._scan_call(child)
+            elif isinstance(child, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = child.value
+                if value is not None and self._mentions(value):
+                    # Returning ticket.commit() is a resolve, handled by
+                    # the Call branch; returning the bare ticket escapes.
+                    if isinstance(value, ast.Name) and value.id == self.name:
+                        self.escapes = True
+            elif isinstance(child, ast.Assign):
+                # Storing the ticket into an attribute/container hands
+                # ownership to that structure.
+                if (
+                    isinstance(child.value, ast.Name)
+                    and child.value.id == self.name
+                ):
+                    for target in child.targets:
+                        if not isinstance(target, ast.Name):
+                            self.escapes = True
+        return self
+
+    def _scan_call(self, call: ast.Call) -> None:
+        func = call.func
+        # name.commit() / name.abort()
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == self.name
+            and func.attr in _RESOLVE_NAMES
+        ):
+            self.resolves = True
+            return
+        # store.commit(name) / store.abort(name)
+        if call_name(call) in _RESOLVE_NAMES and any(
+            isinstance(arg, ast.Name) and arg.id == self.name
+            for arg in call.args
+        ):
+            self.resolves = True
+            return
+        # Ticket passed to anything else: ownership escapes.
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if self._mentions(arg):
+                self.escapes = True
+
+    def _mentions(self, node: ast.AST) -> bool:
+        return any(
+            isinstance(child, ast.Name) and child.id == self.name
+            for child in ast.walk(node)
+        )
+
+
+@register
+class TicketNotResolved(Rule):
+    rule_id = "PC003"
+    title = "begin() ticket not committed/aborted on every path"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for func in iter_functions(ctx.tree):
+            yield from self._check_function(ctx, func)
+
+    def _check_function(self, ctx, func) -> Iterable[Diagnostic]:
+        for index, stmt in enumerate(func.body):
+            name = self._begin_assignment(stmt)
+            if name is None:
+                continue
+            rest = func.body[index + 1 :]
+            use = _TicketUse(name)
+            for later in rest:
+                use.scan(later)
+            if use.escapes:
+                continue
+            if not use.resolves:
+                yield self.report(
+                    ctx,
+                    stmt,
+                    f"ticket '{name}' from begin() is never committed "
+                    f"or aborted in this function",
+                )
+                continue
+            if not self._guarantees(rest, name):
+                yield self.report(
+                    ctx,
+                    stmt,
+                    f"ticket '{name}' from begin() is not committed or "
+                    f"aborted on every normal path through this function",
+                )
+
+    @staticmethod
+    def _begin_assignment(stmt: ast.stmt) -> Optional[str]:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and _is_begin_call(stmt.value)
+        ):
+            return stmt.targets[0].id
+        return None
+
+    # ------------------------------------------------------------------
+    # path analysis
+
+    def _guarantees(self, stmts: List[ast.stmt], name: str) -> bool:
+        """Does every normal completion of ``stmts`` resolve the ticket?"""
+        for stmt in stmts:
+            if self._stmt_guarantees(stmt, name):
+                return True
+            # A bare return before any resolve ends a normal path
+            # without resolving: the remaining statements cannot help.
+            if isinstance(stmt, ast.Return):
+                return False
+        return False
+
+    def _stmt_guarantees(self, stmt: ast.stmt, name: str) -> bool:
+        if isinstance(stmt, ast.Raise):
+            return True  # exception path: exempt by design
+        if isinstance(stmt, (ast.Expr, ast.Assign, ast.AugAssign, ast.Return)):
+            use = _TicketUse(name).scan(stmt)
+            return use.resolves or use.escapes
+        if isinstance(stmt, ast.If):
+            return (
+                bool(stmt.orelse)
+                and self._guarantees(stmt.body, name)
+                and self._guarantees(stmt.orelse, name)
+            )
+        if isinstance(stmt, ast.With):
+            return self._guarantees(stmt.body, name)
+        if isinstance(stmt, ast.While):
+            test = stmt.test
+            if isinstance(test, ast.Constant) and test.value:
+                # ``while True`` only exits via break/return/raise; treat
+                # a resolving body as resolving the loop.
+                return self._guarantees(stmt.body, name)
+            return False
+        if isinstance(stmt, ast.Try):
+            if self._guarantees(stmt.finalbody, name):
+                return True
+            normal = self._guarantees(list(stmt.body) + list(stmt.orelse), name)
+            if not normal:
+                return False
+            # Every handler must resolve too, or visibly re-raise —
+            # otherwise a swallowed exception becomes an unresolved
+            # normal path.
+            for handler in stmt.handlers:
+                if self._guarantees(handler.body, name):
+                    continue
+                if any(isinstance(s, (ast.Raise, ast.Return)) for s in
+                       handler.body):
+                    continue
+                return False
+            return True
+        return False

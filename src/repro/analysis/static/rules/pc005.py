@@ -1,0 +1,82 @@
+"""PC005: bare/over-broad except that can swallow engine errors.
+
+``EngineError``, ``OutOfSpaceError`` and the crash-injection
+exceptions are load-bearing: a handler that catches ``Exception`` (or
+everything) and neither re-raises nor does anything with the caught
+error turns a failed checkpoint into a silently missing recovery
+point.  A broad handler is accepted when it
+
+* re-raises (``raise`` anywhere in the handler body), or
+* binds the exception (``as exc``) and actually uses the name —
+  storing it on a future, appending it to an error list, wrapping it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.static.diagnostics import Diagnostic
+from repro.analysis.static.rulebase import FileContext, Rule, register
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _broad_names(node: ast.expr) -> bool:
+    """Is this except-clause type Exception/BaseException (or a tuple
+    containing one)?"""
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BROAD
+    if isinstance(node, ast.Tuple):
+        return any(_broad_names(elt) for elt in node.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def _uses_bound_name(handler: ast.ExceptHandler) -> bool:
+    if handler.name is None:
+        return False
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Name) and node.id == handler.name:
+            return True
+    return False
+
+
+@register
+class SwallowedEngineError(Rule):
+    rule_id = "PC005"
+    title = "broad except may swallow EngineError/OutOfSpaceError"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.report(
+                    ctx,
+                    node,
+                    "bare 'except:' swallows EngineError/OutOfSpaceError "
+                    "(and KeyboardInterrupt); catch a specific exception",
+                )
+                continue
+            if not _broad_names(node.type):
+                continue
+            if _reraises(node) or _uses_bound_name(node):
+                continue
+            caught = getattr(node.type, "id", None) or getattr(
+                node.type, "attr", "Exception"
+            )
+            yield self.report(
+                ctx,
+                node,
+                f"'except {caught}' neither re-raises nor uses the caught "
+                f"error; EngineError/OutOfSpaceError would vanish here",
+            )

@@ -1,0 +1,45 @@
+"""PC006: magic-number sleeps and backoffs.
+
+A literal ``time.sleep(0.0001)`` buried in a spin loop is impossible
+to audit or tune: the freelist busy-wait, retry backoffs and polling
+intervals must come from named module-level constants (or config) so
+one grep finds every latency knob in the system.  ``sleep(0)`` — an
+explicit yield — is allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.static.astutils import call_name
+from repro.analysis.static.diagnostics import Diagnostic
+from repro.analysis.static.rulebase import FileContext, Rule, register
+
+_SLEEP_LIKE = {"sleep"}
+
+
+@register
+class MagicNumberBackoff(Rule):
+    rule_id = "PC006"
+    title = "magic-number sleep/backoff literal"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node) not in _SLEEP_LIKE or not node.args:
+                continue
+            arg = node.args[0]
+            if (
+                isinstance(arg, ast.Constant)
+                and isinstance(arg.value, (int, float))
+                and not isinstance(arg.value, bool)
+                and arg.value != 0
+            ):
+                yield self.report(
+                    ctx,
+                    node,
+                    f"magic-number sleep({arg.value!r}); lift the interval "
+                    f"into a named constant or configuration parameter",
+                )

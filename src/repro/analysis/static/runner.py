@@ -1,0 +1,163 @@
+"""Drive the lint rules over files and directories; CLI entry point."""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.static.diagnostics import (
+    Diagnostic,
+    Severity,
+    SYNTAX_RULE_ID,
+)
+from repro.analysis.static.reporters import REPORTERS
+from repro.analysis.static.rulebase import FileContext, Rule, all_rules, rule_ids
+from repro.analysis.static.suppress import SuppressionIndex
+
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "build", "dist"}
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Every ``.py`` file under ``paths`` (files pass through as-is)."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[List[Rule]] = None,
+    select: Optional[Set[str]] = None,
+) -> List[Diagnostic]:
+    """Run the rule set over one in-memory source blob."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule_id=SYNTAX_RULE_ID,
+                message=f"syntax error: {exc.msg}",
+                severity=Severity.ERROR,
+            )
+        ]
+    suppressions = SuppressionIndex.from_source(source)
+    if suppressions.skip_file:
+        return []
+    ctx = FileContext(path=path, source=source, tree=tree)
+    active = rules if rules is not None else all_rules()
+    found: List[Diagnostic] = []
+    for rule in active:
+        if select and rule.rule_id not in select:
+            continue
+        found.extend(rule.check(ctx))
+    return sorted(d for d in set(found) if not suppressions.is_suppressed(d))
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Set[str]] = None,
+) -> Tuple[List[Diagnostic], int]:
+    """Lint every python file under ``paths``.
+
+    Returns (diagnostics, files_checked).  Unreadable files surface as
+    PC000 diagnostics rather than aborting the run.
+    """
+    rules = all_rules()
+    diagnostics: List[Diagnostic] = []
+    files_checked = 0
+    for path in iter_python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            diagnostics.append(
+                Diagnostic(
+                    path=path,
+                    line=1,
+                    col=1,
+                    rule_id=SYNTAX_RULE_ID,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        files_checked += 1
+        diagnostics.extend(
+            lint_source(source, path=path, rules=rules, select=select)
+        )
+    return sorted(diagnostics), files_checked
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pccheck-lint",
+        description="Concurrency-invariant linter for the PCcheck repo "
+        "(rules PC001-PC006).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories"
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    return parser
+
+
+def run_lint(
+    paths: Sequence[str],
+    report_format: str = "text",
+    select: Optional[str] = None,
+    stream=None,
+) -> int:
+    """Shared implementation behind ``pccheck-lint`` and ``repro.cli lint``."""
+    stream = stream or sys.stdout
+    selected: Optional[Set[str]] = None
+    if select:
+        selected = {part.strip().upper() for part in select.split(",") if part.strip()}
+        unknown = selected - set(rule_ids())
+        if unknown:
+            print(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    diagnostics, files_checked = lint_paths(paths, select=selected)
+    print(REPORTERS[report_format](diagnostics, files_checked), file=stream)
+    return 1 if diagnostics else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+    return run_lint(args.paths, report_format=args.format, select=args.select)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Suppression comments: ``# pclint: disable=PC001`` and friends.
+
+Two scopes are supported:
+
+* a trailing comment on the flagged line, or a standalone comment on
+  the line directly above it, silences the listed rules (or all rules
+  when no ``=RULES`` part is given) for that line;
+* ``# pclint: skip-file`` anywhere in the file opts the whole file out.
+
+Suppressions are parsed from the token stream, not with regexes over
+raw lines, so string literals containing ``pclint:`` never trigger.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.analysis.static.diagnostics import Diagnostic
+
+_DIRECTIVE = re.compile(
+    r"#\s*pclint:\s*(?P<verb>disable|skip-file)\s*(?:=\s*(?P<rules>[A-Z0-9_,\s]+))?"
+)
+
+#: Marker meaning "every rule" (a bare ``disable`` with no rule list).
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-line map of suppressed rule ids for one source file."""
+
+    skip_file: bool = False
+    #: line number -> rule ids suppressed there ({"*"} = everything).
+    by_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Scan ``source`` for pclint directives."""
+        index = cls()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return index
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            rules = _parse_directive(token.string)
+            if rules is None:
+                continue
+            if rules == frozenset({"skip-file"}):
+                index.skip_file = True
+                continue
+            line = token.start[0]
+            index._add(line, rules)
+            # A comment that is the whole line covers the next line too,
+            # so multi-line statements can carry a justification above.
+            if token.line.strip().startswith("#"):
+                index._add(line + 1, rules)
+        return index
+
+    def _add(self, line: int, rules: FrozenSet[str]) -> None:
+        existing = self.by_line.get(line, frozenset())
+        self.by_line[line] = existing | rules
+
+    def is_suppressed(self, diagnostic: Diagnostic) -> bool:
+        """True when ``diagnostic`` is silenced by a directive."""
+        if self.skip_file:
+            return True
+        rules = self.by_line.get(diagnostic.line)
+        if rules is None:
+            return False
+        return "*" in rules or diagnostic.rule_id in rules
+
+
+def _parse_directive(comment: str) -> Optional[FrozenSet[str]]:
+    match = _DIRECTIVE.search(comment)
+    if match is None:
+        return None
+    if match.group("verb") == "skip-file":
+        return frozenset({"skip-file"})
+    raw = match.group("rules")
+    if not raw:
+        return ALL_RULES
+    rules = frozenset(part.strip() for part in raw.split(",") if part.strip())
+    return rules or ALL_RULES

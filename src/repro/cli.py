@@ -82,6 +82,21 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="report every checkpoint in a region file"
     )
     inspect_parser.add_argument("path", help="checkpoint region file")
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the concurrency-invariant linter (rules PC001-PC006)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories"
+    )
+    lint_parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format",
+    )
+    lint_parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
     return parser
 
 
@@ -101,6 +116,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         for line in report.summary_lines():
             print(line)
         return 0 if report.recovery_choice is not None else 1
+    if args.command == "lint":
+        from repro.analysis.static.runner import run_lint
+
+        return run_lint(
+            args.paths, report_format=args.format, select=args.select
+        )
     if args.command == "all":
         for name in sorted(FIGURES):
             _run_figure(name, args.out)

@@ -49,6 +49,13 @@ from repro.core.meta import (
     encode_commit_record,
     encode_slot_header,
 )
+from repro.core.sanitize import (
+    EngineSanitizer,
+    SanitizedAtomicCounter,
+    SanitizedAtomicReference,
+    SanitizedSlotQueue,
+    sanitize_requested,
+)
 from repro.core.writer import FenceMode, ParallelWriter
 from repro.errors import EngineClosedError, EngineError, OutOfSpaceError
 
@@ -142,7 +149,7 @@ class CheckpointTicket:
         if self._done:
             return
         self._done = True
-        self._engine._release_slot(self.slot)
+        self._engine._abort_ticket(self)
 
 
 class CheckpointEngine:
@@ -155,19 +162,43 @@ class CheckpointEngine:
         fence_mode: Optional[FenceMode] = None,
         recovered: Optional[CheckMeta] = None,
         post_cas_hook=None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         """``post_cas_hook(meta)`` runs after a successful CAS and the
         durable commit-record write, but *before* the superseded slot is
         recycled — the exact point where the paper's distributed protocol
         performs its rank-0 coordination round (§4.1, "Checkpointing in
-        Distributed Training")."""
+        Distributed Training").
+
+        ``sanitize`` enables the runtime invariant sanitizer
+        (:mod:`repro.core.sanitize`); ``None`` defers to the
+        ``REPRO_SANITIZE`` environment variable.
+        """
         self._layout = layout
         self._writer = ParallelWriter(
             layout.device, num_threads=writer_threads, fence_mode=fence_mode
         )
-        self._g_counter = AtomicCounter(recovered.counter if recovered else 0)
-        self._check_addr: AtomicReference[CheckMeta] = AtomicReference(recovered)
-        self._free = SlotQueue(layout.num_slots)
+        if sanitize is None:
+            sanitize = sanitize_requested()
+        initial = recovered.counter if recovered else 0
+        if sanitize:
+            self._sanitizer: Optional[EngineSanitizer] = EngineSanitizer(
+                layout.num_slots, recovered=recovered
+            )
+            self._g_counter: AtomicCounter = SanitizedAtomicCounter(
+                initial, self._sanitizer
+            )
+            self._check_addr: AtomicReference[CheckMeta] = (
+                SanitizedAtomicReference(recovered, self._sanitizer)
+            )
+            self._free: SlotQueue = SanitizedSlotQueue(
+                layout.num_slots, self._sanitizer
+            )
+        else:
+            self._sanitizer = None
+            self._g_counter = AtomicCounter(initial)
+            self._check_addr = AtomicReference(recovered)
+            self._free = SlotQueue(layout.num_slots)
         committed_slot = recovered.slot if recovered else None
         for slot in range(layout.num_slots):
             if slot != committed_slot:
@@ -196,8 +227,22 @@ class CheckpointEngine:
         """p: writer threads per persist."""
         return self._writer.num_threads
 
+    @property
+    def sanitizing(self) -> bool:
+        """True when the runtime invariant sanitizer is active."""
+        return self._sanitizer is not None
+
     def committed(self) -> Optional[CheckMeta]:
         """Metadata of the current recovery point (in-memory CHECK_ADDR)."""
+        if self._sanitizer is not None:
+            # Sample the shadow flag first: a commit landing between the
+            # load below and the assertion must not look like a violation.
+            expect_commit = self._sanitizer.ever_committed
+            meta = self._check_addr.load()
+            self._sanitizer.assert_recovery_point(
+                meta, expect_commit=expect_commit
+            )
+            return meta
         return self._check_addr.load()
 
     def checkpoint(self, payload: bytes, step: int = 0) -> CheckpointResult:
@@ -233,6 +278,8 @@ class CheckpointEngine:
                 f"no free checkpoint slot within {timeout} seconds "
                 f"(all {self.max_concurrent} concurrent checkpoints busy)"
             )
+        if self._sanitizer is not None:
+            self._sanitizer.on_begin(counter, slot)
         return CheckpointTicket(self, counter, slot, step=step)
 
     def close(self) -> None:
@@ -285,7 +332,11 @@ class CheckpointEngine:
                 # A newer checkpoint is already committed: ours is obsolete.
                 # Line 30: barrier on CHECK_ADDR, then recycle our own slot.
                 self._persist_commit_record_barrier()
-                self._release_slot(ticket.slot)
+                self._release_slot(ticket.slot, ticket_counter=meta.counter)
+                if self._sanitizer is not None:
+                    self._sanitizer.on_ticket_done(
+                        meta.counter, first_commit=False
+                    )
                 with self.stats._lock:  # noqa: SLF001
                     self.stats.superseded += 1
                 return CheckpointResult(
@@ -301,7 +352,13 @@ class CheckpointEngine:
                 if self._post_cas_hook is not None:
                     self._post_cas_hook(meta)
                 if last_check is not None:
-                    self._release_slot(last_check.slot)
+                    self._release_slot(
+                        last_check.slot, ticket_counter=meta.counter
+                    )
+                if self._sanitizer is not None:
+                    self._sanitizer.on_ticket_done(
+                        meta.counter, first_commit=last_check is None
+                    )
                 with self.stats._lock:  # noqa: SLF001
                     self.stats.commits += 1
                 return CheckpointResult(
@@ -328,11 +385,16 @@ class CheckpointEngine:
             if meta.counter <= self._last_written_counter:
                 # A newer commit already reached the device; our in-memory
                 # CAS must have been immediately superseded. Barrier only.
+                # The fence MUST stay inside the lock: it stands in for
+                # the hardware CAS-store ordering.
+                # pclint: disable=PC001
                 self._layout.device.persist(self._layout.commit_offset, RECORD_SIZE)
                 return
             self._layout.device.write(
                 self._layout.commit_offset, encode_commit_record(meta)
             )
+            # Fence-inside-lock is the point of this function (see above).
+            # pclint: disable=PC001
             self._layout.device.persist(self._layout.commit_offset, RECORD_SIZE)
             self._last_written_counter = meta.counter
 
@@ -340,7 +402,19 @@ class CheckpointEngine:
         """Line 30's BARRIER(CHECK_ADDR): make sure the committed record
         that superseded us is durable before our slot is recycled."""
         with self._commit_write_lock:
+            # Same deliberate fence-inside-lock as _write_commit_record:
+            # the lock emulates the hardware CAS-store ordering.
+            # pclint: disable=PC001
             self._layout.device.persist(self._layout.commit_offset, RECORD_SIZE)
 
-    def _release_slot(self, slot: int) -> None:
+    def _release_slot(
+        self, slot: int, ticket_counter: Optional[int] = None
+    ) -> None:
+        if self._sanitizer is not None:
+            self._sanitizer.on_release(ticket_counter, slot)
         self._free.enqueue(slot)
+
+    def _abort_ticket(self, ticket: CheckpointTicket) -> None:
+        self._release_slot(ticket.slot, ticket_counter=ticket.counter)
+        if self._sanitizer is not None:
+            self._sanitizer.on_ticket_done(ticket.counter, first_commit=False)

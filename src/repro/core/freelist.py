@@ -34,6 +34,17 @@ from repro.errors import EngineError
 #: mirroring the ``EMPTY`` constant in Listing 1.
 EMPTY: int = -1
 
+#: First pause between empty-queue probes in :meth:`SlotQueue.dequeue_blocking`.
+#: Small enough that an uncontended engine sees negligible extra latency.
+SPIN_BACKOFF_INITIAL_SECONDS: float = 1e-4
+
+#: Ceiling for the exponential backoff: a fully occupied queue is polled at
+#: least this often, bounding the worst-case wake-up delay after a slot frees.
+SPIN_BACKOFF_MAX_SECONDS: float = 2e-3
+
+#: Growth factor applied to the pause after each empty probe.
+SPIN_BACKOFF_MULTIPLIER: float = 2.0
+
 
 class _Cell:
     """One ring cell: a turn counter plus the stored slot index."""
@@ -132,21 +143,40 @@ class SlotQueue:
             assert value is not None
             return value
 
-    def dequeue_blocking(self, timeout: Optional[float] = None) -> int:
-        """Spin (with a tiny sleep) until an element is available.
+    def dequeue_blocking(
+        self,
+        timeout: Optional[float] = None,
+        *,
+        initial_backoff: float = SPIN_BACKOFF_INITIAL_SECONDS,
+        max_backoff: float = SPIN_BACKOFF_MAX_SECONDS,
+    ) -> int:
+        """Spin with capped exponential backoff until an element arrives.
 
         Mirrors the busy-wait in Listing 1 lines 8–11 but sleeps between
-        probes so the emulation does not burn a CPU.  Returns
-        :data:`EMPTY` on timeout.
+        probes so the emulation does not burn a CPU.  The pause starts at
+        ``initial_backoff`` and doubles (by
+        :data:`SPIN_BACKOFF_MULTIPLIER`) up to ``max_backoff``, so a
+        briefly-empty queue is re-probed almost immediately while a
+        saturated one is polled gently.  Returns :data:`EMPTY` on timeout.
         """
+        if initial_backoff <= 0 or max_backoff < initial_backoff:
+            raise EngineError(
+                f"invalid backoff window [{initial_backoff}, {max_backoff}]"
+            )
         deadline = None if timeout is None else time.monotonic() + timeout
+        delay = initial_backoff
         while True:
             value = self.dequeue()
             if value != EMPTY:
                 return value
-            if deadline is not None and time.monotonic() >= deadline:
-                return EMPTY
-            time.sleep(0.0001)
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return EMPTY
+                time.sleep(min(delay, remaining))
+            else:
+                time.sleep(delay)
+            delay = min(delay * SPIN_BACKOFF_MULTIPLIER, max_backoff)
 
     def _claim_head(self, expected: int) -> bool:
         """CAS-like head advance: succeed only if head is still ``expected``."""

@@ -14,7 +14,7 @@ from typing import List, Optional
 
 from repro.core.layout import DeviceLayout
 from repro.core.meta import RECORD_SIZE, CheckMeta, decode_commit_record, payload_crc
-from repro.errors import LayoutError
+from repro.errors import LayoutError, StorageError
 from repro.storage.device import PersistentDevice
 from repro.storage.ssd import FileBackedSSD
 
@@ -24,7 +24,7 @@ class SlotReport:
     """Status of one checkpoint slot."""
 
     slot: int
-    status: str  # "valid" | "blank" | "corrupt-payload" | "oversized"
+    status: str  # "valid" | "blank" | "corrupt-payload" | "oversized" | "unreadable"
     counter: Optional[int] = None
     step: Optional[int] = None
     payload_len: Optional[int] = None
@@ -90,17 +90,26 @@ def inspect_device(device: PersistentDevice) -> DeviceReport:
     report = DeviceReport(device_name=device.name, formatted=False)
     try:
         layout = DeviceLayout.open(device)
-    except LayoutError:
+    except (LayoutError, StorageError):
+        # Unformatted, or so truncated that even the superblock cannot be
+        # read — either way there is nothing trustworthy on the device.
         return report
     report.formatted = True
     report.num_slots = layout.num_slots
     report.slot_size = layout.geometry.slot_size
 
-    raw = device.read(layout.commit_offset, RECORD_SIZE)
-    report.commit_record = decode_commit_record(raw)
+    try:
+        raw = device.read(layout.commit_offset, RECORD_SIZE)
+        report.commit_record = decode_commit_record(raw)
+    except StorageError:
+        report.commit_record = None
 
     for slot in range(layout.num_slots):
-        header = layout.read_slot_header(slot)
+        try:
+            header = layout.read_slot_header(slot)
+        except StorageError:
+            report.slots.append(SlotReport(slot=slot, status="unreadable"))
+            continue
         if header is None:
             report.slots.append(SlotReport(slot=slot, status="blank"))
             continue
@@ -111,7 +120,15 @@ def inspect_device(device: PersistentDevice) -> DeviceReport:
                            payload_len=header.payload_len)
             )
             continue
-        payload = layout.read_payload(header)
+        try:
+            payload = layout.read_payload(header)
+        except StorageError:
+            report.slots.append(
+                SlotReport(slot=slot, status="unreadable",
+                           counter=header.counter, step=header.step,
+                           payload_len=header.payload_len)
+            )
+            continue
         status = (
             "valid" if payload_crc(payload) == header.payload_crc
             else "corrupt-payload"

@@ -1,0 +1,278 @@
+"""Debug-mode runtime sanitizer for the checkpoint engine.
+
+The engine's docstring states four concurrency invariants; the test
+suite checks them at quiescent points, but an interleaving bug can hold
+briefly mid-flight and still corrupt a recovery.  When sanitizing is
+enabled (``REPRO_SANITIZE=1`` in the environment, or
+``CheckpointEngine(..., sanitize=True)``) the engine swaps its atomic
+primitives for the ``Sanitized*`` wrappers below, which assert the
+invariants on *every transition*:
+
+1. **Committed-counter monotonicity** — a successful CAS on
+   ``CHECK_ADDR`` never installs a smaller counter, and the global
+   ticket counter never moves backwards.
+2. **Committed slot ∉ free queue** — the slot named by the committed
+   record is never enqueued as free, no slot is freed twice, and a
+   newly committed slot is not simultaneously sitting in the queue.
+3. **One slot returned per checkpoint** — every finished ticket gives
+   back exactly one slot (the superseded one on success, its own on
+   defeat or abort); the very first commit ever returns none because
+   nothing was superseded.
+4. **At-least-one-valid-checkpoint** — once anything has committed,
+   ``CHECK_ADDR`` can never be observed or reset to ``None``.
+
+Violations raise :class:`~repro.errors.InvariantViolationError`
+immediately, at the transition that broke the invariant, with the
+shadow state in the message.  The wrappers add one small mutex per
+engine; they are meant for tests and debugging, not the hot path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional, Set
+
+from repro.core.atomics import AtomicCounter, AtomicReference
+from repro.core.freelist import EMPTY, SlotQueue
+from repro.core.meta import CheckMeta
+from repro.errors import InvariantViolationError
+
+#: Environment switch: any of these values enables the sanitizer.
+ENV_VAR = "REPRO_SANITIZE"
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def sanitize_requested() -> bool:
+    """True when ``REPRO_SANITIZE`` asks for the sanitizer."""
+    return os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+class EngineSanitizer:
+    """Shadow bookkeeping shared by one engine's sanitized primitives."""
+
+    def __init__(
+        self, num_slots: int, recovered: Optional[CheckMeta] = None
+    ) -> None:
+        self._lock = threading.RLock()
+        self._num_slots = num_slots
+        self._free: Set[int] = set()
+        self._committed_slot: Optional[int] = (
+            recovered.slot if recovered else None
+        )
+        self._committed_counter: int = recovered.counter if recovered else 0
+        self._ever_committed = recovered is not None
+        #: ticket counter -> slots released on its behalf so far
+        self._releases: dict = {}
+        self.checks_performed = 0
+
+    def _fail(self, message: str) -> None:
+        with self._lock:
+            state = (
+                f" [committed_slot={self._committed_slot} "
+                f"committed_counter={self._committed_counter} "
+                f"free={sorted(self._free)}]"
+            )
+        raise InvariantViolationError(message + state)
+
+    def _tick(self) -> None:
+        self.checks_performed += 1
+
+    # ------------------------------------------------------------------
+    # free-queue transitions (invariants 2 and 3)
+
+    def note_enqueue(self, slot: int) -> None:
+        with self._lock:
+            self._tick()
+            if slot == self._committed_slot:
+                self._fail(
+                    f"invariant 2 violated: committed slot {slot} was "
+                    f"returned to the free queue"
+                )
+            if slot in self._free:
+                self._fail(
+                    f"invariant 3 violated: slot {slot} freed twice "
+                    f"(already in the free queue)"
+                )
+            if not 0 <= slot < self._num_slots:
+                self._fail(f"slot {slot} outside [0, {self._num_slots})")
+            self._free.add(slot)
+
+    def note_dequeue(self, slot: int) -> None:
+        with self._lock:
+            self._tick()
+            if slot not in self._free:
+                self._fail(
+                    f"invariant 2/3 violated: dequeued slot {slot} was "
+                    f"not tracked as free"
+                )
+            self._free.discard(slot)
+
+    # ------------------------------------------------------------------
+    # counter / CHECK_ADDR transitions (invariants 1 and 4)
+
+    def note_counter_step(self, old: int, new: int) -> None:
+        with self._lock:
+            self._tick()
+            if new < old:
+                self._fail(
+                    f"invariant 1 violated: global counter moved backwards "
+                    f"({old} -> {new})"
+                )
+
+    def note_commit_pointer(
+        self, old: Optional[CheckMeta], new: Optional[CheckMeta]
+    ) -> None:
+        with self._lock:
+            self._tick()
+            if new is None:
+                if self._ever_committed:
+                    self._fail(
+                        "invariant 4 violated: CHECK_ADDR reset to None "
+                        "after a checkpoint had committed"
+                    )
+                return
+            if old is not None and new.counter <= old.counter:
+                self._fail(
+                    f"invariant 1 violated: committed counter moved "
+                    f"{old.counter} -> {new.counter}"
+                )
+            if new.slot in self._free:
+                self._fail(
+                    f"invariant 2 violated: newly committed slot "
+                    f"{new.slot} is sitting in the free queue"
+                )
+            self._committed_slot = new.slot
+            self._committed_counter = new.counter
+            self._ever_committed = True
+
+    # ------------------------------------------------------------------
+    # per-ticket accounting (invariant 3)
+
+    def on_begin(self, counter: int, slot: int) -> None:
+        with self._lock:
+            self._tick()
+            if counter in self._releases:
+                self._fail(f"duplicate ticket counter {counter} issued")
+            if counter <= 0:
+                self._fail(f"ticket counter must be positive, got {counter}")
+            self._releases[counter] = 0
+
+    def on_release(self, counter: Optional[int], slot: int) -> None:
+        """A slot released on behalf of ticket ``counter`` (None during
+        engine construction, when the initial free list is populated)."""
+        if counter is None:
+            return
+        with self._lock:
+            self._tick()
+            count = self._releases.get(counter, 0) + 1
+            self._releases[counter] = count
+            if count > 1:
+                self._fail(
+                    f"invariant 3 violated: checkpoint {counter} returned "
+                    f"{count} slots to the queue"
+                )
+
+    def on_ticket_done(self, counter: int, first_commit: bool) -> None:
+        with self._lock:
+            self._tick()
+            released = self._releases.pop(counter, 0)
+            expected = 0 if first_commit else 1
+            if released != expected:
+                self._fail(
+                    f"invariant 3 violated: checkpoint {counter} finished "
+                    f"having returned {released} slot(s), expected {expected}"
+                )
+
+    @property
+    def ever_committed(self) -> bool:
+        """Whether the shadow state has seen any commit yet.
+
+        Read-side callers must sample this *before* loading CHECK_ADDR:
+        a commit that lands between the load and the assertion must not
+        turn a legitimately-``None`` read into a false violation.
+        """
+        with self._lock:
+            return self._ever_committed
+
+    def assert_recovery_point(
+        self,
+        meta: Optional[CheckMeta],
+        expect_commit: Optional[bool] = None,
+    ) -> None:
+        """Invariant 4 at a read: after any commit a recovery point exists.
+
+        ``expect_commit`` is the value of :attr:`ever_committed` sampled
+        *before* ``meta`` was loaded; when omitted, the current shadow
+        state is used (only safe when no commit can race the read).
+        """
+        with self._lock:
+            self._tick()
+            if expect_commit is None:
+                expect_commit = self._ever_committed
+            if expect_commit and meta is None:
+                self._fail(
+                    "invariant 4 violated: no committed checkpoint visible "
+                    "after a commit had succeeded"
+                )
+
+
+class SanitizedAtomicCounter(AtomicCounter):
+    """AtomicCounter asserting monotonicity on every transition."""
+
+    def __init__(self, initial: int, sanitizer: EngineSanitizer) -> None:
+        super().__init__(initial)
+        self._sanitizer = sanitizer
+
+    def fetch_add(self, amount: int = 1) -> int:
+        old = super().fetch_add(amount)
+        self._sanitizer.note_counter_step(old, old + amount)
+        return old
+
+    def add_fetch(self, amount: int = 1) -> int:
+        new = super().add_fetch(amount)
+        self._sanitizer.note_counter_step(new - amount, new)
+        return new
+
+    def store(self, value: int) -> None:
+        old = self.load()
+        self._sanitizer.note_counter_step(old, value)
+        super().store(value)
+
+
+class SanitizedAtomicReference(AtomicReference):
+    """CHECK_ADDR wrapper asserting commit-pointer invariants."""
+
+    def __init__(
+        self, initial: Optional[CheckMeta], sanitizer: EngineSanitizer
+    ) -> None:
+        super().__init__(initial)
+        self._sanitizer = sanitizer
+
+    def compare_and_swap(self, expected, new) -> bool:
+        swapped = super().compare_and_swap(expected, new)
+        if swapped:
+            self._sanitizer.note_commit_pointer(expected, new)
+        return swapped
+
+    def store(self, value) -> None:
+        self._sanitizer.note_commit_pointer(self.load(), value)
+        super().store(value)
+
+
+class SanitizedSlotQueue(SlotQueue):
+    """Free queue wrapper tracking shadow membership of every slot."""
+
+    def __init__(self, capacity: int, sanitizer: EngineSanitizer) -> None:
+        super().__init__(capacity)
+        self._sanitizer = sanitizer
+
+    def enqueue(self, value: int) -> None:
+        self._sanitizer.note_enqueue(value)
+        super().enqueue(value)
+
+    def dequeue(self) -> int:
+        value = super().dequeue()
+        if value != EMPTY:
+            self._sanitizer.note_dequeue(value)
+        return value

@@ -53,6 +53,18 @@ class EngineClosedError(EngineError):
     """Checkpoint requested on an engine that has been shut down."""
 
 
+class InvariantViolationError(EngineError):
+    """The runtime sanitizer observed a broken engine invariant.
+
+    Raised only when sanitizing is enabled (``REPRO_SANITIZE=1`` or
+    ``CheckpointEngine(..., sanitize=True)``); it means the *engine
+    implementation* — not the caller — violated one of the documented
+    concurrency invariants (committed-counter monotonicity, committed
+    slot outside the free queue, one slot returned per checkpoint,
+    at-least-one-valid-checkpoint).
+    """
+
+
 class ConfigError(PCcheckError):
     """Invalid PCcheck configuration (Table 2 parameter constraints)."""
 

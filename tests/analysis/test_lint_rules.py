@@ -1,0 +1,540 @@
+"""Per-rule tests for pccheck-lint (PC001-PC006) and suppressions."""
+
+import textwrap
+
+from repro.analysis.static.runner import lint_source
+
+
+def lint(code, select=None):
+    return lint_source(textwrap.dedent(code), path="fixture.py",
+                       select=select)
+
+
+def rule_ids(diags):
+    return [d.rule_id for d in diags]
+
+
+class TestPC001BlockingUnderLock:
+    def test_sleep_under_lock_flagged(self):
+        diags = lint(
+            """
+            import threading, time
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def bad(self):
+                    with self._lock:
+                        time.sleep(0.5)
+            """,
+            select={"PC001"},
+        )
+        assert rule_ids(diags) == ["PC001"]
+        assert "sleep" in diags[0].message
+        assert "self._lock" in diags[0].message
+
+    def test_persist_under_lock_flagged(self):
+        diags = lint(
+            """
+            def commit(self):
+                with self._commit_lock:
+                    self.device.persist(0, 64)
+            """,
+            select={"PC001"},
+        )
+        assert rule_ids(diags) == ["PC001"]
+
+    def test_nested_lock_acquisition_flagged(self):
+        diags = lint(
+            """
+            def transfer(self, other):
+                with self._lock:
+                    with other._lock:
+                        self.x = other.x
+            """,
+            select={"PC001"},
+        )
+        assert any("ordering hazard" in d.message for d in diags)
+
+    def test_sleep_outside_lock_clean(self):
+        diags = lint(
+            """
+            import time
+
+            def wait_for_slot(self):
+                with self._lock:
+                    n = self.count
+                time.sleep(n)
+            """,
+            select={"PC001"},
+        )
+        assert diags == []
+
+    def test_condition_wait_is_not_blocking(self):
+        # Condition.wait releases the lock: the freelist pattern is legal.
+        diags = lint(
+            """
+            def enqueue(self, cell):
+                with cell.lock:
+                    while cell.turn != 0:
+                        cell.nonfull.wait()
+            """,
+            select={"PC001"},
+        )
+        assert diags == []
+
+
+class TestPC002UnguardedMutation:
+    POSITIVE = """
+        import threading
+
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.count = 0
+
+            def inc(self):
+                with self._lock:
+                    self.count += 1
+
+            def reset(self):
+                self.count = 0
+    """
+
+    def test_mixed_guarded_unguarded_write_flagged(self):
+        diags = lint(self.POSITIVE, select={"PC002"})
+        assert rule_ids(diags) == ["PC002"]
+        assert "self.count" in diags[0].message
+
+    def test_all_writes_guarded_clean(self):
+        diags = lint(
+            """
+            import threading
+
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+
+                def inc(self):
+                    with self._lock:
+                        self.count += 1
+
+                def reset(self):
+                    with self._lock:
+                        self.count = 0
+            """,
+            select={"PC002"},
+        )
+        assert diags == []
+
+    def test_init_writes_exempt(self):
+        diags = lint(
+            """
+            import threading
+
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+
+                def inc(self):
+                    with self._lock:
+                        self.count += 1
+            """,
+            select={"PC002"},
+        )
+        assert diags == []
+
+    def test_class_without_lock_ignored(self):
+        diags = lint(
+            """
+            class Plain:
+                def set(self, v):
+                    self.value = v
+
+                def clear(self):
+                    self.value = None
+            """,
+            select={"PC002"},
+        )
+        assert diags == []
+
+    def test_subscript_store_counts_as_write(self):
+        diags = lint(
+            """
+            import threading
+
+            class Buffers:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._steps = [0, 0]
+
+                def set_locked(self, i, v):
+                    with self._lock:
+                        self._steps[i] = v
+
+                def set_racy(self, i, v):
+                    self._steps[i] = v
+            """,
+            select={"PC002"},
+        )
+        assert rule_ids(diags) == ["PC002"]
+
+
+class TestPC003TicketResolution:
+    def test_never_resolved_flagged(self):
+        diags = lint(
+            """
+            def leak(engine):
+                ticket = engine.begin(step=1)
+                ticket.write_chunk(b"x")
+            """,
+            select={"PC003"},
+        )
+        assert rule_ids(diags) == ["PC003"]
+        assert "never committed" in diags[0].message
+
+    def test_conditional_commit_without_else_flagged(self):
+        diags = lint(
+            """
+            def maybe(engine, flag):
+                ticket = engine.begin()
+                if flag:
+                    ticket.commit()
+            """,
+            select={"PC003"},
+        )
+        assert rule_ids(diags) == ["PC003"]
+        assert "every normal path" in diags[0].message
+
+    def test_commit_and_abort_branches_clean(self):
+        diags = lint(
+            """
+            def both(engine, flag):
+                ticket = engine.begin()
+                if flag:
+                    ticket.commit()
+                else:
+                    ticket.abort()
+            """,
+            select={"PC003"},
+        )
+        assert diags == []
+
+    def test_try_finally_abort_clean(self):
+        diags = lint(
+            """
+            def safe(engine, work):
+                ticket = engine.begin()
+                try:
+                    work(b"payload")
+                finally:
+                    ticket.abort()
+            """,
+            select={"PC003"},
+        )
+        assert diags == []
+
+    def test_escaping_ticket_clean(self):
+        diags = lint(
+            """
+            def handoff(engine, executor):
+                ticket = engine.begin()
+                executor.submit(persist_stage, ticket)
+
+            def stash(engine, self):
+                ticket = engine.begin()
+                self.pending = ticket
+
+            def give_back(engine):
+                ticket = engine.begin()
+                return ticket
+            """,
+            select={"PC003"},
+        )
+        assert diags == []
+
+    def test_store_style_commit_by_argument_clean(self):
+        # gemini-style: index = store.begin(); ...; store.commit(index)
+        diags = lint(
+            """
+            def transfer(store, payload):
+                index = store.begin(1)
+                store.receive(index, 0, payload)
+                store.commit(index)
+            """,
+            select={"PC003"},
+        )
+        assert diags == []
+
+    def test_exception_exit_path_exempt(self):
+        # The engine deliberately leaves the ticket dangling on crash.
+        diags = lint(
+            """
+            def checkpoint(self, payload):
+                ticket = self.begin()
+                try:
+                    ticket.write_chunk(payload)
+                except BaseException:
+                    raise
+                return ticket.commit()
+            """,
+            select={"PC003"},
+        )
+        assert diags == []
+
+
+class TestPC004FenceDiscipline:
+    def test_unfenced_commit_write_flagged(self):
+        diags = lint(
+            """
+            def publish(layout, meta):
+                layout.device.write(
+                    layout.commit_offset, encode_commit_record(meta)
+                )
+            """,
+            select={"PC004"},
+        )
+        assert rule_ids(diags) == ["PC004"]
+        assert "not followed by a fence" in diags[0].message
+
+    def test_slot_write_unfenced_before_commit_flagged(self):
+        diags = lint(
+            """
+            def publish(layout, meta, data):
+                layout.device.write(layout.slot_offset(3), data)
+                layout.device.write(
+                    layout.commit_offset, encode_commit_record(meta)
+                )
+                layout.device.persist(layout.commit_offset, 64)
+            """,
+            select={"PC004"},
+        )
+        assert any("not preceded by a fence" in d.message for d in diags)
+
+    def test_properly_fenced_sequence_clean(self):
+        diags = lint(
+            """
+            def publish(layout, meta, data):
+                layout.device.write(layout.slot_offset(3), data)
+                layout.device.persist(layout.slot_offset(3), len(data))
+                layout.device.write(
+                    layout.commit_offset, encode_commit_record(meta)
+                )
+                layout.device.persist(layout.commit_offset, 64)
+            """,
+            select={"PC004"},
+        )
+        assert diags == []
+
+    def test_ordinary_writes_ignored(self):
+        diags = lint(
+            """
+            def log(handle, data):
+                handle.write(data)
+            """,
+            select={"PC004"},
+        )
+        assert diags == []
+
+
+class TestPC005SwallowedErrors:
+    def test_bare_except_flagged(self):
+        diags = lint(
+            """
+            def run(engine, payload):
+                try:
+                    engine.checkpoint(payload)
+                except:
+                    pass
+            """,
+            select={"PC005"},
+        )
+        assert rule_ids(diags) == ["PC005"]
+        assert "bare" in diags[0].message
+
+    def test_broad_except_pass_flagged(self):
+        diags = lint(
+            """
+            def run(engine, payload):
+                try:
+                    engine.checkpoint(payload)
+                except Exception:
+                    pass
+            """,
+            select={"PC005"},
+        )
+        assert rule_ids(diags) == ["PC005"]
+
+    def test_broad_except_reraise_clean(self):
+        diags = lint(
+            """
+            def run(engine, payload):
+                try:
+                    engine.checkpoint(payload)
+                except BaseException:
+                    raise
+            """,
+            select={"PC005"},
+        )
+        assert diags == []
+
+    def test_broad_except_using_error_clean(self):
+        diags = lint(
+            """
+            def run(engine, payload, errors):
+                try:
+                    engine.checkpoint(payload)
+                except BaseException as exc:
+                    errors.append(exc)
+            """,
+            select={"PC005"},
+        )
+        assert diags == []
+
+    def test_narrow_except_clean(self):
+        diags = lint(
+            """
+            def run(engine, payload):
+                try:
+                    engine.checkpoint(payload)
+                except ValueError:
+                    pass
+            """,
+            select={"PC005"},
+        )
+        assert diags == []
+
+
+class TestPC006MagicBackoff:
+    def test_literal_sleep_flagged(self):
+        diags = lint(
+            """
+            import time
+
+            def poll():
+                time.sleep(0.0001)
+            """,
+            select={"PC006"},
+        )
+        assert rule_ids(diags) == ["PC006"]
+        assert "0.0001" in diags[0].message
+
+    def test_named_constant_clean(self):
+        diags = lint(
+            """
+            import time
+
+            POLL_INTERVAL_SECONDS = 0.0001
+
+            def poll():
+                time.sleep(POLL_INTERVAL_SECONDS)
+            """,
+            select={"PC006"},
+        )
+        assert diags == []
+
+    def test_sleep_zero_yield_clean(self):
+        diags = lint(
+            """
+            import time
+
+            def yield_thread():
+                time.sleep(0)
+            """,
+            select={"PC006"},
+        )
+        assert diags == []
+
+    def test_computed_interval_clean(self):
+        diags = lint(
+            """
+            import time
+
+            def throttle(nbytes, bandwidth):
+                time.sleep(nbytes / bandwidth)
+            """,
+            select={"PC006"},
+        )
+        assert diags == []
+
+
+class TestSuppressions:
+    def test_inline_disable_specific_rule(self):
+        diags = lint(
+            """
+            import time
+
+            def poll():
+                time.sleep(0.0001)  # pclint: disable=PC006
+            """
+        )
+        assert diags == []
+
+    def test_standalone_comment_covers_next_line(self):
+        diags = lint(
+            """
+            import time
+
+            def poll():
+                # pclint: disable=PC006
+                time.sleep(0.0001)
+            """
+        )
+        assert diags == []
+
+    def test_disable_all_rules_on_line(self):
+        diags = lint(
+            """
+            import time
+
+            def poll():
+                time.sleep(0.0001)  # pclint: disable
+            """
+        )
+        assert diags == []
+
+    def test_disable_other_rule_does_not_hide(self):
+        diags = lint(
+            """
+            import time
+
+            def poll():
+                time.sleep(0.0001)  # pclint: disable=PC001
+            """
+        )
+        assert rule_ids(diags) == ["PC006"]
+
+    def test_skip_file(self):
+        diags = lint(
+            """
+            # pclint: skip-file
+            import time
+
+            def poll():
+                time.sleep(0.0001)
+            """
+        )
+        assert diags == []
+
+    def test_directive_in_string_is_not_a_directive(self):
+        diags = lint(
+            """
+            import time
+
+            def poll():
+                note = "# pclint: skip-file"
+                time.sleep(0.0001)
+                return note
+            """
+        )
+        assert rule_ids(diags) == ["PC006"]
+
+
+class TestSyntaxErrors:
+    def test_unparsable_file_reports_pc000(self):
+        diags = lint("def broken(:\n")
+        assert rule_ids(diags) == ["PC000"]
+        assert "syntax error" in diags[0].message

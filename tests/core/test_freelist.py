@@ -6,8 +6,49 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.freelist import EMPTY, SlotQueue
+from repro.core.freelist import (
+    EMPTY,
+    SPIN_BACKOFF_INITIAL_SECONDS,
+    SPIN_BACKOFF_MAX_SECONDS,
+    SPIN_BACKOFF_MULTIPLIER,
+    SlotQueue,
+)
 from repro.errors import EngineError
+
+
+class TestBackoff:
+    def test_constants_are_sane(self):
+        assert 0 < SPIN_BACKOFF_INITIAL_SECONDS <= SPIN_BACKOFF_MAX_SECONDS
+        assert SPIN_BACKOFF_MULTIPLIER > 1
+
+    def test_timeout_not_overshot_by_backoff(self):
+        import time
+
+        queue = SlotQueue(2)
+        start = time.monotonic()
+        assert queue.dequeue_blocking(timeout=0.05) == EMPTY
+        elapsed = time.monotonic() - start
+        # The final sleep is clamped to the remaining budget, so even with
+        # exponential growth the wait ends near the deadline.
+        assert elapsed < 0.05 + SPIN_BACKOFF_MAX_SECONDS + 0.05
+
+    def test_configurable_backoff_window(self):
+        queue = SlotQueue(2)
+        assert (
+            queue.dequeue_blocking(
+                timeout=0.01, initial_backoff=1e-5, max_backoff=1e-3
+            )
+            == EMPTY
+        )
+
+    def test_invalid_backoff_window_rejected(self):
+        queue = SlotQueue(2)
+        with pytest.raises(EngineError):
+            queue.dequeue_blocking(timeout=0.01, initial_backoff=0)
+        with pytest.raises(EngineError):
+            queue.dequeue_blocking(
+                timeout=0.01, initial_backoff=1e-2, max_backoff=1e-3
+            )
 
 
 class TestBasics:

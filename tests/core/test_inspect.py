@@ -85,6 +85,86 @@ class TestInspectDevice:
         assert "recovery: step 3" in text
 
 
+class TestInspectRobustness:
+    """inspect must survive damaged regions an operator points it at."""
+
+    def _format_file(self, tmp_path, name="region.pc", num_slots=2,
+                     checkpoint=None):
+        path = str(tmp_path / name)
+        slot_size = PAYLOAD_CAPACITY + RECORD_SIZE
+        geometry = Geometry(num_slots=num_slots, slot_size=slot_size)
+        device = FileBackedSSD(path, capacity=geometry.total_size)
+        layout = DeviceLayout.format(device, num_slots=num_slots,
+                                     slot_size=slot_size)
+        if checkpoint is not None:
+            CheckpointEngine(layout, writer_threads=1).checkpoint(
+                checkpoint, step=9
+            )
+        device.close()
+        return path
+
+    def test_truncated_mid_region(self, tmp_path):
+        import os
+
+        path = self._format_file(tmp_path, checkpoint=b"soon gone")
+        size = os.path.getsize(path)
+        os.truncate(path, size // 2)
+        report = inspect_file(path)
+        assert not report.formatted
+        assert report.recovery_choice is None
+
+    def test_truncated_below_superblock(self, tmp_path):
+        import os
+
+        path = self._format_file(tmp_path, checkpoint=b"soon gone")
+        os.truncate(path, 16)  # not even a whole superblock header left
+        report = inspect_file(path)
+        assert not report.formatted
+        assert "NOT a formatted" in "\n".join(report.summary_lines())
+
+    def test_corrupt_slot_header(self, tmp_path):
+        engine = make_engine()
+        engine.checkpoint(b"only one", step=4)
+        committed = engine.committed()
+        layout = engine.layout
+        layout.device.write(
+            layout.slot_offset(committed.slot), b"\xab" * RECORD_SIZE
+        )
+        report = inspect_device(layout.device)
+        statuses = {s.slot: s.status for s in report.slots}
+        # A trashed header can no longer validate: the slot is not valid
+        # and the commit record that points at it must not be trusted.
+        assert statuses[committed.slot] != "valid"
+        assert not report.commit_record_trusted
+        assert report.recovery_choice is None
+
+    def test_corrupt_header_falls_back_to_other_slot(self, tmp_path):
+        engine = make_engine()
+        engine.checkpoint(b"old", step=1)
+        old = engine.committed()
+        engine.checkpoint(b"new", step=2)
+        new = engine.committed()
+        layout = engine.layout
+        layout.device.write(
+            layout.slot_offset(new.slot), b"\xab" * RECORD_SIZE
+        )
+        report = inspect_device(layout.device)
+        assert report.recovery_choice is not None
+        assert report.recovery_choice.counter == old.counter
+        assert report.recovery_source == "slot-scan"
+
+    def test_zero_committed_checkpoints(self, tmp_path):
+        path = self._format_file(tmp_path, checkpoint=None)
+        report = inspect_file(path)
+        assert report.formatted
+        assert report.commit_record is None
+        assert report.valid_checkpoints == []
+        assert report.recovery_choice is None
+        assert "recovery: NO valid checkpoint" in "\n".join(
+            report.summary_lines()
+        )
+
+
 class TestInspectFile:
     def test_inspect_file_roundtrip(self, tmp_path):
         path = str(tmp_path / "region.pc")
