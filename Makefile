@@ -1,6 +1,6 @@
 # Convenience targets for the PCcheck reproduction.
 
-.PHONY: install test test-sanitize lint bench figures examples clean
+.PHONY: install test test-sanitize lint crashsweep bench figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -19,6 +19,13 @@ test-sanitize:
 # clean — CI fails on any finding.
 lint:
 	PYTHONPATH=src python -m repro.cli lint src
+
+# Crash-consistency sweep: inject power loss (with torn writes) at every
+# device op of a pipelined orchestrator run and verify the §4.1 recovery
+# guarantee at each point. Exits non-zero on any violation.
+crashsweep:
+	PYTHONPATH=src python -m repro.cli crashsweep --workload orchestrator \
+		--steps 4 --slots 4 --torn --seed 7
 
 bench:
 	pytest benchmarks/ --benchmark-only

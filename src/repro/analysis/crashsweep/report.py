@@ -1,0 +1,82 @@
+"""Rendering for crash-sweep reports: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analysis.crashsweep.harness import SweepReport
+
+
+def render_text(report: SweepReport) -> str:
+    """Compact human-readable summary, violations with reproducers."""
+    config = report.config
+    spec = config.spec()
+    lines = [
+        "crashsweep · workload={} steps={} slots={} device={} "
+        "writer-threads={} torn={} seed={}".format(
+            config.workload,
+            config.steps,
+            spec.num_slots,
+            config.device,
+            config.writer_threads,
+            "yes" if config.torn_writes else "no",
+            config.seed if config.seed is not None else "-",
+        )
+    ]
+    space = (
+        f"{report.total_ops} mutating ops"
+        if config.target is None
+        else f"ops touching the {config.target}"
+    )
+    lines.append(
+        f"swept {len(report.outcomes)} crash points over {space}"
+        + (f" (stride {config.stride})" if config.stride > 1 else "")
+    )
+    crashed = sum(1 for o in report.outcomes if o.crashed)
+    lines.append(
+        f"  crashed mid-run: {crashed} · ran to completion: "
+        f"{len(report.outcomes) - crashed}"
+    )
+    sources = Counter(o.recovered_source for o in report.outcomes)
+    lines.append(
+        "  recovered via "
+        + " · ".join(f"{name}: {count}" for name, count in sorted(sources.items()))
+    )
+    if report.ok:
+        lines.append("violations: 0")
+        lines.append(
+            "OK — the §4.1 guarantee and counter monotonicity held at "
+            "every crash point"
+        )
+    else:
+        lines.append(f"violations: {len(report.violations)}")
+        for outcome in report.violations:
+            lines.append(f"  FAIL at {outcome.descriptor}:")
+            for violation in outcome.violations:
+                lines.append(f"    - {violation}")
+            lines.append(f"    reproduce: {outcome.reproducer}")
+    return "\n".join(lines)
+
+
+def render_json(report: SweepReport) -> str:
+    """Full machine-readable report (one JSON document)."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def render_point(outcome) -> str:
+    """Verbose single-point rendering (the ``--point`` reproducer path)."""
+    lines = [
+        f"crash point {outcome.point} ({outcome.descriptor})",
+        f"  crashed mid-run : {'yes' if outcome.crashed else 'no'}",
+        f"  acked steps     : {outcome.acked_steps or '—'}",
+        f"  recovered       : step {outcome.recovered_step} "
+        f"via {outcome.recovered_source}",
+    ]
+    if outcome.violations:
+        lines.append("  VIOLATIONS:")
+        for violation in outcome.violations:
+            lines.append(f"    - {violation}")
+    else:
+        lines.append("  invariants held")
+    return "\n".join(lines)

@@ -1,0 +1,480 @@
+"""Workloads the crash-consistency sweep drives.
+
+Each workload runs a small but representative checkpointing scenario
+against a fault-injecting device and keeps a *journal* of every
+checkpoint whose commit returned before the crash — the durability
+promises the crash is not allowed to break.  After the (possibly
+injected) crash, :meth:`Workload.validate_recovery` restarts from the
+durable image and asserts the §4.1 guarantee:
+
+* every acknowledged checkpoint survives — recovery finds a checkpoint
+  at least as new as the newest acknowledged step;
+* the committed counter never regresses below an acknowledged counter;
+* whatever is recovered is byte-exact (no torn/corrupt payload ever
+  validates);
+* resources are conserved on the failure path: the DRAM pool is whole
+  again after the pipelines died, and a completed run returns every slot
+  but the committed one to the free queue (engine invariant 4).
+
+Four workloads cover the stack bottom-up: ``engine`` (one-shot
+``checkpoint()`` calls), ``streaming`` (interleaved ticket sessions,
+exercising the superseded path deterministically), ``orchestrator``
+(the full capture/persist pipeline with ≥3 concurrent checkpoints), and
+``distributed`` (multi-rank engines behind the rank-0 barrier, crashing
+one rank's device).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.distributed import (
+    CheckpointBarrier,
+    DistributedWorker,
+    recover_consistent,
+)
+from repro.core.engine import CheckpointEngine
+from repro.core.layout import DeviceLayout, Geometry
+from repro.core.meta import RECORD_SIZE
+from repro.core.orchestrator import PCcheckOrchestrator
+from repro.core.recovery import try_recover
+from repro.core.snapshot import BytesSource
+from repro.errors import (
+    CrashedDeviceError,
+    DistributedError,
+    EngineClosedError,
+    LayoutError,
+    NoCheckpointError,
+)
+from repro.storage.dram import DRAMBufferPool
+from repro.storage.faults import CrashPointDevice
+from repro.storage.ssd import InMemorySSD
+
+#: Upper bound on waiting for a checkpoint handle after a crash; a hit
+#: means the failure paths stopped terminating and is itself a violation.
+HANDLE_WAIT_SECONDS: float = 30.0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Static parameters of one sweep's workload runs."""
+
+    steps: int = 3
+    num_slots: int = 3
+    payload_capacity: int = 512
+    writer_threads: int = 2
+    chunk_size: int = 128
+    num_chunks: int = 2
+    sanitize: bool = True
+    world_size: int = 2
+    barrier_timeout: float = 0.25
+
+    @property
+    def slot_size(self) -> int:
+        return self.payload_capacity + RECORD_SIZE
+
+    def geometry(self) -> Geometry:
+        return Geometry(num_slots=self.num_slots, slot_size=self.slot_size)
+
+
+@dataclass
+class RunJournal:
+    """Everything a run promised (or leaked) before the crash."""
+
+    #: Steps whose checkpoint committed and whose call returned.
+    acked_steps: List[int] = field(default_factory=list)
+    #: Engine counters of those commits (rank 0 in distributed runs).
+    acked_counters: List[int] = field(default_factory=list)
+    crashed: bool = False
+    crash_error: Optional[str] = None
+    #: Failure-path resource leaks the workload itself detected.
+    violations: List[str] = field(default_factory=list)
+    #: Workload-specific extras (e.g. peer devices of a distributed run).
+    aux: Dict[str, object] = field(default_factory=dict)
+
+    def ack(self, step: int, counter: int) -> None:
+        self.acked_steps.append(step)
+        self.acked_counters.append(counter)
+
+
+@dataclass
+class RecoveryOutcome:
+    """Post-crash recovery result plus any invariant violations."""
+
+    recovered_step: Optional[int]
+    source: str  #: "commit-record" | "slot-scan" | "distributed" | "none"
+    violations: List[str]
+
+
+def payload_for(step: int, capacity: int, rank: int = 0) -> bytes:
+    """Deterministic per-(rank, step) payload with a step-varying length,
+    so truncated or cross-slot reads can never pass validation."""
+    pattern = f"r{rank:02d}s{step:06d};".encode()
+    length = max(1, capacity - (step % 5))
+    reps = length // len(pattern) + 1
+    return (pattern * reps)[:length]
+
+
+class Workload:
+    """Base: single-device workloads share journal-vs-recovery checking."""
+
+    name = "abstract"
+    description = ""
+
+    def run(self, device: CrashPointDevice, spec: WorkloadSpec) -> RunJournal:
+        raise NotImplementedError
+
+    def expected_payload(
+        self, spec: WorkloadSpec, step: int, rank: int = 0
+    ) -> bytes:
+        return payload_for(step, spec.payload_capacity, rank=rank)
+
+    # ------------------------------------------------------------------
+    # §4.1 validation
+
+    def validate_recovery(
+        self, device: CrashPointDevice, spec: WorkloadSpec, journal: RunJournal
+    ) -> RecoveryOutcome:
+        violations = list(journal.violations)
+        # Power loss at the sweep point — or, for runs the schedule never
+        # interrupted, immediately after the run: either way every
+        # unpersisted byte is gone before recovery looks.
+        if not device.inner.crashed:
+            device.inner.crash()
+        device.inner.recover()
+        try:
+            layout = DeviceLayout.open(device.inner)
+        except LayoutError:
+            if journal.acked_steps:
+                violations.append(
+                    "region unopenable after crash although "
+                    f"steps {journal.acked_steps} were acknowledged"
+                )
+            return RecoveryOutcome(None, "none", violations)
+        recovered = try_recover(layout)
+        if journal.acked_steps:
+            newest = max(journal.acked_steps)
+            if recovered is None:
+                violations.append(
+                    f"acknowledged step {newest} lost: nothing recovered"
+                )
+            else:
+                if recovered.meta.step < newest:
+                    violations.append(
+                        f"recovery regressed to step {recovered.meta.step} "
+                        f"< acknowledged {newest}"
+                    )
+                if recovered.meta.counter < max(journal.acked_counters):
+                    violations.append(
+                        f"committed counter regressed to "
+                        f"{recovered.meta.counter} < acknowledged "
+                        f"{max(journal.acked_counters)}"
+                    )
+        if recovered is None:
+            return RecoveryOutcome(None, "none", violations)
+        expected = self.expected_payload(spec, recovered.meta.step)
+        if recovered.payload != expected:
+            violations.append(
+                f"recovered payload for step {recovered.meta.step} is "
+                f"corrupt ({len(recovered.payload)} bytes, CRC passed but "
+                "content differs from what the workload wrote)"
+            )
+        return RecoveryOutcome(recovered.meta.step, recovered.source, violations)
+
+    # ------------------------------------------------------------------
+    # helpers
+
+    def _build_engine(
+        self, device: CrashPointDevice, spec: WorkloadSpec
+    ) -> CheckpointEngine:
+        layout = DeviceLayout.format(
+            device, num_slots=spec.num_slots, slot_size=spec.slot_size
+        )
+        return CheckpointEngine(
+            layout,
+            writer_threads=spec.writer_threads,
+            sanitize=spec.sanitize,
+        )
+
+    def _check_slot_conservation(
+        self, engine: CheckpointEngine, spec: WorkloadSpec, journal: RunJournal
+    ) -> None:
+        """Invariant 4 at quiescence: a completed run holds back exactly
+        the committed slot."""
+        if journal.crashed:
+            return  # dangling tickets are legitimate after power loss
+        expected = spec.num_slots - (1 if journal.acked_steps else 0)
+        if engine.free_slots != expected:
+            journal.violations.append(
+                f"slot leak: {engine.free_slots} free of {spec.num_slots} "
+                f"after a completed run (expected {expected})"
+            )
+
+
+class EngineOneShotWorkload(Workload):
+    """Sequential ``engine.checkpoint()`` calls — Listing 1 end to end."""
+
+    name = "engine"
+    description = "one-shot checkpoint() calls on the bare engine"
+
+    def run(self, device: CrashPointDevice, spec: WorkloadSpec) -> RunJournal:
+        journal = RunJournal()
+        try:
+            engine = self._build_engine(device, spec)
+            for step in range(1, spec.steps + 1):
+                result = engine.checkpoint(
+                    self.expected_payload(spec, step), step=step
+                )
+                if result.committed:
+                    journal.ack(step, result.counter)
+        except CrashedDeviceError as exc:
+            journal.crashed = True
+            journal.crash_error = str(exc)
+            return journal
+        self._check_slot_conservation(engine, spec, journal)
+        return journal
+
+
+class StreamingTicketWorkload(Workload):
+    """Interleaved ``begin``/``write_chunk``/``commit`` ticket pairs.
+
+    Commits each pair in reverse order, so every odd ticket exercises the
+    superseded path (Listing 1 lines 29–31) deterministically.
+    """
+
+    name = "streaming"
+    description = "interleaved streaming tickets, deterministic supersede"
+
+    def run(self, device: CrashPointDevice, spec: WorkloadSpec) -> RunJournal:
+        journal = RunJournal()
+        try:
+            engine = self._build_engine(device, spec)
+            step = 1
+            while step <= spec.steps:
+                first = engine.begin(step=step)
+                second = (
+                    engine.begin(step=step + 1)
+                    if step + 1 <= spec.steps
+                    else None
+                )
+                for ticket in (first, second):
+                    if ticket is None:
+                        continue
+                    payload = self.expected_payload(spec, ticket.step)
+                    third = max(1, len(payload) // 3)
+                    for lo in range(0, len(payload), third):
+                        ticket.write_chunk(payload[lo : lo + third])
+                # Reverse commit order: `first` holds the smaller counter
+                # and gets superseded by `second`'s commit.
+                for ticket in (second, first):
+                    if ticket is None:
+                        continue
+                    result = ticket.commit()
+                    if result.committed:
+                        journal.ack(ticket.step, result.counter)
+                step += 2
+        except CrashedDeviceError as exc:
+            journal.crashed = True
+            journal.crash_error = str(exc)
+            return journal
+        self._check_slot_conservation(engine, spec, journal)
+        return journal
+
+
+class OrchestratorWorkload(Workload):
+    """The full pipeline: concurrent capture/persist sessions over a
+    shared DRAM pool, crash landing anywhere in any stage.
+
+    Beyond the §4.1 check this asserts the failure-path resource
+    contract: after ``drain``/``close`` the DRAM pool is whole again even
+    when the persist stages died mid-checkpoint.
+    """
+
+    name = "orchestrator"
+    description = "concurrent capture/persist pipelines over a DRAM pool"
+
+    def run(self, device: CrashPointDevice, spec: WorkloadSpec) -> RunJournal:
+        journal = RunJournal()
+        try:
+            engine = self._build_engine(device, spec)
+        except CrashedDeviceError as exc:
+            journal.crashed = True
+            journal.crash_error = str(exc)
+            return journal
+        pool = DRAMBufferPool(
+            num_chunks=spec.num_chunks, chunk_size=spec.chunk_size
+        )
+        orchestrator = PCcheckOrchestrator(engine, pool)
+        handles = []
+        try:
+            for step in range(1, spec.steps + 1):
+                source = BytesSource(self.expected_payload(spec, step))
+                handles.append(orchestrator.checkpoint_async(source, step=step))
+        except (CrashedDeviceError, EngineClosedError) as exc:
+            journal.crashed = True
+            journal.crash_error = str(exc)
+        for handle in handles:
+            try:
+                result = handle.wait(HANDLE_WAIT_SECONDS)
+            except CrashedDeviceError as exc:
+                journal.crashed = True
+                journal.crash_error = str(exc)
+            except (TimeoutError, FuturesTimeoutError):
+                journal.violations.append(
+                    f"handle for step {handle.step} did not terminate "
+                    f"within {HANDLE_WAIT_SECONDS}s after the crash"
+                )
+            else:
+                if result.committed:
+                    journal.ack(handle.step, result.counter)
+        orchestrator.close()
+        if pool.free_chunks != pool.total_chunks:
+            journal.violations.append(
+                f"DRAM buffer leak: {pool.free_chunks} of "
+                f"{pool.total_chunks} chunks free after close()"
+            )
+        self._check_slot_conservation(engine, spec, journal)
+        return journal
+
+
+class DistributedWorkload(Workload):
+    """Multi-rank checkpointing behind the rank-0 barrier; the sweep
+    crashes rank 0's device, peers keep healthy devices.
+
+    An acknowledged step here means *every* rank's checkpoint returned —
+    the globally consistent property recovery must honour via
+    :func:`repro.core.distributed.recover_consistent`.
+    """
+
+    name = "distributed"
+    description = "multi-rank engines behind the rank-0 barrier"
+
+    def run(self, device: CrashPointDevice, spec: WorkloadSpec) -> RunJournal:
+        journal = RunJournal()
+        peers = [
+            InMemorySSD(spec.geometry().total_size, name=f"peer-{rank}")
+            for rank in range(1, spec.world_size)
+        ]
+        journal.aux["peer_devices"] = peers
+        barrier = CheckpointBarrier(
+            spec.world_size, timeout=spec.barrier_timeout
+        )
+        try:
+            layouts = [
+                DeviceLayout.format(
+                    device, num_slots=spec.num_slots, slot_size=spec.slot_size
+                )
+            ]
+        except CrashedDeviceError as exc:
+            journal.crashed = True
+            journal.crash_error = str(exc)
+            return journal
+        layouts += [
+            DeviceLayout.format(
+                peer, num_slots=spec.num_slots, slot_size=spec.slot_size
+            )
+            for peer in peers
+        ]
+        workers = [
+            DistributedWorker.create(
+                rank, layout, barrier, writer_threads=spec.writer_threads
+            )
+            for rank, layout in enumerate(layouts)
+        ]
+        for step in range(1, spec.steps + 1):
+            results: List[Optional[object]] = [None] * spec.world_size
+            errors: List[BaseException] = []
+
+            def one_rank(worker: DistributedWorker, step: int = step) -> None:
+                try:
+                    results[worker.rank] = worker.checkpoint(
+                        self.expected_payload(spec, step, rank=worker.rank),
+                        step=step,
+                    )
+                except (CrashedDeviceError, DistributedError) as exc:
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=one_rank, args=(worker,))
+                for worker in workers
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if errors or any(result is None for result in results):
+                journal.crashed = True
+                journal.crash_error = str(errors[0]) if errors else "rank lost"
+                break
+            journal.ack(step, results[0].counter)
+        return journal
+
+    def validate_recovery(
+        self, device: CrashPointDevice, spec: WorkloadSpec, journal: RunJournal
+    ) -> RecoveryOutcome:
+        violations = list(journal.violations)
+        # Whole-cluster power loss at the sweep point: drop unpersisted
+        # state on every rank, then recover the globally consistent step.
+        if not device.inner.crashed:
+            device.inner.crash()
+        device.inner.recover()
+        peers = journal.aux.get("peer_devices", [])
+        for peer in peers:
+            peer.crash()
+            peer.recover()
+        layouts = []
+        for dev in [device.inner, *peers]:
+            try:
+                layouts.append(DeviceLayout.open(dev))
+            except LayoutError:
+                if journal.acked_steps:
+                    violations.append(
+                        f"rank device {dev.name} unopenable although steps "
+                        f"{journal.acked_steps} were fully acknowledged"
+                    )
+                return RecoveryOutcome(None, "none", violations)
+        try:
+            consistent = recover_consistent(layouts)
+        except NoCheckpointError:
+            if journal.acked_steps:
+                violations.append(
+                    f"globally acknowledged step {max(journal.acked_steps)} "
+                    "lost: no consistent checkpoint across ranks"
+                )
+            return RecoveryOutcome(None, "none", violations)
+        if journal.acked_steps and consistent.step < max(journal.acked_steps):
+            violations.append(
+                f"consistent recovery regressed to step {consistent.step} "
+                f"< acknowledged {max(journal.acked_steps)}"
+            )
+        for rank, payload in enumerate(consistent.payloads):
+            if payload != self.expected_payload(
+                spec, consistent.step, rank=rank
+            ):
+                violations.append(
+                    f"rank {rank} payload corrupt at step {consistent.step}"
+                )
+        return RecoveryOutcome(consistent.step, "distributed", violations)
+
+
+WORKLOADS: Dict[str, Workload] = {
+    workload.name: workload
+    for workload in (
+        EngineOneShotWorkload(),
+        StreamingTicketWorkload(),
+        OrchestratorWorkload(),
+        DistributedWorkload(),
+    )
+}
+
+#: Per-workload default slot counts: the orchestrator workload must host
+#: ≥3 concurrent checkpoints (N = slots − 1).
+DEFAULT_SLOTS: Dict[str, int] = {
+    "engine": 3,
+    "streaming": 3,
+    "orchestrator": 4,
+    "distributed": 3,
+}

@@ -97,7 +97,102 @@ def build_parser() -> argparse.ArgumentParser:
         "--select", default=None,
         help="comma-separated rule ids to run (default: all)",
     )
+    sweep_parser = sub.add_parser(
+        "crashsweep",
+        help="sweep a crash across every device op of a workload and "
+        "verify the §4.1 recovery guarantee at each point",
+    )
+    sweep_parser.add_argument(
+        "--workload", default="engine",
+        choices=["engine", "streaming", "orchestrator", "distributed"],
+        help="which checkpointing workload to crash",
+    )
+    sweep_parser.add_argument(
+        "--steps", type=int, default=3,
+        help="checkpoints the workload attempts",
+    )
+    sweep_parser.add_argument(
+        "--slots", type=int, default=None,
+        help="checkpoint slots (default: per-workload)",
+    )
+    sweep_parser.add_argument("--payload-capacity", type=int, default=512)
+    sweep_parser.add_argument("--writer-threads", type=int, default=2)
+    sweep_parser.add_argument(
+        "--device", default="ssd", choices=["ssd", "pmem"]
+    )
+    sweep_parser.add_argument(
+        "--stride", type=int, default=1,
+        help="sweep every stride-th crash point",
+    )
+    sweep_parser.add_argument(
+        "--max-points", type=int, default=None,
+        help="cap on swept points (evenly subsampled)",
+    )
+    sweep_parser.add_argument(
+        "--point", type=int, default=None,
+        help="run exactly one crash point (reproducer mode)",
+    )
+    sweep_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="rng seed for cache-line survival and torn-write cuts",
+    )
+    sweep_parser.add_argument(
+        "--torn", action="store_true",
+        help="tear the write at the crash op (durable prefix only)",
+    )
+    sweep_parser.add_argument(
+        "--target", default=None, choices=["commit-record"],
+        help="sweep only ops touching this structure",
+    )
+    sweep_parser.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    sweep_parser.add_argument(
+        "--no-sanitize", action="store_true",
+        help="disable the runtime invariant sanitizer during the sweep",
+    )
     return parser
+
+
+def _run_crashsweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.crashsweep import (
+        CrashSweepConfig,
+        render_json,
+        render_point,
+        render_text,
+        run_point,
+        sweep,
+    )
+
+    config = CrashSweepConfig(
+        workload=args.workload,
+        steps=args.steps,
+        num_slots=args.slots,
+        payload_capacity=args.payload_capacity,
+        writer_threads=args.writer_threads,
+        device=args.device,
+        seed=args.seed,
+        torn_writes=args.torn,
+        stride=args.stride,
+        max_points=args.max_points,
+        target=args.target,
+        sanitize=not args.no_sanitize,
+    )
+    if args.point is not None:
+        outcome = run_point(config, args.point)
+        if args.format == "json":
+            print(json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(render_point(outcome))
+        return 1 if outcome.violations else 0
+    report = sweep(config)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -122,6 +217,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_lint(
             args.paths, report_format=args.format, select=args.select
         )
+    if args.command == "crashsweep":
+        return _run_crashsweep(args)
     if args.command == "all":
         for name in sorted(FIGURES):
             _run_figure(name, args.out)

@@ -57,7 +57,13 @@ from repro.core.sanitize import (
     sanitize_requested,
 )
 from repro.core.writer import FenceMode, ParallelWriter
-from repro.errors import EngineClosedError, EngineError, OutOfSpaceError
+from repro.errors import (
+    CrashedDeviceError,
+    EngineClosedError,
+    EngineError,
+    OutOfSpaceError,
+    SlotWaitTimeout,
+)
 
 
 @dataclass(frozen=True)
@@ -232,6 +238,16 @@ class CheckpointEngine:
         """True when the runtime invariant sanitizer is active."""
         return self._sanitizer is not None
 
+    @property
+    def free_slots(self) -> int:
+        """Slots currently in the free queue.
+
+        Racy while checkpoints are in flight; exact at quiescence, where
+        invariant 4 demands ``num_slots - 1`` once anything committed
+        (the crashsweep harness checks exactly that).
+        """
+        return len(self._free)
+
     def committed(self) -> Optional[CheckMeta]:
         """Metadata of the current recovery point (in-memory CHECK_ADDR)."""
         if self._sanitizer is not None:
@@ -250,9 +266,18 @@ class CheckpointEngine:
         ticket = self.begin(step=step)
         try:
             ticket.write_chunk(payload)
+        except CrashedDeviceError:
+            # Power loss leaves the ticket dangling — the slot is
+            # reclaimed only by post-restart recovery, as on hardware.
+            raise
         except BaseException:
-            # A crashed device leaves the ticket dangling, as power loss
-            # would; only clean aborts recycle the slot.
+            # Validation failures (OutOfSpaceError fires before any
+            # device mutation) and other local errors must recycle the
+            # slot, or each failed call permanently eats one of the N+1
+            # slots (invariant 4).  Recycling is safe even after partial
+            # payload writes: without a slot header the data can never
+            # validate.
+            ticket.abort()
             raise
         return ticket.commit()
 
@@ -264,7 +289,9 @@ class CheckpointEngine:
         Lines 2–11 of Listing 1: sample the committed checkpoint is done
         inside :meth:`_commit` (the CAS needs a fresh expected value per
         retry); here we draw the counter and busy-wait on the free queue.
-        Blocks while all slots are held by in-flight checkpoints.
+        Blocks while all slots are held by in-flight checkpoints; with a
+        ``timeout``, raises :class:`~repro.errors.SlotWaitTimeout` once it
+        expires.
         """
         self._check_alive()
         counter = self._g_counter.add_fetch(1)
@@ -274,8 +301,9 @@ class CheckpointEngine:
         with self.stats._lock:  # noqa: SLF001
             self.stats.slot_wait_seconds += waited
         if slot == EMPTY:
-            raise EngineError(
-                f"no free checkpoint slot within {timeout} seconds "
+            window = "" if timeout is None else f" within {timeout:g} seconds"
+            raise SlotWaitTimeout(
+                f"no free checkpoint slot{window} "
                 f"(all {self.max_concurrent} concurrent checkpoints busy)"
             )
         if self._sanitizer is not None:

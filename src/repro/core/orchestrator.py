@@ -21,6 +21,14 @@ every weight update, so captures always read a stable state version.  The
 orchestrator tracks the cumulative time spent in that wait (the stall the
 paper's Figure 6 shows between T and U) plus slot-wait and buffer-wait
 stalls for the sensitivity benchmarks.
+
+Failure contract (see docs/ALGORITHM.md, "Failure paths and what
+survives them"): a capture failure aborts the ticket cleanly; a persist
+failure poisons its capture stage, drains the hand-off queue back into
+the buffer pool, and either recycles the slot (local errors) or leaves
+the ticket dangling and marks the orchestrator fatal (a crashed device —
+power-loss semantics).  ``wait_for_snapshots``, ``drain`` and ``close``
+always terminate, whatever failed.
 """
 
 from __future__ import annotations
@@ -36,7 +44,12 @@ from repro.core.chunking import plan_chunks
 from repro.core.config import PCcheckConfig
 from repro.core.engine import CheckpointEngine, CheckpointResult
 from repro.core.snapshot import SnapshotSource
-from repro.errors import EngineClosedError
+from repro.errors import (
+    CrashedDeviceError,
+    EngineClosedError,
+    EngineError,
+    SlotWaitTimeout,
+)
 from repro.storage.dram import DRAMBufferPool, PinnedBuffer
 
 
@@ -61,6 +74,19 @@ class CheckpointHandle:
 #: Sentinel the capture stage sends when it failed mid-checkpoint, so the
 #: persist stage aborts the ticket instead of committing a truncated payload.
 _CAPTURE_FAILED = object()
+
+#: Poll period for waits that must notice a dead pipeline peer: the
+#: capture stage's buffer acquisition (its consumer may have died and
+#: stopped releasing buffers) and the slot wait in ``checkpoint_async``
+#: (every slot may be held by a dangling post-crash ticket).  Small enough
+#: that failure detection latency is negligible next to a persist.
+_STAGE_POLL_SECONDS: float = 0.05
+
+
+class _PersistStageDied(EngineError):
+    """Internal control-flow signal: the capture stage stopped because its
+    persist consumer failed; the consumer's error is what reaches the
+    handle."""
 
 
 class OrchestratorStats:
@@ -101,6 +127,10 @@ class PCcheckOrchestrator:
         self._pending: List[CheckpointHandle] = []
         self._pending_lock = threading.Lock()
         self._closed = False
+        #: First unrecoverable pipeline failure (a crashed device).  Once
+        #: set, new checkpoints are refused instead of blocking forever on
+        #: slots held by dangling post-crash tickets.
+        self._fatal: Optional[BaseException] = None
         self.stats = OrchestratorStats()
 
     # ------------------------------------------------------------------
@@ -125,20 +155,32 @@ class PCcheckOrchestrator:
         """
         if self._closed:
             raise EngineClosedError("orchestrator is closed")
+        self._check_fatal()
         handle = CheckpointHandle(step=step)
         with self.stats._lock:  # noqa: SLF001
             self.stats.checkpoints_requested += 1
         # Reserve counter + slot in the caller's thread: engine.begin()
         # blocking is precisely the "wait for a previous checkpoint"
-        # stall that concurrency is meant to bound.
-        ticket = self._engine.begin(step=step)
+        # stall that concurrency is meant to bound.  Poll rather than
+        # block indefinitely: after a device crash every slot may be held
+        # by a dangling ticket that will never release it.
+        while True:
+            try:
+                ticket = self._engine.begin(
+                    step=step, timeout=_STAGE_POLL_SECONDS
+                )
+                break
+            except SlotWaitTimeout:
+                self._check_fatal()
         handle.counter = ticket.counter
         hand_off: "queue.Queue[Optional[PinnedBuffer]]" = queue.Queue()
+        persist_dead = threading.Event()
         persist_future = self._executor.submit(
-            self._persist_stage, ticket, hand_off, handle
+            self._persist_stage, ticket, hand_off, handle, persist_dead
         )
         self._executor.submit(
-            self._capture_stage, source, hand_off, handle, persist_future
+            self._capture_stage, source, hand_off, handle, persist_future,
+            persist_dead,
         )
         with self._pending_lock:
             self._pending = [h for h in self._pending if not h.done()]
@@ -163,22 +205,58 @@ class PCcheckOrchestrator:
         self.stats.add_update_stall(waited)
         return waited
 
-    def drain(self, timeout: Optional[float] = None) -> List[CheckpointResult]:
-        """Wait for every outstanding checkpoint to finish."""
+    def drain(
+        self,
+        timeout: Optional[float] = None,
+        return_exceptions: bool = False,
+    ) -> List[CheckpointResult]:
+        """Wait for every outstanding checkpoint to finish.
+
+        Every pending handle is awaited even when some failed — a crashed
+        pipeline must not leave later handles un-joined.  With
+        ``return_exceptions=False`` (default) the first failure re-raises
+        *after* all handles settled; with ``return_exceptions=True`` the
+        failures appear in the result list instead.
+        """
         with self._pending_lock:
             pending = list(self._pending)
-        return [handle.wait(timeout) for handle in pending]
+        results: List[CheckpointResult] = []
+        first_error: Optional[BaseException] = None
+        for handle in pending:
+            try:
+                results.append(handle.wait(timeout))
+            except BaseException as exc:  # noqa: BLE001 - collected below
+                if first_error is None:
+                    first_error = exc
+                if return_exceptions:
+                    results.append(exc)
+        if first_error is not None and not return_exceptions:
+            raise first_error
+        return results
 
     def close(self) -> None:
-        """Drain and shut down the pipelines."""
+        """Drain and shut down the pipelines.
+
+        Always terminates, even when handles failed: failures were
+        deliverable through :meth:`CheckpointHandle.wait`, so close
+        swallows them rather than leaving the executor running.
+        """
         if self._closed:
             return
         self._closed = True
         try:
-            self.drain()
+            self.drain(return_exceptions=True)
         finally:
             self._executor.shutdown(wait=True)
             self._engine.close()
+
+    def _check_fatal(self) -> None:
+        fatal = self._fatal
+        if fatal is not None:
+            raise EngineClosedError(
+                "orchestrator pipelines died on a crashed device; "
+                "recover the device and build a fresh orchestrator"
+            ) from fatal
 
     def __enter__(self) -> "PCcheckOrchestrator":
         return self
@@ -195,12 +273,23 @@ class PCcheckOrchestrator:
         hand_off: "queue.Queue[Optional[PinnedBuffer]]",
         handle: CheckpointHandle,
         persist_future: "Future[CheckpointResult]",
+        persist_dead: threading.Event,
     ) -> None:
         try:
             total = source.snapshot_size()
             plan = plan_chunks(total, self._pool.chunk_size)
             for offset, length in plan:
-                buffer = self._pool.acquire()
+                # Poll the pool instead of blocking forever: if the
+                # persist stage died, nobody is releasing buffers and an
+                # unconditional acquire() would deadlock this thread (and
+                # with it wait_for_snapshots and executor shutdown).
+                buffer: Optional[PinnedBuffer] = None
+                while buffer is None:
+                    if persist_dead.is_set():
+                        raise _PersistStageDied(
+                            "persist stage failed; capture abandoned"
+                        )
+                    buffer = self._pool.acquire(timeout=_STAGE_POLL_SECONDS)
                 try:
                     source.capture_chunk(offset, length, buffer)
                 except BaseException:
@@ -212,8 +301,10 @@ class PCcheckOrchestrator:
         except BaseException as exc:  # noqa: BLE001 - fail the handle
             handle.snapshot_done.set()
             hand_off.put(_CAPTURE_FAILED)
-            # Wait for the persist stage to abort the ticket, then surface
-            # the capture error on the handle.
+            # Wait for the persist stage to abort the ticket (or finish
+            # its own failure path), then surface the capture error on
+            # the handle — unless the persist stage's error got there
+            # first, which is the root cause when we were poisoned.
             persist_future.exception()
             if not handle._future.done():  # noqa: SLF001
                 handle._future.set_exception(exc)  # noqa: SLF001
@@ -223,13 +314,20 @@ class PCcheckOrchestrator:
         ticket,
         hand_off: "queue.Queue[Optional[PinnedBuffer]]",
         handle: CheckpointHandle,
+        persist_dead: threading.Event,
     ) -> Optional[CheckpointResult]:
+        # True once capture's terminal sentinel was consumed: after that
+        # the hand-off queue stays empty forever, so the failure path must
+        # not block draining it.
+        sentinel_seen = False
         try:
             while True:
                 buffer = hand_off.get()
                 if buffer is None:
+                    sentinel_seen = True
                     break
                 if buffer is _CAPTURE_FAILED:
+                    sentinel_seen = True
                     ticket.abort()
                     return None
                 try:
@@ -241,7 +339,41 @@ class PCcheckOrchestrator:
                 handle._future.set_result(result)  # noqa: SLF001
             return result
         except BaseException as exc:  # noqa: BLE001 - fail the handle
+            # Poison the capture stage first so it stops acquiring
+            # buffers, then drain the hand-off queue: captured-but-not-
+            # persisted buffers must return to the pool or its permanent
+            # shrinkage deadlocks every later capture.
+            persist_dead.set()
+            if isinstance(exc, CrashedDeviceError):
+                # Power loss: the ticket dangles (recovery reclaims the
+                # slot after restart) and the engine is doomed — refuse
+                # new checkpoints instead of letting them block on slots
+                # no dangling ticket will ever release.
+                self._fatal = exc
+            else:
+                # Local failure (e.g. the payload outgrew the slot): the
+                # device is fine, so recycle the slot.  Data already in
+                # the slot can never validate without a header.
+                ticket.abort()
+            if not sentinel_seen:
+                self._drain_hand_off(hand_off)
             handle.snapshot_done.set()
             if not handle._future.done():  # noqa: SLF001
                 handle._future.set_exception(exc)  # noqa: SLF001
             raise
+
+    def _drain_hand_off(
+        self, hand_off: "queue.Queue[Optional[PinnedBuffer]]"
+    ) -> None:
+        """Release every buffer stranded in the hand-off queue.
+
+        Runs on the persist stage's failure path.  Terminates because the
+        capture stage always posts a terminal sentinel: ``None`` after its
+        last chunk, or ``_CAPTURE_FAILED`` when it fails or observes the
+        poison event.
+        """
+        while True:
+            buffer = hand_off.get()
+            if buffer is None or buffer is _CAPTURE_FAILED:
+                return
+            self._pool.release(buffer)

@@ -155,10 +155,17 @@ def recover(
 
 
 def try_recover(
-    layout: DeviceLayout, chunk_size: int = DEFAULT_READ_CHUNK
+    layout: DeviceLayout,
+    chunk_size: int = DEFAULT_READ_CHUNK,
+    max_attempts: int = 8,
 ) -> Optional[RecoveredCheckpoint]:
-    """Like :func:`recover` but returns ``None`` instead of raising."""
+    """Like :func:`recover` but returns ``None`` instead of raising.
+
+    Forwards the caller's ``max_attempts`` retry budget to
+    :func:`recover` — an online reader bounding its polling latency gets
+    the same bound on both entry points.
+    """
     try:
-        return recover(layout, chunk_size)
+        return recover(layout, chunk_size, max_attempts=max_attempts)
     except NoCheckpointError:
         return None

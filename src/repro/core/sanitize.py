@@ -250,14 +250,23 @@ class SanitizedAtomicReference(AtomicReference):
         self._sanitizer = sanitizer
 
     def compare_and_swap(self, expected, new) -> bool:
-        swapped = super().compare_and_swap(expected, new)
-        if swapped:
-            self._sanitizer.note_commit_pointer(expected, new)
+        # The swap and its shadow note must be one atomic step: with a
+        # window between them, a later commit can CAS over this one AND
+        # enqueue this one's superseded slot before this note runs, so
+        # the delayed note sees its freshly committed slot "in the free
+        # queue" — a false invariant-2 violation.  Serialising through
+        # the sanitizer lock keeps notes in physical CAS order (the
+        # sanitizer is debug-mode; commit throughput is not a concern).
+        with self._sanitizer._lock:  # noqa: SLF001
+            swapped = super().compare_and_swap(expected, new)
+            if swapped:
+                self._sanitizer.note_commit_pointer(expected, new)
         return swapped
 
     def store(self, value) -> None:
-        self._sanitizer.note_commit_pointer(self.load(), value)
-        super().store(value)
+        with self._sanitizer._lock:  # noqa: SLF001
+            self._sanitizer.note_commit_pointer(self.load(), value)
+            super().store(value)
 
 
 class SanitizedSlotQueue(SlotQueue):

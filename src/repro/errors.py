@@ -33,6 +33,11 @@ class CrashedDeviceError(StorageError):
     """
 
 
+class TransientIOError(StorageError):
+    """An injected transient device fault: the same operation, retried,
+    will eventually succeed (a flaky controller, not power loss)."""
+
+
 class LayoutError(PCcheckError):
     """The on-device region layout is malformed or incompatible."""
 
@@ -51,6 +56,16 @@ class EngineError(PCcheckError):
 
 class EngineClosedError(EngineError):
     """Checkpoint requested on an engine that has been shut down."""
+
+
+class SlotWaitTimeout(EngineError):
+    """``begin()`` gave up waiting for a free checkpoint slot.
+
+    All N concurrent checkpoints were still in flight when the caller's
+    timeout expired.  Distinct from other engine errors so pollers (the
+    orchestrator's slot-wait loop) can retry it without masking real
+    failures.
+    """
 
 
 class InvariantViolationError(EngineError):

@@ -1,0 +1,214 @@
+"""The crash-consistency sweep harness, swept over itself.
+
+The tier-1 smoke test runs the engine workload under *every* crash point
+of a 3-checkpoint run — the §4.1 guarantee must hold at each one.  The
+rest covers the other workloads, offset-targeted and torn-write modes,
+the CLI, and a self-test proving the harness actually detects violations
+(a workload that over-promises durability must fail the sweep).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.crashsweep import (
+    COMMIT_RECORD_RANGE,
+    CrashSweepConfig,
+    count_crash_points,
+    render_json,
+    render_text,
+    reproducer_command,
+    run_point,
+    sweep,
+)
+from repro.analysis.crashsweep.workloads import (
+    WORKLOADS,
+    EngineOneShotWorkload,
+)
+from repro.cli import main
+from repro.errors import EngineError
+
+
+class TestEngineSweep:
+    def test_every_crash_point_of_a_three_checkpoint_run(self):
+        """The tier-1 smoke: exhaustive sweep, zero violations."""
+        config = CrashSweepConfig(workload="engine", steps=3)
+        report = sweep(config)
+        assert report.total_ops > 20, "the sweep must be meaningful"
+        assert len(report.outcomes) == report.total_ops + 1
+        assert report.ok, render_text(report)
+        # The sweep must exercise both crashed and completed runs and
+        # both recovery paths' source labels.
+        assert any(o.crashed for o in report.outcomes)
+        assert any(not o.crashed for o in report.outcomes)
+        sources = {o.recovered_source for o in report.outcomes}
+        assert "commit-record" in sources
+
+    def test_torn_writes_with_survival_rng(self):
+        config = CrashSweepConfig(
+            workload="engine", steps=2, torn_writes=True, seed=3, stride=2
+        )
+        report = sweep(config)
+        assert report.ok, render_text(report)
+
+    def test_commit_record_targeted_sweep(self):
+        """Crashes landing *inside* the commit-record persist, torn."""
+        config = CrashSweepConfig(
+            workload="engine",
+            steps=3,
+            target="commit-record",
+            torn_writes=True,
+            seed=9,
+        )
+        total_ops, op_log = count_crash_points(config)
+        lo, hi = COMMIT_RECORD_RANGE
+        occurrences = sum(1 for op in op_log if op.touches(lo, hi))
+        assert occurrences >= config.steps  # one commit persist per step
+        report = sweep(config)
+        assert len(report.outcomes) == occurrences
+        assert all(
+            "commit-record occurrence" in o.descriptor
+            for o in report.outcomes
+        )
+        assert report.ok, render_text(report)
+
+
+class TestOtherWorkloads:
+    def test_streaming_sweep_with_stride(self):
+        config = CrashSweepConfig(workload="streaming", steps=4, stride=4)
+        report = sweep(config)
+        assert report.ok, render_text(report)
+
+    def test_orchestrator_sweep_holds_the_guarantee(self):
+        """≥3 concurrent pipelined checkpoints (the acceptance bar)."""
+        config = CrashSweepConfig(
+            workload="orchestrator",
+            steps=3,
+            num_slots=4,
+            max_points=16,
+            torn_writes=True,
+            seed=7,
+        )
+        report = sweep(config)
+        assert len(report.outcomes) <= 16
+        assert report.ok, render_text(report)
+
+    def test_distributed_sweep_recovers_consistently(self):
+        config = CrashSweepConfig(workload="distributed", steps=2, stride=5)
+        report = sweep(config)
+        assert report.ok, render_text(report)
+        assert any(
+            o.recovered_source == "distributed" for o in report.outcomes
+        )
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(EngineError, match="unknown workload"):
+            CrashSweepConfig(workload="nonsense").spec()
+
+
+class _OverpromisingWorkload(EngineOneShotWorkload):
+    """Acks a step it never wrote — every sweep point must catch it."""
+
+    name = "overpromising"
+
+    def run(self, device, spec):
+        journal = super().run(device, spec)
+        journal.ack(999, 10**6)
+        return journal
+
+
+class TestHarnessDetectsViolations:
+    def test_broken_durability_promise_fails_the_sweep(self, monkeypatch):
+        monkeypatch.setitem(
+            WORKLOADS, "overpromising", _OverpromisingWorkload()
+        )
+        config = CrashSweepConfig(
+            workload="overpromising", steps=1, num_slots=3, max_points=4
+        )
+        report = sweep(config)
+        assert not report.ok
+        for outcome in report.violations:
+            assert outcome.reproducer is not None
+            assert "--workload overpromising" in outcome.reproducer
+
+
+class TestHarnessMechanics:
+    def test_count_crash_points_returns_full_trace(self):
+        config = CrashSweepConfig(workload="engine", steps=2)
+        total_ops, op_log = count_crash_points(config)
+        assert total_ops == len(op_log)
+        assert [op.index for op in op_log] == list(range(total_ops))
+
+    def test_reproducer_command_carries_the_fault_mode(self):
+        config = CrashSweepConfig(
+            workload="streaming",
+            steps=4,
+            seed=5,
+            torn_writes=True,
+            target="commit-record",
+            sanitize=False,
+        )
+        command = reproducer_command(config, 7)
+        for fragment in (
+            "pccheck-repro crashsweep",
+            "--workload streaming",
+            "--point 7",
+            "--seed 5",
+            "--torn",
+            "--target commit-record",
+            "--no-sanitize",
+        ):
+            assert fragment in command
+
+    def test_single_point_reproducer_mode(self):
+        config = CrashSweepConfig(workload="engine", steps=2)
+        outcome = run_point(config, 4)
+        assert outcome.point == 4
+        assert outcome.crashed
+        assert outcome.violations == []
+
+    def test_progress_callback_is_driven(self):
+        seen = []
+        config = CrashSweepConfig(workload="engine", steps=1, stride=4)
+        sweep(config, progress=lambda done, total: seen.append((done, total)))
+        assert seen
+        assert seen[-1][0] == seen[-1][1] == len(seen)
+
+    def test_json_report_round_trips(self):
+        config = CrashSweepConfig(workload="engine", steps=1, stride=6)
+        report = sweep(config)
+        payload = json.loads(render_json(report))
+        assert payload["ok"] is True
+        assert payload["points_swept"] == len(report.outcomes)
+        assert payload["config"]["workload"] == "engine"
+
+
+class TestCrashsweepCLI:
+    def test_text_sweep_exits_zero(self, capsys):
+        code = main(
+            ["crashsweep", "--workload", "engine", "--steps", "2",
+             "--stride", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "violations: 0" in out
+        assert "OK" in out
+
+    def test_json_format_parses(self, capsys):
+        code = main(
+            ["crashsweep", "--workload", "engine", "--steps", "1",
+             "--stride", "5", "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["ok"] is True
+
+    def test_point_mode(self, capsys):
+        code = main(
+            ["crashsweep", "--workload", "engine", "--steps", "2",
+             "--point", "3", "--torn", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "crash point 3" in out
+        assert "invariants held" in out

@@ -1,0 +1,205 @@
+"""Fault-injection device tests: schedules, torn writes, transient faults."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineError, TransientIOError
+from repro.storage.faults import (
+    CrashBudgetExhausted,
+    CrashPointDevice,
+    DeviceOp,
+    OffsetCrashSchedule,
+    OpCountSchedule,
+    TransientFaultDevice,
+)
+from repro.storage.ssd import InMemorySSD
+
+
+def make_device(**kwargs):
+    inner = InMemorySSD(capacity=4096)
+    return inner, CrashPointDevice(inner, **kwargs)
+
+
+class TestOpCountSchedule:
+    def test_budget_crashes_on_kth_op(self):
+        inner, device = make_device(budget=2)
+        device.write(0, b"a" * 64)  # op 0
+        device.persist(0, 64)  # op 1
+        with pytest.raises(CrashBudgetExhausted):
+            device.write(64, b"b" * 64)  # op 2 triggers the crash
+        assert inner.crashed
+        assert device.operations_performed == 2
+
+    def test_budget_zero_crashes_immediately(self):
+        _, device = make_device(budget=0)
+        with pytest.raises(CrashBudgetExhausted):
+            device.write(0, b"x")
+
+    def test_no_injection_counts_crash_points(self):
+        inner, device = make_device()
+        device.write(0, b"a" * 64)
+        device.persist(0, 64)
+        device.write(64, b"b" * 32)
+        assert device.operations_performed == 3
+        assert not inner.crashed
+        # Reads are not mutating ops and never consume the budget.
+        assert device.read(0, 64) == b"a" * 64
+        assert device.operations_performed == 3
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(EngineError):
+            OpCountSchedule(-1)
+
+    def test_budget_and_schedule_are_exclusive(self):
+        inner = InMemorySSD(capacity=4096)
+        with pytest.raises(EngineError):
+            CrashPointDevice(inner, budget=1, schedule=OpCountSchedule(1))
+
+
+class TestTornWrites:
+    def test_torn_writes_require_rng(self):
+        inner = InMemorySSD(capacity=4096)
+        with pytest.raises(EngineError):
+            CrashPointDevice(inner, budget=1, torn_writes=True)
+
+    def test_crashing_write_lands_durable_prefix(self):
+        rng = np.random.default_rng(12)
+        inner, device = make_device(budget=2, rng=rng, torn_writes=True)
+        device.write(0, b"a" * 64)  # op 0
+        device.persist(0, 64)  # op 1
+        with pytest.raises(CrashBudgetExhausted):
+            device.write(128, b"b" * 64)  # op 2: torn
+        inner.recover()
+        assert inner.read(0, 64) == b"a" * 64  # persisted data intact
+        torn = inner.read(128, 64)
+        cut = len(torn.rstrip(b"\x00"))
+        assert 1 <= cut < 64, "a strict, non-empty prefix must survive"
+        assert torn == b"b" * cut + b"\x00" * (64 - cut)
+
+    def test_torn_cut_is_deterministic_per_seed(self):
+        def run(seed):
+            rng = np.random.default_rng([seed, 3])
+            inner, device = make_device(budget=0, rng=rng, torn_writes=True)
+            with pytest.raises(CrashBudgetExhausted):
+                device.write(0, b"c" * 256)
+            inner.recover()
+            return inner.read(0, 256)
+
+        assert run(7) == run(7)
+
+    def test_crash_on_persist_tears_nothing(self):
+        rng = np.random.default_rng(5)
+        inner, device = make_device(budget=1, rng=rng, torn_writes=True)
+        device.write(0, b"a" * 64)  # op 0, unpersisted
+        with pytest.raises(CrashBudgetExhausted):
+            device.persist(0, 64)  # op 1: crash, nothing extra lands
+
+
+class TestOffsetCrashSchedule:
+    def test_device_op_touches_is_half_open(self):
+        op = DeviceOp(index=0, kind="write", offset=100, length=50)
+        assert op.touches(100, 150)
+        assert op.touches(149, 300)
+        assert not op.touches(150, 300)  # adjacent after
+        assert not op.touches(0, 100)  # adjacent before
+
+    def test_crashes_on_nth_occurrence_in_range(self):
+        schedule = OffsetCrashSchedule(100, 200, occurrence=1)
+        inner, device = make_device(schedule=schedule)
+        device.write(0, b"x" * 50)  # misses the range
+        device.write(120, b"y" * 10)  # occurrence 0: spared
+        device.write(300, b"z" * 10)  # misses
+        with pytest.raises(CrashBudgetExhausted):
+            device.write(190, b"w" * 30)  # occurrence 1: crash
+        assert inner.crashed
+
+    def test_kind_filter_skips_other_ops(self):
+        schedule = OffsetCrashSchedule(0, 64, occurrence=0, kind="persist")
+        inner, device = make_device(schedule=schedule)
+        device.write(0, b"a" * 64)  # in range but a write: spared
+        with pytest.raises(CrashBudgetExhausted):
+            device.persist(0, 64)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(EngineError):
+            OffsetCrashSchedule(100, 100)
+
+    def test_negative_occurrence_rejected(self):
+        with pytest.raises(EngineError):
+            OffsetCrashSchedule(0, 10, occurrence=-1)
+
+
+class TestOpLog:
+    def test_record_ops_keeps_full_trace(self):
+        inner, device = make_device(record_ops=True)
+        device.write(0, b"a" * 64)
+        device.persist(0, 64)
+        device.write(256, b"b" * 32)
+        assert device.op_log == [
+            DeviceOp(index=0, kind="write", offset=0, length=64),
+            DeviceOp(index=1, kind="persist", offset=0, length=64),
+            DeviceOp(index=2, kind="write", offset=256, length=32),
+        ]
+
+    def test_op_log_disabled_by_default(self):
+        _, device = make_device()
+        device.write(0, b"a")
+        assert device.op_log is None
+
+    def test_manual_crash_and_recover_delegate(self):
+        inner, device = make_device()
+        device.write(0, b"a" * 64)
+        device.persist(0, 64)
+        device.crash()
+        assert inner.crashed
+        device.recover()
+        assert device.read(0, 64) == b"a" * 64
+
+
+class TestTransientFaultDevice:
+    def test_fails_k_times_then_succeeds_on_retry(self):
+        inner = InMemorySSD(capacity=4096)
+        device = TransientFaultDevice(inner, kind="write", occurrence=1, times=2)
+        device.write(0, b"a" * 64)  # occurrence 0: clean
+        for _ in range(2):
+            with pytest.raises(TransientIOError):
+                device.write(64, b"b" * 64)
+        device.write(64, b"b" * 64)  # third attempt gets through
+        device.persist(0, 128)
+        assert device.faults_injected == 2
+        assert inner.read(64, 64) == b"b" * 64
+
+    def test_failed_attempts_do_not_advance_occurrence(self):
+        inner = InMemorySSD(capacity=4096)
+        device = TransientFaultDevice(inner, kind="write", occurrence=0, times=1)
+        with pytest.raises(TransientIOError):
+            device.write(0, b"a")
+        # The retried op is still occurrence 0 and now succeeds; later
+        # writes are never faulted again.
+        device.write(0, b"a")
+        device.write(8, b"b")
+        assert device.faults_injected == 1
+
+    def test_read_faults_supported(self):
+        inner = InMemorySSD(capacity=4096)
+        inner.write(0, b"a" * 16)
+        inner.persist(0, 16)
+        device = TransientFaultDevice(inner, kind="read", occurrence=0, times=1)
+        device.write(0, b"c" * 16)  # writes pass untouched
+        with pytest.raises(TransientIOError):
+            device.read(0, 16)
+        assert device.read(0, 16) == b"c" * 16
+
+    def test_transient_error_is_not_a_crash(self):
+        inner = InMemorySSD(capacity=4096)
+        device = TransientFaultDevice(inner, kind="write", occurrence=0)
+        with pytest.raises(TransientIOError):
+            device.write(0, b"a")
+        assert not inner.crashed
+
+    def test_invalid_parameters_rejected(self):
+        inner = InMemorySSD(capacity=4096)
+        with pytest.raises(EngineError):
+            TransientFaultDevice(inner, kind="erase")
+        with pytest.raises(EngineError):
+            TransientFaultDevice(inner, times=0)
