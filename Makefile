@@ -1,6 +1,6 @@
 # Convenience targets for the PCcheck reproduction.
 
-.PHONY: install test test-sanitize lint crashsweep bench figures examples clean
+.PHONY: install test test-sanitize lint crashsweep bench bench-obs figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -15,7 +15,7 @@ test:
 test-sanitize:
 	PYTHONPATH=src REPRO_SANITIZE=1 python -m pytest -x -q tests/
 
-# Concurrency-invariant static analysis (rules PC001-PC006); must stay
+# Concurrency-invariant static analysis (rules PC001-PC007); must stay
 # clean — CI fails on any finding.
 lint:
 	PYTHONPATH=src python -m repro.cli lint src
@@ -30,12 +30,21 @@ crashsweep:
 bench:
 	pytest benchmarks/ --benchmark-only
 
+# Telemetry-overhead benchmark: runs the fig8-style concurrent-checkpoint
+# workload with observability off vs. on and writes BENCH_pipeline.json
+# (checkpoints/sec, the Figure 6 stall breakdown, overhead verdict).
+# Exits non-zero if telemetry costs >= 3%.
+bench-obs:
+	PYTHONPATH=src python -m repro.obs.bench --out BENCH_pipeline.json
+
 bench-full:
 	pytest benchmarks/
 
 figures:
 	python -m repro.cli all --out results/
 
+# Run against the source tree like `test` does — no install needed.
+examples: export PYTHONPATH := src
 examples:
 	python examples/quickstart.py
 	python examples/crash_recovery.py

@@ -28,6 +28,7 @@ from repro.baselines import build_strategy
 from repro.baselines.base import CheckpointStrategy
 from repro.core.adaptive import AdaptiveIntervalController
 from repro.core.recovery import recover
+from repro.obs import M, MetricsRegistry
 from repro.storage.ssd import InMemorySSD
 from repro.training.data import SyntheticTokens
 from repro.training.loop import Trainer
@@ -80,7 +81,12 @@ def make_trainer(monitor=None, adaptive=None, strategy=None, seed=0):
 
 
 def main() -> None:
+    # One registry for the whole run: the monitor mirrors its per-step
+    # health records into it, so training anomalies and checkpoint
+    # telemetry land on a single timeline.
+    registry = MetricsRegistry()
     monitor = TrainingMonitor(grad_norm_threshold=35.0, loss_spike_ratio=4.0)
+    monitor.bind_metrics(registry)
     adaptive = AdaptiveIntervalController(
         num_concurrent=2, max_slowdown=1.25, initial_interval=5,
         adjust_every=10,
@@ -142,6 +148,13 @@ def main() -> None:
     print(f"\n  monitor log: gradient norm peaked at {peak:.3g} "
           f"(step {peak_step}); serialized log is "
           f"{len(monitor.to_bytes())} bytes and rides inside checkpoints.")
+    print(f"  registry view: {int(registry.value(M.MONITOR_RECORDS))} "
+          f"records mirrored, anomalies by kind = "
+          + ", ".join(
+              f"{series['labels']['kind']}={int(series['value'])}"
+              for series in registry.snapshot()
+              .get(M.TRAIN_ANOMALIES, {"series": []})["series"]
+          ))
     strategy.close()
     print("done.")
 

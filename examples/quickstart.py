@@ -18,7 +18,6 @@ import tempfile
 import numpy as np
 
 from repro import open_checkpointer
-from repro.core.snapshot import BytesSource
 from repro.training.data import SyntheticRegression
 from repro.training.loop import Trainer
 from repro.training.losses import mse
@@ -47,11 +46,12 @@ def main() -> None:
             loss = trainer.train_step()
             if step % 5 == 0:
                 # Non-blocking: training continues while threads persist.
-                ckpt.orchestrator.checkpoint_async(
-                    BytesSource(trainer.serialized_state()), step=step
-                )
+                ckpt.checkpoint_async(trainer.serialized_state(), step=step)
                 print(f"  step {step:3d}  loss {loss:.4f}  checkpoint scheduled")
-        ckpt.orchestrator.drain()
+        ckpt.wait()
+        stats = ckpt.metrics()["pccheck_commits_total"]["series"][0]
+        print(f"  committed {int(stats['value'])} checkpoints "
+              f"(latest at step {ckpt.latest().step})")
     print(f"  ... process 'crashes' at step {trainer.step}; memory lost\n")
 
     print("=== phase 2: recover and resume ===")

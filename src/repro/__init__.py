@@ -17,12 +17,19 @@ Checkpointing for ML* (Strati, Friedman, Klimovic — ASPLOS 2025), with:
 Quickstart::
 
     from repro import open_checkpointer
-    ckpt = open_checkpointer("/tmp/ckpt.pc", capacity_bytes=1 << 20,
-                             num_concurrent=2)
-    ckpt.engine.checkpoint(b"model state", step=1)
+    with open_checkpointer("/tmp/ckpt.pc", capacity_bytes=1 << 20,
+                           num_concurrent=2) as ckpt:
+        ckpt.checkpoint(b"model state", step=1)
+        print(ckpt.latest().step)       # -> 1
+        print(ckpt.metrics("prometheus"))
+
+All keyword knobs of :func:`repro.open_checkpointer` — ``backend=``
+("ssd"/"pmem"/"faults") and ``observability=`` ("off"/"metrics"/"full")
+among them — are documented on the function.  ``CheckpointerHandle`` is
+the deprecated pre-redesign name of :class:`Checkpointer`.
 """
 
-from repro._api import CheckpointerHandle, open_checkpointer
+from repro._api import Checkpointer, CheckpointerHandle, open_checkpointer
 from repro.errors import (
     ConfigError,
     CorruptCheckpointError,
@@ -35,6 +42,7 @@ from repro.errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Checkpointer",
     "CheckpointerHandle",
     "ConfigError",
     "CorruptCheckpointError",

@@ -1,71 +1,225 @@
 """High-level convenience API.
 
 :func:`open_checkpointer` is the one-call path a downstream user takes:
-point it at a file, say how big your checkpoints are and how many may run
-concurrently, and get back a ready
-:class:`~repro.core.orchestrator.PCcheckOrchestrator` plus recovery of
-whatever the file already holds.
+point it at a file (or pick an in-memory backend), say how big your
+checkpoints are and how many may run concurrently, and get back a ready
+:class:`Checkpointer` plus recovery of whatever the file already holds.
+
+The :class:`Checkpointer` delegates everything a user needs —
+``checkpoint_async``/``wait``/``latest``/``metrics``/``trace`` — so
+application code never reaches into ``.orchestrator`` or ``.engine``
+(those attributes remain for tests and power users).
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import Optional
+import warnings
+from typing import List, Optional, Union
 
 from repro.core.config import PCcheckConfig
 from repro.core.engine import CheckpointEngine
-from repro.core.layout import DeviceLayout
+from repro.core.layout import DeviceLayout, Geometry
 from repro.core.meta import RECORD_SIZE, CheckMeta
-from repro.core.orchestrator import PCcheckOrchestrator
+from repro.core.orchestrator import CheckpointHandle, PCcheckOrchestrator
 from repro.core.recovery import RecoveredCheckpoint, try_recover
+from repro.core.snapshot import BytesSource, SnapshotSource
 from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.storage.device import PersistentDevice
 from repro.storage.dram import DRAMBufferPool
-from repro.storage.ssd import FileBackedSSD
+from repro.storage.faults import CrashPointDevice
+from repro.storage.pmem import SimulatedPMEM
+from repro.storage.ssd import FileBackedSSD, InMemorySSD
+
+#: Valid ``backend=`` selectors for :func:`open_checkpointer`.
+BACKENDS = ("ssd", "pmem", "faults")
+#: Valid ``observability=`` levels: ``"off"`` (no device instrumentation,
+#: no tracing), ``"metrics"`` (shared registry incl. devices), ``"full"``
+#: (registry + lifecycle tracing).
+OBSERVABILITY_LEVELS = ("off", "metrics", "full")
 
 
-@dataclass
-class CheckpointerHandle:
-    """Everything :func:`open_checkpointer` assembled, plus prior state."""
+class Checkpointer:
+    """A ready-to-use PCcheck stack: device + engine + orchestrator.
 
-    device: FileBackedSSD
-    layout: DeviceLayout
-    engine: CheckpointEngine
-    orchestrator: PCcheckOrchestrator
-    config: PCcheckConfig
-    #: Checkpoint recovered from the file at open time, if any.
-    recovered: Optional[RecoveredCheckpoint]
+    Built by :func:`open_checkpointer`.  The public surface is the five
+    delegation methods; the assembled components stay reachable as
+    attributes (``device``, ``layout``, ``engine``, ``orchestrator``,
+    ``config``, ``recovered``) for tests and advanced use.
+    """
+
+    def __init__(
+        self,
+        *,
+        device: PersistentDevice,
+        layout: DeviceLayout,
+        engine: CheckpointEngine,
+        orchestrator: PCcheckOrchestrator,
+        config: PCcheckConfig,
+        recovered: Optional[RecoveredCheckpoint] = None,
+        observability: str = "metrics",
+    ) -> None:
+        self.device = device
+        self.layout = layout
+        self.engine = engine
+        self.orchestrator = orchestrator
+        self.config = config
+        #: Checkpoint recovered from the region at open time, if any.
+        self.recovered = recovered
+        self.observability = observability
+
+    # ------------------------------------------------------------------
+    # checkpointing
+
+    def checkpoint_async(
+        self, state: Union[bytes, SnapshotSource], step: int = 0
+    ) -> CheckpointHandle:
+        """Start a concurrent checkpoint of ``state``.
+
+        ``state`` may be raw bytes (wrapped in a
+        :class:`~repro.core.snapshot.BytesSource`) or any
+        :class:`~repro.core.snapshot.SnapshotSource`.  Returns a handle;
+        ``handle.wait()`` blocks for that one checkpoint, :meth:`wait`
+        blocks for all of them.
+        """
+        if isinstance(state, (bytes, bytearray, memoryview)):
+            state = BytesSource(bytes(state))
+        return self.orchestrator.checkpoint_async(state, step=step)
+
+    def checkpoint(
+        self, state: Union[bytes, SnapshotSource], step: int = 0
+    ):
+        """Checkpoint ``state`` and wait for its commit."""
+        return self.checkpoint_async(state, step=step).wait()
+
+    def wait_for_snapshots(self) -> float:
+        """Block until in-flight captures finished (call before every
+        weight update); returns seconds stalled."""
+        return self.orchestrator.wait_for_snapshots()
+
+    def wait(self, timeout: Optional[float] = None) -> List:
+        """Block until every outstanding checkpoint finished."""
+        return self.orchestrator.drain(timeout)
+
+    def latest(self) -> Optional[CheckMeta]:
+        """Metadata of the newest committed checkpoint, or ``None``."""
+        return self.engine.committed()
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def metrics(self, format: str = "snapshot"):
+        """The stack's telemetry: ``"snapshot"`` (dict), ``"json"`` or
+        ``"prometheus"`` (text expositions)."""
+        registry = self.engine.metrics
+        if format == "snapshot":
+            return registry.snapshot()
+        if format == "json":
+            return registry.to_json()
+        if format == "prometheus":
+            return registry.to_prometheus()
+        raise ConfigError(
+            f"unknown metrics format {format!r} "
+            "(expected snapshot, json, or prometheus)"
+        )
+
+    def trace(self) -> dict:
+        """The Chrome ``trace_event`` document of recorded lifecycle
+        spans (empty unless opened with ``observability=\"full\"``)."""
+        return self.engine.tracer.to_chrome_trace()
+
+    # ------------------------------------------------------------------
+    # lifecycle
 
     def close(self) -> None:
-        """Drain in-flight checkpoints and release the file."""
+        """Drain in-flight checkpoints and release the device."""
         self.orchestrator.close()
         self.device.close()
 
-    def __enter__(self) -> "CheckpointerHandle":
+    def __enter__(self) -> "Checkpointer":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
+class CheckpointerHandle(Checkpointer):
+    """Deprecated alias of :class:`Checkpointer` (renamed in the API
+    redesign); constructing one warns but behaves identically."""
+
+    def __init__(self, **kwargs) -> None:
+        warnings.warn(
+            "CheckpointerHandle was renamed to Checkpointer; "
+            "the alias will be removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(**kwargs)
+
+
+def _build_device(
+    backend: str, path: Optional[str], capacity: int
+) -> PersistentDevice:
+    if backend == "ssd":
+        if not path:
+            raise ConfigError("backend='ssd' requires a file path")
+        return FileBackedSSD(path, capacity=capacity)
+    if backend == "pmem":
+        return SimulatedPMEM(capacity, name="pmem")
+    if backend == "faults":
+        # An in-memory SSD behind a crash-point wrapper with op recording:
+        # callers inject crashes via ``ckpt.device`` and recovery tests
+        # sweep ``op_log``.
+        return CrashPointDevice(
+            InMemorySSD(capacity, name="mem-ssd"), record_ops=True
+        )
+    raise ConfigError(
+        f"unknown backend {backend!r} (expected one of {BACKENDS})"
+    )
+
+
 def open_checkpointer(
-    path: str,
+    path: Optional[str] = None,
+    *,
     capacity_bytes: int,
     num_concurrent: int = 2,
     writer_threads: int = 3,
     chunk_size: Optional[int] = None,
     num_chunks: int = 2,
-) -> CheckpointerHandle:
-    """Open (or create) a PCcheck region at ``path``.
+    backend: str = "ssd",
+    observability: str = "metrics",
+) -> Checkpointer:
+    """Open (or create) a PCcheck region and return a :class:`Checkpointer`.
 
     ``capacity_bytes`` is the largest checkpoint payload you intend to
-    write; the file is sized to ``(N + 1)`` slots of that payload plus
-    metadata (Table 1's storage footprint).  If the file already contains
-    a formatted region, it is opened and its newest valid checkpoint is
-    returned in :attr:`CheckpointerHandle.recovered`.
+    write; the region is sized to ``(N + 1)`` slots of that payload plus
+    metadata (Table 1's storage footprint).
+
+    ``backend`` selects the storage substrate:
+
+    * ``"ssd"`` (default) — a real file at ``path``; if it already
+      contains a formatted region it is reopened and its newest valid
+      checkpoint is returned in :attr:`Checkpointer.recovered`;
+    * ``"pmem"`` — the simulated persistent-memory device (in-process,
+      fresh each open);
+    * ``"faults"`` — an in-memory SSD behind a crash-injection wrapper
+      with op recording, for durability testing.
+
+    ``observability`` selects the telemetry level: ``"off"`` keeps the
+    engine's private registry but instruments nothing else, ``"metrics"``
+    (default) shares one registry across engine/orchestrator/device, and
+    ``"full"`` additionally records per-checkpoint lifecycle spans
+    (exported by :meth:`Checkpointer.trace`).
     """
     if capacity_bytes <= 0:
         raise ConfigError(f"capacity must be positive, got {capacity_bytes}")
+    if observability not in OBSERVABILITY_LEVELS:
+        raise ConfigError(
+            f"unknown observability level {observability!r} "
+            f"(expected one of {OBSERVABILITY_LEVELS})"
+        )
     config = PCcheckConfig(
         num_concurrent=num_concurrent,
         writer_threads=writer_threads,
@@ -73,21 +227,30 @@ def open_checkpointer(
         num_chunks=num_chunks,
     )
     slot_size = capacity_bytes + RECORD_SIZE
-    from repro.core.layout import Geometry
-
     geometry = Geometry(num_slots=config.num_slots, slot_size=slot_size)
-    existing = os.path.exists(path) and os.path.getsize(path) > 0
+    capacity = geometry.total_size
+    existing = (
+        backend == "ssd"
+        and path is not None
+        and os.path.exists(path)
+        and os.path.getsize(path) > 0
+    )
     # An existing region keeps its own geometry; never size the device
     # below the file (that would amputate slots).
-    capacity = geometry.total_size
     if existing:
         capacity = max(capacity, os.path.getsize(path))
-    device = FileBackedSSD(path, capacity=capacity)
+    device = _build_device(backend, path, capacity)
+
+    metrics = MetricsRegistry()
+    tracer = Tracer() if observability == "full" else NULL_TRACER
+    if observability != "off":
+        device.attach_metrics(metrics)
+
     recovered: Optional[RecoveredCheckpoint] = None
     recovered_meta: Optional[CheckMeta] = None
     if existing:
         layout = DeviceLayout.open(device)
-        recovered = try_recover(layout)
+        recovered = try_recover(layout, metrics=metrics, tracer=tracer)
         recovered_meta = recovered.meta if recovered else None
     else:
         layout = DeviceLayout.format(
@@ -97,17 +260,20 @@ def open_checkpointer(
         layout,
         writer_threads=writer_threads,
         recovered=recovered_meta,
+        metrics=metrics,
+        tracer=tracer,
     )
     pool = DRAMBufferPool(
         num_chunks=num_chunks,
         chunk_size=config.effective_chunk_size(capacity_bytes),
     )
     orchestrator = PCcheckOrchestrator(engine, pool, config)
-    return CheckpointerHandle(
+    return Checkpointer(
         device=device,
         layout=layout,
         engine=engine,
         orchestrator=orchestrator,
         config=config,
         recovered=recovered,
+        observability=observability,
     )

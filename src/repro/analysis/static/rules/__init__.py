@@ -6,6 +6,7 @@ from repro.analysis.static.rules.pc003 import TicketNotResolved
 from repro.analysis.static.rules.pc004 import UnfencedCommitRecord
 from repro.analysis.static.rules.pc005 import SwallowedEngineError
 from repro.analysis.static.rules.pc006 import MagicNumberBackoff
+from repro.analysis.static.rules.pc007 import HandRolledTelemetry
 
 __all__ = [
     "BlockingCallUnderLock",
@@ -14,4 +15,5 @@ __all__ = [
     "UnfencedCommitRecord",
     "SwallowedEngineError",
     "MagicNumberBackoff",
+    "HandRolledTelemetry",
 ]

@@ -1,0 +1,71 @@
+"""PC007: hand-rolled telemetry in the checkpoint engine core.
+
+The telemetry redesign routes all stall accounting and latency
+measurement in ``repro/core/`` through the shared
+:class:`~repro.obs.metrics.MetricsRegistry` (``registry.timer``,
+``registry.inc``/``observe``) so every stall class lands on one
+timeline with one clock.  Two legacy patterns defeat that:
+
+* ``time.time()`` — wall-clock timestamps are not monotonic and drift
+  against the registry's ``time.monotonic()`` base; and
+* ``self.<something>_seconds += ...`` — a private stall accumulator
+  invisible to ``snapshot()``/Prometheus exposition and racy unless the
+  caller reinvents the registry's locking.
+
+Both had real instances before the redesign (the engine's slot-wait
+accumulator, the orchestrator's update-stall counter); this rule keeps
+them from coming back.  Scope is ``repro/core/`` only — tests, examples
+and the simulator may measure however they like.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.static.astutils import call_name
+from repro.analysis.static.diagnostics import Diagnostic
+from repro.analysis.static.rulebase import FileContext, Rule, register
+
+
+def _in_core(path: str) -> bool:
+    return "repro/core/" in path.replace("\\", "/")
+
+
+@register
+class HandRolledTelemetry(Rule):
+    rule_id = "PC007"
+    title = "hand-rolled telemetry in repro/core"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if not _in_core(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and call_name(node) == "time":
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                ):
+                    yield self.report(
+                        ctx,
+                        node,
+                        "time.time() in the engine core: use "
+                        "time.monotonic() (or registry.timer) so "
+                        "telemetry shares the registry's clock",
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, ast.Add
+            ):
+                target = node.target
+                if isinstance(
+                    target, ast.Attribute
+                ) and target.attr.endswith("_seconds"):
+                    yield self.report(
+                        ctx,
+                        node,
+                        f"hand-rolled stall accumulator "
+                        f"'{target.attr} +=': route the measurement "
+                        f"through MetricsRegistry.inc/observe instead",
+                    )

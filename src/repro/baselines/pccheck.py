@@ -31,7 +31,14 @@ class PCcheckStrategy(CheckpointStrategy):
         device: PersistentDevice,
         payload_capacity: int,
         config: Optional[PCcheckConfig] = None,
+        metrics=None,
+        tracer=None,
     ) -> None:
+        """``metrics``/``tracer`` (a
+        :class:`~repro.obs.metrics.MetricsRegistry` and a
+        :class:`~repro.obs.trace.Tracer`) instrument the whole stack —
+        engine, orchestrator, and device — for the observability
+        benchmarks; omitted, telemetry costs nothing."""
         super().__init__()
         from repro.core.meta import RECORD_SIZE
 
@@ -41,8 +48,11 @@ class PCcheckStrategy(CheckpointStrategy):
             num_slots=self._config.num_slots,
             slot_size=payload_capacity + RECORD_SIZE,
         )
+        if metrics is not None:
+            device.attach_metrics(metrics)
         engine = CheckpointEngine(
-            self._layout, writer_threads=self._config.writer_threads
+            self._layout, writer_threads=self._config.writer_threads,
+            metrics=metrics, tracer=tracer,
         )
         pool = DRAMBufferPool(
             num_chunks=self._config.num_chunks,

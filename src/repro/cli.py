@@ -84,7 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_parser.add_argument("path", help="checkpoint region file")
     lint_parser = sub.add_parser(
         "lint",
-        help="run the concurrency-invariant linter (rules PC001-PC006)",
+        help="run the concurrency-invariant linter (rules PC001-PC007)",
     )
     lint_parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories"
@@ -97,6 +97,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--select", default=None,
         help="comma-separated rule ids to run (default: all)",
     )
+    for verb, help_text in (
+        ("metrics", "run an instrumented demo workload and print its "
+                    "metrics registry"),
+        ("trace", "run an instrumented demo workload and emit its "
+                  "Chrome trace_event JSON"),
+    ):
+        obs_parser = sub.add_parser(verb, help=help_text)
+        obs_parser.add_argument(
+            "--checkpoints", type=int, default=8,
+            help="checkpoints to push through the pipeline",
+        )
+        obs_parser.add_argument(
+            "--concurrent", type=int, default=4,
+            help="N, the concurrent-checkpoint limit",
+        )
+        obs_parser.add_argument(
+            "--payload-kib", type=int, default=64,
+            help="checkpoint payload size in KiB",
+        )
+        obs_parser.add_argument("--seed", type=int, default=0)
+        obs_parser.add_argument(
+            "--out", default=None,
+            help="write the output to this file instead of stdout",
+        )
+        if verb == "metrics":
+            obs_parser.add_argument(
+                "--format", choices=["prom", "json"], default="prom",
+                help="exposition format",
+            )
     sweep_parser = sub.add_parser(
         "crashsweep",
         help="sweep a crash across every device op of a workload and "
@@ -195,6 +224,36 @@ def _run_crashsweep(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _run_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.driver import run_demo_workload
+
+    run = run_demo_workload(
+        checkpoints=args.checkpoints,
+        concurrent=args.concurrent,
+        payload_bytes=args.payload_kib * 1024,
+        observability="full" if args.command == "trace" else "metrics",
+        seed=args.seed,
+    )
+    for line in run.summary_lines():
+        print(f"# {line}", file=sys.stderr)
+    if args.command == "trace":
+        text = json.dumps(run.tracer.to_chrome_trace(), indent=2)
+    elif args.format == "json":
+        text = run.metrics.to_json()
+    else:
+        text = run.metrics.to_prometheus()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -217,6 +276,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_lint(
             args.paths, report_format=args.format, select=args.select
         )
+    if args.command in ("metrics", "trace"):
+        return _run_obs(args)
     if args.command == "crashsweep":
         return _run_crashsweep(args)
     if args.command == "all":

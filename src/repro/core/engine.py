@@ -64,6 +64,14 @@ from repro.errors import (
     OutOfSpaceError,
     SlotWaitTimeout,
 )
+from repro.obs.metrics import M, MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    STATUS_ABORTED,
+    STATUS_COMMITTED,
+    STATUS_DANGLING,
+    STATUS_SUPERSEDED,
+)
 
 
 @dataclass(frozen=True)
@@ -85,26 +93,47 @@ class CheckpointResult:
 
 
 class EngineStats:
-    """Counters the engine maintains for benchmarks and tests."""
+    """Read-through view of the engine's counters in the metrics registry.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.commits = 0
-        self.superseded = 0
-        self.cas_retries = 0
-        self.bytes_persisted = 0
-        self.slot_wait_seconds = 0.0
+    Historically the engine kept its own ad-hoc counter object; since the
+    observability layer landed, the :class:`~repro.obs.metrics
+    .MetricsRegistry` is the single source of truth and this class only
+    preserves the old read surface (``stats.commits``,
+    ``stats.snapshot()``) for benchmarks and tests.
+    """
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self._metrics = metrics
+
+    @property
+    def commits(self) -> int:
+        return int(self._metrics.value(M.COMMITS))
+
+    @property
+    def superseded(self) -> int:
+        return int(self._metrics.value(M.SUPERSEDED))
+
+    @property
+    def cas_retries(self) -> int:
+        return int(self._metrics.value(M.CAS_RETRIES))
+
+    @property
+    def bytes_persisted(self) -> int:
+        return int(self._metrics.value(M.BYTES_PERSISTED))
+
+    @property
+    def slot_wait_seconds(self) -> float:
+        return self._metrics.value(M.SLOT_WAIT_SECONDS)
 
     def snapshot(self) -> dict:
         """Point-in-time copy of all counters."""
-        with self._lock:
-            return {
-                "commits": self.commits,
-                "superseded": self.superseded,
-                "cas_retries": self.cas_retries,
-                "bytes_persisted": self.bytes_persisted,
-                "slot_wait_seconds": self.slot_wait_seconds,
-            }
+        return {
+            "commits": self.commits,
+            "superseded": self.superseded,
+            "cas_retries": self.cas_retries,
+            "bytes_persisted": self.bytes_persisted,
+            "slot_wait_seconds": self.slot_wait_seconds,
+        }
 
 
 class CheckpointTicket:
@@ -121,6 +150,9 @@ class CheckpointTicket:
         self.counter = counter
         self.slot = slot
         self.step = step
+        #: Optional root span this ticket's engine-side spans parent under
+        #: (set by the orchestrator so commit spans join the lifecycle tree).
+        self.trace_parent = None
         self._written = 0
         self._crc = 0
         self._done = False
@@ -169,6 +201,8 @@ class CheckpointEngine:
         recovered: Optional[CheckMeta] = None,
         post_cas_hook=None,
         sanitize: Optional[bool] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         """``post_cas_hook(meta)`` runs after a successful CAS and the
         durable commit-record write, but *before* the superseded slot is
@@ -179,6 +213,10 @@ class CheckpointEngine:
         ``sanitize`` enables the runtime invariant sanitizer
         (:mod:`repro.core.sanitize`); ``None`` defers to the
         ``REPRO_SANITIZE`` environment variable.
+
+        ``metrics``/``tracer`` attach the observability layer; a private
+        registry and the no-op tracer are used when omitted, so the
+        engine is always safe to instrument unconditionally.
         """
         self._layout = layout
         self._writer = ParallelWriter(
@@ -213,7 +251,10 @@ class CheckpointEngine:
         self._last_written_counter = recovered.counter if recovered else 0
         self._post_cas_hook = post_cas_hook
         self._closed = False
-        self.stats = EngineStats()
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = EngineStats(self._metrics)
+        self._metrics.set_gauge(M.FREE_SLOTS, len(self._free))
 
     # ------------------------------------------------------------------
     # public API
@@ -237,6 +278,16 @@ class CheckpointEngine:
     def sanitizing(self) -> bool:
         """True when the runtime invariant sanitizer is active."""
         return self._sanitizer is not None
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry this engine reports into."""
+        return self._metrics
+
+    @property
+    def tracer(self):
+        """The lifecycle tracer (``NULL_TRACER`` when tracing is off)."""
+        return self._tracer
 
     @property
     def free_slots(self) -> int:
@@ -263,12 +314,20 @@ class CheckpointEngine:
 
     def checkpoint(self, payload: bytes, step: int = 0) -> CheckpointResult:
         """One-shot checkpoint of ``payload`` (Listing 1 end to end)."""
+        self._metrics.inc(M.CHECKPOINTS_REQUESTED)
+        started = time.monotonic()
+        root = self._tracer.begin("checkpoint", step=step)
         ticket = self.begin(step=step)
+        ticket.trace_parent = root
+        root.set(counter=ticket.counter, slot=ticket.slot)
         try:
-            ticket.write_chunk(payload)
+            with self._tracer.span("persist", parent=root):
+                ticket.write_chunk(payload)
         except CrashedDeviceError:
             # Power loss leaves the ticket dangling — the slot is
             # reclaimed only by post-restart recovery, as on hardware.
+            self._metrics.inc(M.DANGLING)
+            self._tracer.end(root, status=STATUS_DANGLING)
             raise
         except BaseException:
             # Validation failures (OutOfSpaceError fires before any
@@ -278,8 +337,20 @@ class CheckpointEngine:
             # payload writes: without a slot header the data can never
             # validate.
             ticket.abort()
+            self._tracer.end(root, status=STATUS_ABORTED)
             raise
-        return ticket.commit()
+        try:
+            result = ticket.commit()
+        except CrashedDeviceError:
+            self._metrics.inc(M.DANGLING)
+            self._tracer.end(root, status=STATUS_DANGLING)
+            raise
+        status = STATUS_COMMITTED if result.committed else STATUS_SUPERSEDED
+        self._tracer.end(root, status=status)
+        self._metrics.observe(
+            M.CHECKPOINT_SECONDS, time.monotonic() - started
+        )
+        return result
 
     def begin(
         self, step: int = 0, timeout: Optional[float] = None
@@ -298,8 +369,8 @@ class CheckpointEngine:
         start = time.monotonic()
         slot = self._free.dequeue_blocking(timeout)
         waited = time.monotonic() - start
-        with self.stats._lock:  # noqa: SLF001
-            self.stats.slot_wait_seconds += waited
+        self._metrics.inc(M.SLOT_WAIT_SECONDS, waited)
+        self._metrics.set_gauge(M.FREE_SLOTS, len(self._free))
         if slot == EMPTY:
             window = "" if timeout is None else f" within {timeout:g} seconds"
             raise SlotWaitTimeout(
@@ -336,10 +407,33 @@ class CheckpointEngine:
             )
         offset = self._layout.payload_offset(ticket.slot) + ticket.bytes_written
         self._writer.persist(offset, chunk)
-        with self.stats._lock:  # noqa: SLF001
-            self.stats.bytes_persisted += len(chunk)
+        self._metrics.inc(M.BYTES_PERSISTED, len(chunk))
 
     def _commit(self, ticket: CheckpointTicket, crc: int) -> CheckpointResult:
+        span = self._tracer.begin(
+            "commit",
+            parent=ticket.trace_parent,
+            counter=ticket.counter,
+            slot=ticket.slot,
+        )
+        start = time.monotonic()
+        try:
+            result = self._commit_inner(ticket, crc)
+        except CrashedDeviceError:
+            self._tracer.end(span, status=STATUS_DANGLING)
+            raise
+        self._metrics.observe(
+            M.STAGE_SECONDS, time.monotonic() - start, stage="commit"
+        )
+        self._tracer.end(
+            span,
+            status=STATUS_COMMITTED if result.committed else STATUS_SUPERSEDED,
+        )
+        return result
+
+    def _commit_inner(
+        self, ticket: CheckpointTicket, crc: int
+    ) -> CheckpointResult:
         meta = CheckMeta(
             counter=ticket.counter,
             slot=ticket.slot,
@@ -365,8 +459,7 @@ class CheckpointEngine:
                     self._sanitizer.on_ticket_done(
                         meta.counter, first_commit=False
                     )
-                with self.stats._lock:  # noqa: SLF001
-                    self.stats.superseded += 1
+                self._metrics.inc(M.SUPERSEDED)
                 return CheckpointResult(
                     counter=meta.counter,
                     slot=ticket.slot,
@@ -387,8 +480,7 @@ class CheckpointEngine:
                     self._sanitizer.on_ticket_done(
                         meta.counter, first_commit=last_check is None
                     )
-                with self.stats._lock:  # noqa: SLF001
-                    self.stats.commits += 1
+                self._metrics.inc(M.COMMITS)
                 return CheckpointResult(
                     counter=meta.counter,
                     slot=ticket.slot,
@@ -396,8 +488,7 @@ class CheckpointEngine:
                     payload_len=meta.payload_len,
                 )
             # CAS failed: someone moved CHECK_ADDR. Re-sample and decide.
-            with self.stats._lock:  # noqa: SLF001
-                self.stats.cas_retries += 1
+            self._metrics.inc(M.CAS_RETRIES)
             last_check = self._check_addr.load()
 
     def _write_commit_record(self, meta: CheckMeta) -> None:
@@ -441,8 +532,10 @@ class CheckpointEngine:
         if self._sanitizer is not None:
             self._sanitizer.on_release(ticket_counter, slot)
         self._free.enqueue(slot)
+        self._metrics.set_gauge(M.FREE_SLOTS, len(self._free))
 
     def _abort_ticket(self, ticket: CheckpointTicket) -> None:
         self._release_slot(ticket.slot, ticket_counter=ticket.counter)
         if self._sanitizer is not None:
             self._sanitizer.on_ticket_done(ticket.counter, first_commit=False)
+        self._metrics.inc(M.ABORTED)

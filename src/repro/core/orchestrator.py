@@ -50,6 +50,13 @@ from repro.errors import (
     EngineError,
     SlotWaitTimeout,
 )
+from repro.obs.metrics import M, MetricsRegistry
+from repro.obs.trace import (
+    STATUS_ABORTED,
+    STATUS_COMMITTED,
+    STATUS_DANGLING,
+    STATUS_SUPERSEDED,
+)
 from repro.storage.dram import DRAMBufferPool, PinnedBuffer
 
 
@@ -60,7 +67,11 @@ class CheckpointHandle:
     step: int
     counter: Optional[int] = None
     snapshot_done: threading.Event = field(default_factory=threading.Event)
+    #: Root lifecycle span (``checkpoint``), when tracing is on.
+    span: Optional[object] = None
     _future: "Future[CheckpointResult]" = field(default_factory=Future)
+    _started: float = 0.0
+    _finished: bool = False
 
     def wait(self, timeout: Optional[float] = None) -> CheckpointResult:
         """Block until the checkpoint committed (or was superseded)."""
@@ -90,16 +101,39 @@ class _PersistStageDied(EngineError):
 
 
 class OrchestratorStats:
-    """Stall accounting surfaced to benchmarks."""
+    """Stall accounting surfaced to benchmarks.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.checkpoints_requested = 0
-        self.update_stall_seconds = 0.0
+    Since the observability layer landed these are thin read-through
+    properties over the shared :class:`~repro.obs.metrics
+    .MetricsRegistry` — the single source of truth — kept so existing
+    benchmark/test code reading ``orchestrator.stats.update_stall_seconds``
+    keeps working unchanged.
+    """
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self._metrics = metrics
+
+    @property
+    def checkpoints_requested(self) -> int:
+        return int(self._metrics.value(M.CHECKPOINTS_REQUESTED))
+
+    @property
+    def update_stall_seconds(self) -> float:
+        """Cumulative T→U consistency stall (Figure 6)."""
+        return self._metrics.value(M.UPDATE_STALL_SECONDS)
+
+    @property
+    def slot_wait_seconds(self) -> float:
+        """Cumulative free-slot stall (the ``Tw > N·f·t`` condition)."""
+        return self._metrics.value(M.SLOT_WAIT_SECONDS)
+
+    @property
+    def buffer_wait_seconds(self) -> float:
+        """Cumulative DRAM staging-pool stall in the capture stage."""
+        return self._metrics.value(M.BUFFER_WAIT_SECONDS)
 
     def add_update_stall(self, seconds: float) -> None:
-        with self._lock:
-            self.update_stall_seconds += seconds
+        self._metrics.inc(M.UPDATE_STALL_SECONDS, seconds)
 
 
 class PCcheckOrchestrator:
@@ -110,9 +144,16 @@ class PCcheckOrchestrator:
         engine: CheckpointEngine,
         pool: DRAMBufferPool,
         config: Optional[PCcheckConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         self._engine = engine
         self._pool = pool
+        # Default to the engine's registry/tracer so the whole stack
+        # reports into one place; overrides exist for tests that want an
+        # isolated view.
+        self._metrics = metrics if metrics is not None else engine.metrics
+        self._tracer = tracer if tracer is not None else engine.tracer
         self._config = config or PCcheckConfig(
             num_concurrent=engine.max_concurrent,
             writer_threads=engine.writer_threads,
@@ -131,7 +172,7 @@ class PCcheckOrchestrator:
         #: set, new checkpoints are refused instead of blocking forever on
         #: slots held by dangling post-crash tickets.
         self._fatal: Optional[BaseException] = None
-        self.stats = OrchestratorStats()
+        self.stats = OrchestratorStats(self._metrics)
 
     # ------------------------------------------------------------------
     # trainer-facing API
@@ -140,6 +181,16 @@ class PCcheckOrchestrator:
     def engine(self) -> CheckpointEngine:
         """The checkpoint engine this orchestrator drives."""
         return self._engine
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry the whole pipeline reports into."""
+        return self._metrics
+
+    @property
+    def tracer(self):
+        """The lifecycle tracer (``NULL_TRACER`` when tracing is off)."""
+        return self._tracer
 
     @property
     def config(self) -> PCcheckConfig:
@@ -157,22 +208,40 @@ class PCcheckOrchestrator:
             raise EngineClosedError("orchestrator is closed")
         self._check_fatal()
         handle = CheckpointHandle(step=step)
-        with self.stats._lock:  # noqa: SLF001
-            self.stats.checkpoints_requested += 1
+        handle._started = time.monotonic()  # noqa: SLF001
+        self._metrics.inc(M.CHECKPOINTS_REQUESTED)
+        root = self._tracer.begin("checkpoint", step=step)
+        handle.span = root
         # Reserve counter + slot in the caller's thread: engine.begin()
         # blocking is precisely the "wait for a previous checkpoint"
         # stall that concurrency is meant to bound.  Poll rather than
         # block indefinitely: after a device crash every slot may be held
-        # by a dangling ticket that will never release it.
-        while True:
-            try:
-                ticket = self._engine.begin(
-                    step=step, timeout=_STAGE_POLL_SECONDS
-                )
-                break
-            except SlotWaitTimeout:
-                self._check_fatal()
+        # by a dangling ticket that will never release it.  The lazy
+        # slot_wait span records the stall only when one actually happens.
+        slot_span = None
+        try:
+            while True:
+                try:
+                    ticket = self._engine.begin(
+                        step=step, timeout=_STAGE_POLL_SECONDS
+                    )
+                    break
+                except SlotWaitTimeout:
+                    if slot_span is None:
+                        slot_span = self._tracer.begin(
+                            "slot_wait", parent=root
+                        )
+                    self._check_fatal()
+        except BaseException:
+            if slot_span is not None:
+                self._tracer.end(slot_span)
+            self._tracer.end(root, status=STATUS_ABORTED)
+            raise
+        if slot_span is not None:
+            self._tracer.end(slot_span)
+        ticket.trace_parent = root
         handle.counter = ticket.counter
+        root.set(counter=ticket.counter, slot=ticket.slot)
         hand_off: "queue.Queue[Optional[PinnedBuffer]]" = queue.Queue()
         persist_dead = threading.Event()
         persist_future = self._executor.submit(
@@ -275,30 +344,59 @@ class PCcheckOrchestrator:
         persist_future: "Future[CheckpointResult]",
         persist_dead: threading.Event,
     ) -> None:
+        tracer = self._tracer
+        stage_span = tracer.begin("capture", parent=handle.span,
+                                  step=handle.step)
+        stage_start = time.monotonic()
         try:
             total = source.snapshot_size()
             plan = plan_chunks(total, self._pool.chunk_size)
-            for offset, length in plan:
+            stage_span.set(total_bytes=total, chunks=plan.num_chunks)
+            for index, (offset, length) in enumerate(plan):
                 # Poll the pool instead of blocking forever: if the
                 # persist stage died, nobody is releasing buffers and an
                 # unconditional acquire() would deadlock this thread (and
                 # with it wait_for_snapshots and executor shutdown).
                 buffer: Optional[PinnedBuffer] = None
+                wait_start = time.monotonic()
+                wait_span = None
                 while buffer is None:
                     if persist_dead.is_set():
+                        if wait_span is not None:
+                            tracer.end(wait_span)
                         raise _PersistStageDied(
                             "persist stage failed; capture abandoned"
                         )
                     buffer = self._pool.acquire(timeout=_STAGE_POLL_SECONDS)
+                    if buffer is None and wait_span is None:
+                        # Only a real stall (an acquire came back empty)
+                        # earns a span; instant acquisitions are noise.
+                        wait_span = tracer.begin(
+                            "buffer_wait", parent=stage_span, chunk=index
+                        )
+                self._metrics.inc(
+                    M.BUFFER_WAIT_SECONDS, time.monotonic() - wait_start
+                )
+                if wait_span is not None:
+                    tracer.end(wait_span)
                 try:
-                    source.capture_chunk(offset, length, buffer)
+                    with tracer.span("capture_chunk", parent=stage_span,
+                                     chunk=index, offset=offset,
+                                     length=length):
+                        source.capture_chunk(offset, length, buffer)
                 except BaseException:
                     self._pool.release(buffer)
                     raise
                 hand_off.put(buffer)
             handle.snapshot_done.set()
             hand_off.put(None)  # end-of-chunks sentinel
+            self._metrics.observe(
+                M.STAGE_SECONDS, time.monotonic() - stage_start,
+                stage="capture",
+            )
+            tracer.end(stage_span)
         except BaseException as exc:  # noqa: BLE001 - fail the handle
+            tracer.end(stage_span, error=type(exc).__name__)
             handle.snapshot_done.set()
             hand_off.put(_CAPTURE_FAILED)
             # Wait for the persist stage to abort the ticket (or finish
@@ -320,7 +418,12 @@ class PCcheckOrchestrator:
         # the hand-off queue stays empty forever, so the failure path must
         # not block draining it.
         sentinel_seen = False
+        tracer = self._tracer
+        stage_span = tracer.begin("persist", parent=handle.span,
+                                  step=handle.step, slot=ticket.slot)
+        stage_start = time.monotonic()
         try:
+            index = 0
             while True:
                 buffer = hand_off.get()
                 if buffer is None:
@@ -329,14 +432,28 @@ class PCcheckOrchestrator:
                 if buffer is _CAPTURE_FAILED:
                     sentinel_seen = True
                     ticket.abort()
+                    tracer.end(stage_span, error="capture_failed")
+                    self._finish_root(handle, STATUS_ABORTED)
                     return None
                 try:
-                    ticket.write_chunk(buffer.view())
+                    with tracer.span("persist_chunk", parent=stage_span,
+                                     chunk=index, length=len(buffer.view())):
+                        ticket.write_chunk(buffer.view())
                 finally:
                     self._pool.release(buffer)
+                index += 1
+            self._metrics.observe(
+                M.STAGE_SECONDS, time.monotonic() - stage_start,
+                stage="persist",
+            )
+            tracer.end(stage_span, chunks=index)
             result = ticket.commit()
             if not handle._future.done():  # noqa: SLF001
                 handle._future.set_result(result)  # noqa: SLF001
+            self._finish_root(
+                handle,
+                STATUS_COMMITTED if result.committed else STATUS_SUPERSEDED,
+            )
             return result
         except BaseException as exc:  # noqa: BLE001 - fail the handle
             # Poison the capture stage first so it stops acquiring
@@ -344,23 +461,43 @@ class PCcheckOrchestrator:
             # persisted buffers must return to the pool or its permanent
             # shrinkage deadlocks every later capture.
             persist_dead.set()
+            tracer.end(stage_span, error=type(exc).__name__)
             if isinstance(exc, CrashedDeviceError):
                 # Power loss: the ticket dangles (recovery reclaims the
                 # slot after restart) and the engine is doomed — refuse
                 # new checkpoints instead of letting them block on slots
                 # no dangling ticket will ever release.
                 self._fatal = exc
+                self._metrics.inc(M.DANGLING)
+                self._finish_root(handle, STATUS_DANGLING)
             else:
                 # Local failure (e.g. the payload outgrew the slot): the
                 # device is fine, so recycle the slot.  Data already in
                 # the slot can never validate without a header.
                 ticket.abort()
+                self._finish_root(handle, STATUS_ABORTED)
             if not sentinel_seen:
                 self._drain_hand_off(hand_off)
             handle.snapshot_done.set()
             if not handle._future.done():  # noqa: SLF001
                 handle._future.set_exception(exc)  # noqa: SLF001
             raise
+
+    def _finish_root(self, handle: CheckpointHandle, status: str) -> None:
+        """Close the handle's root ``checkpoint`` span with its outcome and
+        record the request→ack latency.  Idempotent: ``Tracer.end`` keeps
+        the first end time, and the racing capture/persist failure paths
+        both funnel through here."""
+        if handle._finished:  # noqa: SLF001
+            return
+        handle._finished = True  # noqa: SLF001
+        if handle.span is not None:
+            self._tracer.end(handle.span, status=status)
+        if handle._started:  # noqa: SLF001
+            self._metrics.observe(
+                M.CHECKPOINT_SECONDS,
+                time.monotonic() - handle._started,  # noqa: SLF001
+            )
 
     def _drain_hand_off(
         self, hand_off: "queue.Queue[Optional[PinnedBuffer]]"

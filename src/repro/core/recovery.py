@@ -23,12 +23,15 @@ logs data read locations").
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
 from repro.core.layout import DeviceLayout
 from repro.core.meta import RECORD_SIZE, CheckMeta, decode_commit_record, payload_crc
 from repro.errors import NoCheckpointError
+from repro.obs.metrics import M, MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 
 #: Default read granularity of the persistent iterator.
 DEFAULT_READ_CHUNK: int = 4 * 1024 * 1024
@@ -119,6 +122,8 @@ def recover(
     layout: DeviceLayout,
     chunk_size: int = DEFAULT_READ_CHUNK,
     max_attempts: int = 8,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer=None,
 ) -> RecoveredCheckpoint:
     """Load the newest valid checkpoint from a formatted region.
 
@@ -130,24 +135,49 @@ def recover(
     the region's newer state.  After a crash there are no writers, so the
     first attempt always suffices.
 
+    ``metrics``/``tracer`` record the restart-path telemetry the Eq. 4
+    recovery bound is checked against: wall-clock recovery seconds, bytes
+    re-read, and attempts.
+
     Raises :class:`~repro.errors.NoCheckpointError` when the region holds
     no valid checkpoint (fresh format, or every record was torn).
     """
-    for _attempt in range(max_attempts):
+    tracer = tracer if tracer is not None else NULL_TRACER
+    span = tracer.begin("recovery", device=layout.device.name)
+    start = time.monotonic()
+
+    def _observe(outcome: str, meta: Optional[CheckMeta] = None,
+                 nbytes: int = 0, attempts: int = 0) -> None:
+        if metrics is not None:
+            metrics.observe(M.RECOVERY_SECONDS, time.monotonic() - start)
+            metrics.inc(M.RECOVERY_ATTEMPTS, max(attempts, 1))
+            if nbytes:
+                metrics.inc(M.RECOVERY_BYTES, nbytes)
+        tracer.end(
+            span,
+            outcome=outcome,
+            counter=meta.counter if meta is not None else None,
+        )
+
+    for attempt in range(max_attempts):
         meta = _from_commit_record(layout)
         source = "commit-record"
         if meta is None:
             meta = _from_slot_scan(layout)
             source = "slot-scan"
         if meta is None:
+            _observe("no-checkpoint", attempts=attempt + 1)
             raise NoCheckpointError(
                 f"no valid checkpoint found on {layout.device.name}"
             )
         iterator = PersistentIterator(layout, meta, chunk_size=chunk_size)
         payload = iterator.read_all()
         if payload_crc(payload) == meta.payload_crc:
+            _observe(source, meta=meta, nbytes=len(payload),
+                     attempts=attempt + 1)
             return RecoveredCheckpoint(meta=meta, payload=payload,
                                        source=source)
+    _observe("unstable", attempts=max_attempts)
     raise NoCheckpointError(
         f"checkpoint on {layout.device.name} kept changing under the "
         f"reader ({max_attempts} attempts)"
@@ -158,6 +188,8 @@ def try_recover(
     layout: DeviceLayout,
     chunk_size: int = DEFAULT_READ_CHUNK,
     max_attempts: int = 8,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer=None,
 ) -> Optional[RecoveredCheckpoint]:
     """Like :func:`recover` but returns ``None`` instead of raising.
 
@@ -166,6 +198,7 @@ def try_recover(
     the same bound on both entry points.
     """
     try:
-        return recover(layout, chunk_size, max_attempts=max_attempts)
+        return recover(layout, chunk_size, max_attempts=max_attempts,
+                       metrics=metrics, tracer=tracer)
     except NoCheckpointError:
         return None

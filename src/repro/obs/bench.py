@@ -1,0 +1,204 @@
+"""Telemetry-overhead benchmark behind ``make bench-obs``.
+
+Runs the fig8-style concurrent-checkpoint workload (the same one the
+``pccheck-repro trace`` verb records) twice per round — once with
+telemetry off, once with the full registry + tracer attached — in
+alternating order, and reports the best-of-N slowdown telemetry causes.
+The acceptance bar is < 3 % overhead: observability must be cheap
+enough to leave on in production runs, exactly as the paper leaves its
+own stall accounting on for Figure 8.
+
+Writes ``BENCH_pipeline.json`` with checkpoints/sec for both modes, the
+stall breakdown (slot / buffer / update, Figure 6's three classes), and
+the overhead verdict.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs.bench --out BENCH_pipeline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import List, Optional
+
+from repro.obs.driver import run_demo_workload
+from repro.obs.metrics import M
+
+#: Maximum tolerated telemetry slowdown (fraction of the off-run time).
+OVERHEAD_TARGET = 0.03
+
+
+def _measure(
+    observability: str,
+    *,
+    checkpoints: int,
+    concurrent: int,
+    payload_bytes: int,
+    persist_bandwidth: float,
+    seed: int,
+):
+    return run_demo_workload(
+        checkpoints=checkpoints,
+        concurrent=concurrent,
+        payload_bytes=payload_bytes,
+        persist_bandwidth=persist_bandwidth,
+        observability=observability,
+        seed=seed,
+    )
+
+
+def run_benchmark(
+    *,
+    repeats: int = 5,
+    checkpoints: int = 16,
+    concurrent: int = 4,
+    payload_bytes: int = 256 * 1024,
+    persist_bandwidth: float = 12e6,
+    seed: int = 7,
+) -> dict:
+    """Alternate telemetry-off / telemetry-on runs and compare medians.
+
+    Alternation (rather than two back-to-back batches) decorrelates the
+    comparison from slow drift — page-cache warmup, CPU frequency — that
+    would otherwise bias whichever batch ran second.
+    """
+    knobs = dict(
+        checkpoints=checkpoints,
+        concurrent=concurrent,
+        payload_bytes=payload_bytes,
+        persist_bandwidth=persist_bandwidth,
+    )
+    # Warm both paths once (thread pools, allocator, imports) before
+    # taking any measurement.
+    _measure("off", seed=seed, **knobs)
+    _measure("full", seed=seed, **knobs)
+
+    off_times: List[float] = []
+    on_times: List[float] = []
+    last_on = None
+    for round_index in range(repeats):
+        run_seed = seed + round_index
+        off_times.append(_measure("off", seed=run_seed, **knobs).elapsed_seconds)
+        last_on = _measure("full", seed=run_seed, **knobs)
+        on_times.append(last_on.elapsed_seconds)
+
+    # Compare best-of-N, not means: telemetry cost is a deterministic
+    # additive term, while scheduler jitter is strictly additive noise —
+    # the minimum is the lowest-variance estimator of the true run time.
+    # Medians are still reported for context.
+    off_best, on_best = min(off_times), min(on_times)
+    off_median = statistics.median(off_times)
+    on_median = statistics.median(on_times)
+    overhead = (on_best - off_best) / off_best
+    registry = last_on.metrics
+    stage_sum = {
+        series["labels"].get("stage", "?"): series["sum"]
+        for series in registry.snapshot()
+        .get(M.STAGE_SECONDS, {"series": []})["series"]
+    }
+    return {
+        "benchmark": "pccheck-telemetry-overhead",
+        "workload": {
+            "checkpoints": checkpoints,
+            "concurrent": concurrent,
+            "payload_bytes": payload_bytes,
+            "persist_bandwidth_bytes_per_sec": persist_bandwidth,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "telemetry_off": {
+            "elapsed_seconds": off_times,
+            "best_seconds": off_best,
+            "median_seconds": off_median,
+            "checkpoints_per_sec": checkpoints / off_best,
+        },
+        "telemetry_on": {
+            "elapsed_seconds": on_times,
+            "best_seconds": on_best,
+            "median_seconds": on_median,
+            "checkpoints_per_sec": checkpoints / on_best,
+            "committed": last_on.committed,
+            "bytes_persisted": int(registry.value(M.BYTES_PERSISTED)),
+            "trace_events": len(
+                last_on.tracer.to_chrome_trace()["traceEvents"]
+            ),
+            "stall_seconds": {
+                "slot_wait": registry.value(M.SLOT_WAIT_SECONDS),
+                "buffer_wait": registry.value(M.BUFFER_WAIT_SECONDS),
+                "update_stall": registry.value(M.UPDATE_STALL_SECONDS),
+            },
+            "stage_seconds_sum": stage_sum,
+        },
+        "overhead": {
+            "fraction": overhead,
+            "target": OVERHEAD_TARGET,
+            "meets_target": overhead < OVERHEAD_TARGET,
+        },
+    }
+
+
+def render_text(report: dict) -> str:
+    off = report["telemetry_off"]
+    on = report["telemetry_on"]
+    overhead = report["overhead"]
+    stalls = on["stall_seconds"]
+    lines = [
+        "telemetry overhead benchmark "
+        f"({report['workload']['checkpoints']} checkpoints, "
+        f"N={report['workload']['concurrent']}, "
+        f"{report['workload']['repeats']} rounds)",
+        f"  off : {off['best_seconds']:.4f} s best / "
+        f"{off['median_seconds']:.4f} s median "
+        f"({off['checkpoints_per_sec']:.1f} ckpt/s)",
+        f"  on  : {on['best_seconds']:.4f} s best / "
+        f"{on['median_seconds']:.4f} s median "
+        f"({on['checkpoints_per_sec']:.1f} ckpt/s, "
+        f"{on['trace_events']} trace events)",
+        f"  stalls: slot {stalls['slot_wait']:.4f} s, "
+        f"buffer {stalls['buffer_wait']:.4f} s, "
+        f"update {stalls['update_stall']:.4f} s",
+        f"  overhead: {overhead['fraction'] * 100:+.2f} % "
+        f"(target < {overhead['target'] * 100:.0f} %) -> "
+        + ("PASS" if overhead["meets_target"] else "FAIL"),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Measure the overhead of checkpoint telemetry.",
+    )
+    parser.add_argument("--out", default="BENCH_pipeline.json",
+                        help="JSON report path")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--checkpoints", type=int, default=16)
+    parser.add_argument("--concurrent", type=int, default=4)
+    parser.add_argument("--payload-kib", type=int, default=256)
+    parser.add_argument("--bandwidth-mbps", type=float, default=12.0,
+                        help="device persist bandwidth in MB/s")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(
+        repeats=args.repeats,
+        checkpoints=args.checkpoints,
+        concurrent=args.concurrent,
+        payload_bytes=args.payload_kib * 1024,
+        persist_bandwidth=args.bandwidth_mbps * 1e6,
+        seed=args.seed,
+    )
+    print(render_text(report))
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0 if report["overhead"]["meets_target"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

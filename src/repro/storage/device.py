@@ -21,10 +21,12 @@ which is the hazard the paper's BARRIER calls exist to close.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import DeviceClosedError, OutOfSpaceError, StorageError
+from repro.obs.metrics import M, MetricsRegistry
 
 #: Size of a simulated CPU cache line; crash injection applies or drops
 #: volatile data at this granularity, matching PMEM failure atomicity.
@@ -126,6 +128,8 @@ class PersistentDevice(ABC):
         self._capacity = capacity
         self._name = name
         self._closed = False
+        self._obs_metrics: Optional[MetricsRegistry] = None
+        self._obs_label = name
 
     @property
     def capacity(self) -> int:
@@ -141,6 +145,37 @@ class PersistentDevice(ABC):
     def closed(self) -> bool:
         """True after :meth:`close`."""
         return self._closed
+
+    def attach_metrics(
+        self, metrics: MetricsRegistry, label: Optional[str] = None
+    ) -> None:
+        """Mirror per-op bytes/latency into ``metrics``.
+
+        Every subsequent ``write``/``read``/``persist`` reports a
+        ``device=<label>``, ``op=`` labelled series; the ``stats``
+        attribute of concrete devices stays untouched.  Detached (the
+        default) the ops pay nothing beyond one ``None`` check.
+        """
+        self._obs_metrics = metrics
+        self._obs_label = label if label is not None else self._name
+
+    def _obs_start(self) -> float:
+        """Per-op timing origin; 0.0 when no registry is attached."""
+        return time.monotonic() if self._obs_metrics is not None else 0.0
+
+    def _obs_op(self, op: str, nbytes: int, start: float) -> None:
+        """Report one device operation (no-op when detached)."""
+        obs = self._obs_metrics
+        if obs is None:
+            return
+        label = self._obs_label
+        obs.inc(M.DEVICE_OPS, 1, device=label, op=op)
+        if nbytes:
+            obs.inc(M.DEVICE_OP_BYTES, nbytes, device=label, op=op)
+        obs.observe(
+            M.DEVICE_OP_SECONDS, time.monotonic() - start,
+            device=label, op=op,
+        )
 
     def _check_open(self) -> None:
         if self._closed:

@@ -34,6 +34,7 @@ from typing import List, Optional, Protocol, Union
 import numpy as np
 
 from repro.errors import CrashedDeviceError, EngineError, TransientIOError
+from repro.obs.metrics import M, MetricsRegistry
 from repro.storage.device import PersistentDevice
 from repro.storage.pmem import SimulatedPMEM
 from repro.storage.ssd import InMemorySSD
@@ -171,6 +172,14 @@ class CrashPointDevice(PersistentDevice):
         """The wrapped device (inspect after a crash for recovery tests)."""
         return self._inner
 
+    def attach_metrics(
+        self, metrics: MetricsRegistry, label: Optional[str] = None
+    ) -> None:
+        """Instrument the wrapped device's ops and this wrapper's crash
+        counter with the same registry."""
+        super().attach_metrics(metrics, label)
+        self._inner.attach_metrics(metrics, label or self._inner.name)
+
     @property
     def operations_performed(self) -> int:
         """Mutating operations executed so far (crash-point count)."""
@@ -196,6 +205,8 @@ class CrashPointDevice(PersistentDevice):
                         # "blocking" persist cannot actually block.
                         self._inner.persist(offset, cut)  # pclint: disable=PC001
                     self._inner.crash(self._rng)
+                if self._obs_metrics is not None:
+                    self._obs_metrics.inc(M.CRASHES_INJECTED)
                 raise CrashBudgetExhausted(
                     f"injected crash at op {op.index} "
                     f"({op.kind} {op.offset}+{op.length}) on {self.name}"
@@ -262,6 +273,14 @@ class TransientFaultDevice(PersistentDevice):
         """The wrapped device."""
         return self._inner
 
+    def attach_metrics(
+        self, metrics: MetricsRegistry, label: Optional[str] = None
+    ) -> None:
+        """Instrument the wrapped device's ops and this wrapper's fault
+        counter with the same registry."""
+        super().attach_metrics(metrics, label)
+        self._inner.attach_metrics(metrics, label or self._inner.name)
+
     def _gate(self, kind: str, offset: int, length: int) -> None:
         if kind != self._kind:
             return
@@ -269,6 +288,8 @@ class TransientFaultDevice(PersistentDevice):
             if self._seen == self._occurrence and self._failures_left > 0:
                 self._failures_left -= 1
                 self.faults_injected += 1
+                if self._obs_metrics is not None:
+                    self._obs_metrics.inc(M.TRANSIENT_FAULTS)
                 raise TransientIOError(
                     f"injected transient fault on {kind} {offset}+{length} "
                     f"({self._failures_left} failures remaining) on {self.name}"

@@ -123,30 +123,37 @@ class SimulatedPMEM(PersistentDevice):
         ``clwb`` + fence covers it."""
         self._check_alive()
         self._check_range(offset, len(data))
+        start = self._obs_start()
         with self._lock:
             self._visible[offset : offset + len(data)] = data
             self._dirty.add(offset, offset + len(data))
             self.stats.bytes_written += len(data)
             self.stats.write_ops += 1
+        self._obs_op("write", len(data), start)
 
     def nt_store(self, offset: int, data: bytes) -> None:
         """A non-temporal store: bypasses the cache, durable after ``sfence``."""
         self._check_alive()
         self._check_range(offset, len(data))
+        start = self._obs_start()
         with self._lock:
             self._visible[offset : offset + len(data)] = data
             self._pending_nt.add(offset, offset + len(data))
             self.stats.bytes_written += len(data)
             self.stats.write_ops += 1
+        self._obs_op("write", len(data), start)
 
     def read(self, offset: int, length: int) -> bytes:
         """Load from the cache view (sees unpersisted stores)."""
         self._check_alive()
         self._check_range(offset, length)
+        start = self._obs_start()
         with self._lock:
             self.stats.bytes_read += length
             self.stats.read_ops += 1
-            return bytes(self._visible[offset : offset + length])
+            data = bytes(self._visible[offset : offset + length])
+        self._obs_op("read", length, start)
+        return data
 
     # ------------------------------------------------------------------
     # persistence barriers
@@ -171,6 +178,7 @@ class SimulatedPMEM(PersistentDevice):
         is durable.
         """
         self._check_alive()
+        start = self._obs_start()
         with self._lock:
             drained = 0
             for spans in (self._pending_nt, self._flush_queued):
@@ -183,6 +191,7 @@ class SimulatedPMEM(PersistentDevice):
             self.stats.bytes_persisted += drained
             self.stats.persist_ops += 1
         self._charge_bandwidth(drained)
+        self._obs_op("persist", drained, start)
 
     def persist(self, offset: int, length: int) -> None:
         """Generic durability barrier: clwb the range, then fence.

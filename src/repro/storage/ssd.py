@@ -76,16 +76,19 @@ class FileBackedSSD(PersistentDevice):
     def write(self, offset: int, data: bytes) -> None:
         self._check_open()
         self._check_range(offset, len(data))
+        start = self._obs_start()
         written = 0
         while written < len(data):
             written += os.pwrite(self._fd, data[written:], offset + written)
         with self._lock:
             self.stats.bytes_written += len(data)
             self.stats.write_ops += 1
+        self._obs_op("write", len(data), start)
 
     def read(self, offset: int, length: int) -> bytes:
         self._check_open()
         self._check_range(offset, length)
+        start = self._obs_start()
         chunks = []
         remaining = length
         position = offset
@@ -99,6 +102,7 @@ class FileBackedSSD(PersistentDevice):
         with self._lock:
             self.stats.bytes_read += length
             self.stats.read_ops += 1
+        self._obs_op("read", length, start)
         return b"".join(chunks)
 
     def persist(self, offset: int, length: int) -> None:
@@ -109,10 +113,12 @@ class FileBackedSSD(PersistentDevice):
         """
         self._check_open()
         self._check_range(offset, length)
+        start = self._obs_start()
         os.fsync(self._fd)
         with self._lock:
             self.stats.bytes_persisted += length
             self.stats.persist_ops += 1
+        self._obs_op("persist", length, start)
 
     def close(self) -> None:
         if not self.closed:
@@ -163,24 +169,30 @@ class InMemorySSD(PersistentDevice):
     def write(self, offset: int, data: bytes) -> None:
         self._check_alive()
         self._check_range(offset, len(data))
+        start = self._obs_start()
         with self._lock:
             self._visible[offset : offset + len(data)] = data
             self._dirty.add(offset, offset + len(data))
             self.stats.bytes_written += len(data)
             self.stats.write_ops += 1
+        self._obs_op("write", len(data), start)
 
     def read(self, offset: int, length: int) -> bytes:
         self._check_alive()
         self._check_range(offset, length)
+        start = self._obs_start()
         with self._lock:
             self.stats.bytes_read += length
             self.stats.read_ops += 1
-            return bytes(self._visible[offset : offset + length])
+            data = bytes(self._visible[offset : offset + length])
+        self._obs_op("read", length, start)
+        return data
 
     def persist(self, offset: int, length: int) -> None:
         """``msync`` the range: dirty bytes inside it become durable."""
         self._check_alive()
         self._check_range(offset, length)
+        start = self._obs_start()
         with self._lock:
             synced = 0
             for lo, hi in self._dirty.intersect(offset, offset + length):
@@ -191,6 +203,7 @@ class InMemorySSD(PersistentDevice):
             self.stats.persist_ops += 1
         if self._persist_bandwidth and synced > 0:
             time.sleep(synced / self._persist_bandwidth)
+        self._obs_op("persist", synced, start)
 
     def crash(self, rng: Optional[np.random.Generator] = None) -> None:
         """Power loss: unsynced data survives only for a random subset of

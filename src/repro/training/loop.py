@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.baselines.base import CheckpointStrategy
 from repro.errors import TrainingError
+from repro.obs.metrics import M, MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.training.losses import softmax_cross_entropy
 from repro.training.module import Module
 from repro.training.optim import Optimizer
@@ -82,12 +84,16 @@ class Trainer:
         adaptive=None,
         monitor=None,
         scheduler=None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         """``adaptive`` (an
         :class:`~repro.core.adaptive.AdaptiveIntervalController`) replaces
         the fixed ``checkpoint_interval`` with the §3.4 feedback loop;
         ``monitor`` (a :class:`~repro.training.monitor.TrainingMonitor`)
-        captures per-checkpoint parameter/gradient statistics."""
+        captures per-checkpoint parameter/gradient statistics;
+        ``metrics``/``tracer`` put training iterations on the same
+        timeline as the checkpoint pipeline's telemetry."""
         if checkpoint_interval < 1:
             raise TrainingError(
                 f"checkpoint interval must be >= 1, got {checkpoint_interval}"
@@ -101,6 +107,12 @@ class Trainer:
         self.adaptive = adaptive
         self.monitor = monitor
         self.scheduler = scheduler
+        self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if monitor is not None and metrics is not None:
+            bind = getattr(monitor, "bind_metrics", None)
+            if bind is not None:
+                bind(metrics)
         self.step = 0
 
     # ------------------------------------------------------------------
@@ -159,18 +171,22 @@ class Trainer:
                 raise FailureInjection(f"injected failure at step {self.step}")
             iter_started = time.monotonic()
             loss = self.train_step()
+            iter_seconds = max(time.monotonic() - iter_started, 1e-9)
             losses.append(loss)
+            if self.metrics is not None:
+                self.metrics.inc(M.TRAIN_STEPS)
+                self.metrics.observe(M.TRAIN_ITERATION_SECONDS, iter_seconds)
+                self.metrics.set_gauge(M.TRAIN_LOSS, loss)
             if self.monitor is not None:
                 self.monitor.capture(self.model, step=self.step, loss=loss)
             if self.adaptive is not None:
-                self.adaptive.observe_iteration(
-                    max(time.monotonic() - iter_started, 1e-9)
-                )
+                self.adaptive.observe_iteration(iter_seconds)
                 due = self.adaptive.should_checkpoint()
             else:
                 due = self.step % self.interval == 0
             if self.strategy is not None and due:
                 checkpoint_started = time.monotonic()
+                self.tracer.instant("checkpoint_request", step=self.step)
                 self.strategy.checkpoint(self.serialized_state(), step=self.step)
                 if self.adaptive is not None:
                     # The blocking part of the call approximates the

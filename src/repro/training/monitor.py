@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.errors import TrainingError
+from repro.obs.metrics import M, MetricsRegistry
 from repro.training.module import Module
 
 
@@ -121,8 +122,20 @@ class TrainingMonitor:
         self._grad_threshold = grad_norm_threshold
         self._spike_ratio = loss_spike_ratio
         self._history_limit = history_limit
+        self._metrics: Optional[MetricsRegistry] = None
         self.records: List[MonitorRecord] = []
         self.anomalies: List[Anomaly] = []
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> "TrainingMonitor":
+        """Mirror per-step health records into ``metrics``.
+
+        Once bound, every :meth:`capture` updates the training gauges
+        (loss, global gradient norm) and counters (records, anomalies by
+        kind) in the shared registry, so checkpoint stalls and training
+        anomalies land on one timeline.  Returns ``self`` for chaining.
+        """
+        self._metrics = metrics
+        return self
 
     # ------------------------------------------------------------------
     # capture
@@ -141,17 +154,29 @@ class TrainingMonitor:
         self.records.append(record)
         if self._history_limit and len(self.records) > self._history_limit:
             del self.records[0]
+        if self._metrics is not None:
+            self._metrics.inc(M.MONITOR_RECORDS)
+            if record.loss is not None and np.isfinite(record.loss):
+                self._metrics.set_gauge(M.TRAIN_LOSS, record.loss)
+            self._metrics.set_gauge(
+                M.TRAIN_GRAD_NORM, record.global_grad_norm
+            )
         return record
+
+    def _note(self, anomaly: Anomaly) -> None:
+        self.anomalies.append(anomaly)
+        if self._metrics is not None:
+            self._metrics.inc(M.TRAIN_ANOMALIES, kind=anomaly.kind)
 
     def _analyse(self, record: MonitorRecord) -> None:
         if not record.healthy:
-            self.anomalies.append(
+            self._note(
                 Anomaly(record.step, "non-finite",
                         "NaN/Inf in loss, parameters, or gradients")
             )
         grad_norm = record.global_grad_norm
         if grad_norm > self._grad_threshold:
-            self.anomalies.append(
+            self._note(
                 Anomaly(record.step, "exploding-gradient",
                         f"global gradient norm {grad_norm:.3g} exceeds "
                         f"{self._grad_threshold:.3g}")
@@ -164,7 +189,7 @@ class TrainingMonitor:
             if previous:
                 baseline = float(np.median(previous))
                 if baseline > 0 and record.loss > self._spike_ratio * baseline:
-                    self.anomalies.append(
+                    self._note(
                         Anomaly(record.step, "loss-spike",
                                 f"loss {record.loss:.4g} is >"
                                 f"{self._spike_ratio}x the recent median "

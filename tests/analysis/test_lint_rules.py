@@ -1,4 +1,4 @@
-"""Per-rule tests for pccheck-lint (PC001-PC006) and suppressions."""
+"""Per-rule tests for pccheck-lint (PC001-PC007) and suppressions."""
 
 import textwrap
 
@@ -457,6 +457,69 @@ class TestPC006MagicBackoff:
                 time.sleep(nbytes / bandwidth)
             """,
             select={"PC006"},
+        )
+        assert diags == []
+
+
+class TestPC007HandRolledTelemetry:
+    CORE_PATH = "src/repro/core/fixture.py"
+
+    def lint_core(self, code, path=CORE_PATH):
+        return lint_source(textwrap.dedent(code), path=path,
+                           select={"PC007"})
+
+    def test_wall_clock_in_core_flagged(self):
+        diags = self.lint_core(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert rule_ids(diags) == ["PC007"]
+        assert "monotonic" in diags[0].message
+
+    def test_stall_accumulator_in_core_flagged(self):
+        diags = self.lint_core(
+            """
+            class Stats:
+                def record(self, waited):
+                    self.slot_wait_seconds += waited
+            """
+        )
+        assert rule_ids(diags) == ["PC007"]
+        assert "MetricsRegistry" in diags[0].message
+
+    def test_monotonic_in_core_clean(self):
+        diags = self.lint_core(
+            """
+            import time
+
+            def stamp():
+                return time.monotonic()
+            """
+        )
+        assert diags == []
+
+    def test_registry_inc_in_core_clean(self):
+        diags = self.lint_core(
+            """
+            def record(self, waited):
+                self._metrics.inc("pccheck_slot_wait_seconds_total", waited)
+            """
+        )
+        assert diags == []
+
+    def test_outside_core_not_in_scope(self):
+        diags = self.lint_core(
+            """
+            import time
+
+            def stamp(self):
+                self.elapsed_seconds += time.time()
+            """,
+            path="src/repro/sim/runner_fixture.py",
         )
         assert diags == []
 

@@ -1,30 +1,36 @@
 """Tests for the high-level open_checkpointer API (regression coverage
-for region-reopen behaviour)."""
+for region-reopen behaviour, plus the redesigned Checkpointer surface)."""
 
 import os
+import warnings
 
 import pytest
 
-from repro import open_checkpointer
+from repro import Checkpointer, CheckpointerHandle, open_checkpointer
 from repro.core.snapshot import BytesSource
 from repro.errors import ConfigError
 
 
 class TestOpenCheckpointer:
     def test_fresh_file_has_no_recovered_state(self, tmp_path):
-        with open_checkpointer(str(tmp_path / "a.pc"), 4096) as ckpt:
+        with open_checkpointer(str(tmp_path / "a.pc"),
+                               capacity_bytes=4096) as ckpt:
             assert ckpt.recovered is None
             assert ckpt.engine.max_concurrent == 2  # default N
 
     def test_invalid_capacity_rejected(self, tmp_path):
         with pytest.raises(ConfigError):
-            open_checkpointer(str(tmp_path / "a.pc"), 0)
+            open_checkpointer(str(tmp_path / "a.pc"), capacity_bytes=0)
+
+    def test_capacity_is_keyword_only(self, tmp_path):
+        with pytest.raises(TypeError):
+            open_checkpointer(str(tmp_path / "a.pc"), 4096)  # noqa: E501 - deliberate misuse
 
     def test_checkpoint_survives_reopen(self, tmp_path):
         path = str(tmp_path / "b.pc")
-        with open_checkpointer(path, 4096) as ckpt:
+        with open_checkpointer(path, capacity_bytes=4096) as ckpt:
             ckpt.orchestrator.checkpoint_sync(BytesSource(b"v1"), step=1)
-        with open_checkpointer(path, 4096) as ckpt:
+        with open_checkpointer(path, capacity_bytes=4096) as ckpt:
             assert ckpt.recovered is not None
             assert ckpt.recovered.payload == b"v1"
 
@@ -34,10 +40,11 @@ class TestOpenCheckpointer:
         """Regression: reopening an N=3 region with the default N=2 used
         to truncate the file and amputate a slot."""
         path = str(tmp_path / "c.pc")
-        with open_checkpointer(path, 8192, num_concurrent=3) as ckpt:
+        with open_checkpointer(path, capacity_bytes=8192,
+                               num_concurrent=3) as ckpt:
             ckpt.orchestrator.checkpoint_sync(BytesSource(b"keep"), step=1)
         size_before = os.path.getsize(path)
-        with open_checkpointer(path, 8192) as ckpt:  # default N=2
+        with open_checkpointer(path, capacity_bytes=8192) as ckpt:  # N=2
             assert os.path.getsize(path) == size_before
             assert ckpt.recovered.payload == b"keep"
             # The opened layout keeps the on-disk geometry (4 slots).
@@ -45,10 +52,10 @@ class TestOpenCheckpointer:
 
     def test_reopened_engine_continues_counters(self, tmp_path):
         path = str(tmp_path / "d.pc")
-        with open_checkpointer(path, 4096) as ckpt:
+        with open_checkpointer(path, capacity_bytes=4096) as ckpt:
             ckpt.orchestrator.checkpoint_sync(BytesSource(b"one"), step=1)
             first_counter = ckpt.engine.committed().counter
-        with open_checkpointer(path, 4096) as ckpt:
+        with open_checkpointer(path, capacity_bytes=4096) as ckpt:
             result = ckpt.orchestrator.checkpoint_sync(
                 BytesSource(b"two"), step=2
             )
@@ -56,10 +63,120 @@ class TestOpenCheckpointer:
             assert ckpt.recovered.meta.counter == first_counter
 
     def test_config_reflected_in_handle(self, tmp_path):
-        with open_checkpointer(str(tmp_path / "e.pc"), 4096,
+        with open_checkpointer(str(tmp_path / "e.pc"), capacity_bytes=4096,
                                num_concurrent=3, writer_threads=2,
                                chunk_size=1024, num_chunks=3) as ckpt:
             assert ckpt.config.num_concurrent == 3
             assert ckpt.config.writer_threads == 2
             assert ckpt.engine.writer_threads == 2
             assert ckpt.orchestrator.config.chunk_size == 1024
+
+
+class TestCheckpointerSurface:
+    """The redesigned delegation API: no .engine/.orchestrator needed."""
+
+    def test_checkpoint_and_latest(self, tmp_path):
+        with open_checkpointer(str(tmp_path / "f.pc"),
+                               capacity_bytes=4096) as ckpt:
+            result = ckpt.checkpoint(b"state-1", step=7)
+            assert result.committed
+            assert ckpt.latest().step == 7
+
+    def test_checkpoint_async_accepts_bytes_and_sources(self, tmp_path):
+        with open_checkpointer(str(tmp_path / "g.pc"),
+                               capacity_bytes=4096) as ckpt:
+            h1 = ckpt.checkpoint_async(b"raw bytes", step=1)
+            h2 = ckpt.checkpoint_async(BytesSource(b"a source"), step=2)
+            results = ckpt.wait()
+            assert len(results) >= 2
+            assert h1.done() and h2.done()
+            assert ckpt.latest() is not None
+
+    def test_metrics_formats(self, tmp_path):
+        with open_checkpointer(str(tmp_path / "h.pc"),
+                               capacity_bytes=4096) as ckpt:
+            ckpt.checkpoint(b"x", step=1)
+            snap = ckpt.metrics()
+            assert "pccheck_commits_total" in snap
+            prom = ckpt.metrics("prometheus")
+            assert "pccheck_commits_total 1" in prom
+            assert "pccheck_device_ops_total" in prom  # device attached
+            json_text = ckpt.metrics("json")
+            assert "pccheck_bytes_persisted_total" in json_text
+            with pytest.raises(ConfigError):
+                ckpt.metrics("xml")
+
+    def test_observability_off_detaches_devices(self, tmp_path):
+        with open_checkpointer(str(tmp_path / "i.pc"), capacity_bytes=4096,
+                               observability="off") as ckpt:
+            ckpt.checkpoint(b"x", step=1)
+            snap = ckpt.metrics()
+            assert "pccheck_commits_total" in snap  # engine counters stay
+            assert "pccheck_device_ops_total" not in snap
+            assert ckpt.trace() == {"traceEvents": [],
+                                    "displayTimeUnit": "ms"}
+
+    def test_observability_full_records_spans(self, tmp_path):
+        with open_checkpointer(str(tmp_path / "j.pc"), capacity_bytes=4096,
+                               observability="full") as ckpt:
+            ckpt.checkpoint(b"x", step=1)
+            trace = ckpt.trace()
+            names = {event["name"] for event in trace["traceEvents"]}
+            assert {"checkpoint", "capture", "persist", "commit"} <= names
+
+    def test_unknown_observability_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            open_checkpointer(str(tmp_path / "k.pc"), capacity_bytes=4096,
+                              observability="verbose")
+
+
+class TestBackends:
+    def test_pmem_backend(self):
+        with open_checkpointer(capacity_bytes=4096,
+                               backend="pmem") as ckpt:
+            assert ckpt.device.name == "pmem"
+            assert ckpt.checkpoint(b"pm", step=1).committed
+
+    def test_faults_backend_records_ops(self):
+        with open_checkpointer(capacity_bytes=4096,
+                               backend="faults") as ckpt:
+            ckpt.checkpoint(b"ft", step=1)
+            assert ckpt.device.op_log  # record_ops=True
+            assert ckpt.device.operations_performed > 0
+
+    def test_ssd_backend_requires_path(self):
+        with pytest.raises(ConfigError):
+            open_checkpointer(capacity_bytes=4096, backend="ssd")
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            open_checkpointer(str(tmp_path / "x.pc"), capacity_bytes=4096,
+                              backend="tape")
+
+
+class TestDeprecatedAlias:
+    def test_handle_alias_warns_and_works(self, tmp_path):
+        with open_checkpointer(str(tmp_path / "z.pc"),
+                               capacity_bytes=4096) as ckpt:
+            assert isinstance(ckpt, Checkpointer)
+            assert not isinstance(ckpt, CheckpointerHandle)
+            with pytest.warns(DeprecationWarning):
+                legacy = CheckpointerHandle(
+                    device=ckpt.device,
+                    layout=ckpt.layout,
+                    engine=ckpt.engine,
+                    orchestrator=ckpt.orchestrator,
+                    config=ckpt.config,
+                )
+            assert isinstance(legacy, Checkpointer)
+            assert legacy.checkpoint(b"legacy", step=3).committed
+
+    def test_plain_construction_does_not_warn(self, tmp_path):
+        with open_checkpointer(str(tmp_path / "w.pc"),
+                               capacity_bytes=4096):
+            pass  # open_checkpointer builds Checkpointer, never the alias
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with open_checkpointer(str(tmp_path / "w2.pc"),
+                                   capacity_bytes=4096):
+                pass

@@ -1,0 +1,58 @@
+"""The ``pccheck-repro metrics`` / ``pccheck-repro trace`` verbs."""
+
+import json
+
+from repro.cli import build_parser, main
+
+from tests.obs.test_trace import validate_chrome_trace
+
+
+class TestParser:
+    def test_verbs_and_defaults(self):
+        for verb in ("metrics", "trace"):
+            args = build_parser().parse_args([verb])
+            assert args.command == verb
+            assert args.concurrent == 4
+            assert args.checkpoints == 8
+
+    def test_metrics_format_choices(self):
+        args = build_parser().parse_args(["metrics", "--format", "json"])
+        assert args.format == "json"
+
+
+class TestTraceVerb:
+    def test_emits_valid_chrome_trace(self, capsys, tmp_path):
+        """Acceptance: a 4-concurrent-checkpoint run emits Chrome trace
+        JSON loadable by chrome://tracing."""
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--concurrent", "4", "--checkpoints", "6",
+                     "--payload-kib", "16", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        validate_chrome_trace(doc)
+        names = {event["name"] for event in doc["traceEvents"]}
+        assert {"checkpoint", "capture", "persist", "commit"} <= names
+        summary = capsys.readouterr().err
+        assert "checkpoints committed" in summary
+
+    def test_stdout_when_no_out(self, capsys):
+        assert main(["trace", "--checkpoints", "2",
+                     "--payload-kib", "8"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["traceEvents"]
+
+
+class TestMetricsVerb:
+    def test_prometheus_output(self, capsys):
+        assert main(["metrics", "--checkpoints", "4",
+                     "--payload-kib", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE pccheck_commits_total counter" in out
+        assert "pccheck_device_ops_total" in out
+        assert "pccheck_slot_wait_seconds_total" in out
+
+    def test_json_output_to_file(self, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert main(["metrics", "--format", "json", "--checkpoints", "4",
+                     "--payload-kib", "8", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["pccheck_commits_total"]["series"][0]["value"] >= 1

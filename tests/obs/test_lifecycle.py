@@ -1,0 +1,115 @@
+"""Failure-path telemetry: crashed and aborted checkpoints must never
+report their lifecycle spans as committed, and the counters must agree
+with the crash sweep's notion of dangling tickets."""
+
+import pytest
+
+from repro.core.engine import CheckpointEngine
+from repro.core.layout import DeviceLayout, Geometry
+from repro.core.meta import RECORD_SIZE
+from repro.core.orchestrator import PCcheckOrchestrator
+from repro.core.snapshot import BytesSource, SnapshotSource
+from repro.errors import CrashedDeviceError
+from repro.obs import (
+    M,
+    MetricsRegistry,
+    STATUS_ABORTED,
+    STATUS_COMMITTED,
+    STATUS_DANGLING,
+    Tracer,
+)
+from repro.storage.dram import DRAMBufferPool
+from repro.storage.faults import CrashPointDevice
+from repro.storage.ssd import InMemorySSD
+
+NUM_SLOTS = 3
+PAYLOAD_CAPACITY = 256
+SLOT_SIZE = PAYLOAD_CAPACITY + RECORD_SIZE
+
+
+def format_op_count():
+    geometry = Geometry(num_slots=NUM_SLOTS, slot_size=SLOT_SIZE)
+    probe = CrashPointDevice(InMemorySSD(capacity=geometry.total_size))
+    DeviceLayout.format(probe, num_slots=NUM_SLOTS, slot_size=SLOT_SIZE)
+    return probe.operations_performed
+
+
+def build_pipeline(budget=None):
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    geometry = Geometry(num_slots=NUM_SLOTS, slot_size=SLOT_SIZE)
+    device = CrashPointDevice(
+        InMemorySSD(capacity=geometry.total_size), budget=budget
+    )
+    device.attach_metrics(registry)
+    layout = DeviceLayout.format(
+        device, num_slots=NUM_SLOTS, slot_size=SLOT_SIZE
+    )
+    engine = CheckpointEngine(
+        layout, writer_threads=1, metrics=registry, tracer=tracer
+    )
+    pool = DRAMBufferPool(num_chunks=2, chunk_size=64)
+    return PCcheckOrchestrator(engine, pool), registry, tracer
+
+
+class _ExplodingSource(SnapshotSource):
+    def snapshot_size(self):
+        return 128
+
+    def capture_chunk(self, offset, length, dest):
+        raise RuntimeError("capture exploded")
+
+
+class TestCrashedCheckpointSpans:
+    def test_injected_crash_marks_span_dangling_not_committed(self):
+        orchestrator, registry, tracer = build_pipeline(
+            budget=format_op_count() + 1
+        )
+        payload = b"c" * PAYLOAD_CAPACITY
+        handle = orchestrator.checkpoint_async(BytesSource(payload), step=1)
+        with pytest.raises(CrashedDeviceError):
+            handle.wait(timeout=10.0)
+        orchestrator.close()
+
+        (root,) = tracer.spans("checkpoint")
+        assert root.finished
+        assert root.args["status"] == STATUS_DANGLING
+        assert root.args["status"] != STATUS_COMMITTED
+        assert registry.value(M.DANGLING) == 1
+        assert registry.value(M.COMMITS) == 0
+        assert registry.value(M.CRASHES_INJECTED) == 1
+
+    def test_crashed_run_exports_valid_trace(self):
+        orchestrator, _, tracer = build_pipeline(budget=format_op_count() + 1)
+        with pytest.raises(CrashedDeviceError):
+            orchestrator.checkpoint_sync(BytesSource(b"x" * 64), step=1)
+        orchestrator.close()
+        doc = tracer.to_chrome_trace()
+        assert doc["traceEvents"]
+        # No span may claim success on a crashed device.
+        for event in doc["traceEvents"]:
+            assert event["args"].get("status") != STATUS_COMMITTED
+
+
+class TestAbortedCheckpointSpans:
+    def test_capture_failure_marks_span_aborted(self):
+        orchestrator, registry, tracer = build_pipeline()
+        handle = orchestrator.checkpoint_async(_ExplodingSource(), step=1)
+        with pytest.raises(RuntimeError):
+            handle.wait(timeout=10.0)
+
+        (root,) = tracer.spans("checkpoint")
+        assert root.args["status"] == STATUS_ABORTED
+        assert registry.value(M.ABORTED) == 1
+        assert registry.value(M.COMMITS) == 0
+
+        # The pipeline survives the abort: a good checkpoint still
+        # commits, and only that one reports success.
+        result = orchestrator.checkpoint_sync(BytesSource(b"ok" * 8), step=2)
+        assert result.committed
+        orchestrator.close()
+        statuses = sorted(
+            span.args["status"] for span in tracer.spans("checkpoint")
+        )
+        assert statuses == [STATUS_ABORTED, STATUS_COMMITTED]
+        assert registry.value(M.COMMITS) == 1

@@ -1,0 +1,159 @@
+"""MetricsRegistry unit tests: semantics, exposition, thread-safety."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import M, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc(M.COMMITS)
+        registry.inc(M.COMMITS, 2)
+        assert registry.value(M.COMMITS) == 3
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            registry.inc(M.COMMITS, -1)
+
+    def test_gauge_sets_and_adds(self):
+        registry = MetricsRegistry()
+        registry.set_gauge(M.FREE_SLOTS, 3)
+        assert registry.value(M.FREE_SLOTS) == 3
+        registry.gauge(M.FREE_SLOTS).add(-1)
+        assert registry.value(M.FREE_SLOTS) == 2
+
+    def test_histogram_buckets_and_stats(self):
+        registry = MetricsRegistry()
+        for value in (0.001, 0.002, 0.5):
+            registry.observe(M.CHECKPOINT_SECONDS, value)
+        hist = registry.histogram(M.CHECKPOINT_SECONDS)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(0.503)
+        assert hist.mean == pytest.approx(0.503 / 3)
+
+    def test_labels_create_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.inc(M.DEVICE_OPS, device="ssd", op="write")
+        registry.inc(M.DEVICE_OPS, device="ssd", op="persist")
+        registry.inc(M.DEVICE_OPS, device="ssd", op="write")
+        assert registry.value(M.DEVICE_OPS, device="ssd", op="write") == 2
+        assert registry.value(M.DEVICE_OPS, device="ssd", op="persist") == 1
+        series = registry.snapshot()[M.DEVICE_OPS]["series"]
+        assert len(series) == 2
+
+    def test_value_default_for_missing_series(self):
+        registry = MetricsRegistry()
+        assert registry.value("pccheck_never_touched", default=-1.0) == -1.0
+
+    def test_timer_observes_elapsed(self):
+        registry = MetricsRegistry()
+        with registry.timer(M.STAGE_SECONDS, stage="commit"):
+            pass
+        hist = registry.histogram(M.STAGE_SECONDS, stage="commit")
+        assert hist.count == 1
+        assert hist.sum >= 0.0
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.inc("pccheck_thing_total")
+        with pytest.raises(Exception):
+            registry.set_gauge("pccheck_thing_total", 1.0)
+
+
+class TestExposition:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.inc(M.COMMITS, 4)
+        registry.set_gauge(M.FREE_SLOTS, 2)
+        registry.observe(M.CHECKPOINT_SECONDS, 0.25)
+        registry.inc(M.DEVICE_OPS, device="pm-0", op="write")
+        return registry
+
+    def test_snapshot_shape(self):
+        snap = self._populated().snapshot()
+        assert snap[M.COMMITS]["type"] == "counter"
+        assert snap[M.COMMITS]["series"][0]["value"] == 4
+        assert snap[M.FREE_SLOTS]["type"] == "gauge"
+        hist_series = snap[M.CHECKPOINT_SECONDS]["series"][0]
+        assert hist_series["count"] == 1
+        assert hist_series["sum"] == pytest.approx(0.25)
+
+    def test_snapshot_is_a_copy(self):
+        registry = self._populated()
+        snap = registry.snapshot()
+        registry.inc(M.COMMITS)
+        assert snap[M.COMMITS]["series"][0]["value"] == 4
+
+    def test_prometheus_text(self):
+        text = self._populated().to_prometheus()
+        assert "# TYPE pccheck_commits_total counter" in text
+        assert "pccheck_commits_total 4" in text
+        assert 'pccheck_device_ops_total{device="pm-0",op="write"} 1' in text
+        # Histograms expose cumulative buckets plus sum/count.
+        assert 'pccheck_checkpoint_seconds_bucket{le="+Inf"} 1' in text
+        assert "pccheck_checkpoint_seconds_count 1" in text
+
+    def test_json_round_trips(self):
+        doc = json.loads(self._populated().to_json())
+        assert doc[M.COMMITS]["series"][0]["value"] == 4
+
+
+class TestThreadSafety:
+    def test_concurrent_writers_lose_no_increments(self):
+        registry = MetricsRegistry()
+        threads, per_thread = 8, 2000
+        barrier = threading.Barrier(threads)
+
+        def writer(index):
+            barrier.wait()
+            for i in range(per_thread):
+                registry.inc(M.COMMITS)
+                registry.inc(M.DEVICE_OPS, device=f"d{index % 2}", op="write")
+                registry.observe(M.CHECKPOINT_SECONDS, i * 1e-6)
+                registry.set_gauge(M.FREE_SLOTS, index)
+
+        workers = [
+            threading.Thread(target=writer, args=(index,))
+            for index in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        total = threads * per_thread
+        assert registry.value(M.COMMITS) == total
+        assert (
+            registry.value(M.DEVICE_OPS, device="d0", op="write")
+            + registry.value(M.DEVICE_OPS, device="d1", op="write")
+        ) == total
+        hist = registry.histogram(M.CHECKPOINT_SECONDS)
+        assert hist.count == total
+        assert registry.value(M.FREE_SLOTS) in range(threads)
+
+    def test_concurrent_snapshot_while_writing(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                registry.inc(M.COMMITS)
+                registry.observe(M.CHECKPOINT_SECONDS, 0.001)
+
+        worker = threading.Thread(target=writer)
+        worker.start()
+        try:
+            for _ in range(50):
+                snap = registry.snapshot()
+                registry.to_prometheus()
+                if M.COMMITS in snap:
+                    assert snap[M.COMMITS]["series"][0]["value"] >= 0
+        finally:
+            stop.set()
+            worker.join()

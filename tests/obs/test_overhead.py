@@ -1,0 +1,39 @@
+"""Telemetry overhead guard + bench report structure.
+
+The paper-grade 3 % bar is enforced by ``make bench-obs`` over more
+repeats; this test uses a looser bound so CI timing noise can't flake
+it while still catching a real regression (e.g. tracing growing a lock
+on the persist hot path).
+"""
+
+from repro.obs.bench import OVERHEAD_TARGET, render_text, run_benchmark
+
+#: CI-safe bound: an order of magnitude above the real target, far
+#: below what an accidental O(n) regression would produce.
+GUARD_FRACTION = 0.30
+
+
+class TestBenchObs:
+    def test_report_structure_and_overhead_guard(self):
+        report = run_benchmark(
+            repeats=3, checkpoints=8, concurrent=4,
+            payload_bytes=64 * 1024, persist_bandwidth=96e6, seed=11,
+        )
+        assert report["overhead"]["target"] == OVERHEAD_TARGET
+        assert isinstance(report["overhead"]["meets_target"], bool)
+        assert report["overhead"]["fraction"] < GUARD_FRACTION
+
+        on = report["telemetry_on"]
+        assert on["committed"] > 0
+        assert on["bytes_persisted"] > 0
+        assert on["trace_events"] > 0
+        assert set(on["stall_seconds"]) == {
+            "slot_wait", "buffer_wait", "update_stall",
+        }
+        assert on["checkpoints_per_sec"] > 0
+        assert len(on["elapsed_seconds"]) == 3
+        assert report["telemetry_off"]["checkpoints_per_sec"] > 0
+
+        text = render_text(report)
+        assert "overhead" in text
+        assert ("PASS" in text) or ("FAIL" in text)

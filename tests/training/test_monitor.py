@@ -170,3 +170,39 @@ class TestQueriesAndSerialization:
         CheckpointEngine(layout, writer_threads=2).checkpoint(payload, step=5)
         restored = TrainingMonitor.from_bytes(recover(layout).payload)
         assert restored.records[0].step == 5
+
+
+class TestRegistryMirror:
+    """The §telemetry adapter: health records mirrored into a registry."""
+
+    def test_capture_updates_counters_and_gauges(self):
+        from repro.obs import M, MetricsRegistry
+
+        registry = MetricsRegistry()
+        monitor = TrainingMonitor()
+        assert monitor.bind_metrics(registry) is monitor
+        monitor.capture(model_with_grads(), step=1, loss=0.5)
+        monitor.capture(model_with_grads(), step=2, loss=0.4)
+        assert registry.value(M.MONITOR_RECORDS) == 2
+        assert registry.value(M.TRAIN_LOSS) == pytest.approx(0.4)
+        assert registry.value(M.TRAIN_GRAD_NORM) > 0
+
+    def test_anomalies_counted_by_kind(self):
+        from repro.obs import M, MetricsRegistry
+
+        registry = MetricsRegistry()
+        monitor = TrainingMonitor(grad_norm_threshold=1e-6)
+        monitor.bind_metrics(registry)
+        monitor.capture(model_with_grads(grad_scale=10.0), step=1, loss=0.5)
+        assert registry.value(
+            M.TRAIN_ANOMALIES, kind="exploding-gradient"
+        ) == 1
+        # The gauges skip non-finite losses instead of poisoning them.
+        monitor.capture(model_with_grads(), step=2, loss=float("nan"))
+        assert registry.value(M.TRAIN_LOSS) == pytest.approx(0.5)
+        assert registry.value(M.TRAIN_ANOMALIES, kind="non-finite") == 1
+
+    def test_unbound_monitor_touches_no_registry(self):
+        monitor = TrainingMonitor()
+        monitor.capture(model_with_grads(), step=1, loss=0.1)
+        assert monitor._metrics is None
