@@ -1,6 +1,6 @@
 # Convenience targets for the PCcheck reproduction.
 
-.PHONY: install test test-sanitize lint crashsweep bench bench-obs figures examples clean
+.PHONY: install test test-sanitize lint crashsweep bench bench-obs bench-persist figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -15,7 +15,7 @@ test:
 test-sanitize:
 	PYTHONPATH=src REPRO_SANITIZE=1 python -m pytest -x -q tests/
 
-# Concurrency-invariant static analysis (rules PC001-PC007); must stay
+# Concurrency-invariant static analysis (rules PC001-PC008); must stay
 # clean — CI fails on any finding.
 lint:
 	PYTHONPATH=src python -m repro.cli lint src
@@ -36,6 +36,14 @@ bench:
 # Exits non-zero if telemetry costs >= 3%.
 bench-obs:
 	PYTHONPATH=src python -m repro.obs.bench --out BENCH_pipeline.json
+
+# Persist-path benchmark: pooled zero-copy writers vs. the legacy
+# spawn-per-persist copying path for p=1/2/4 on simulated SSD and PMEM,
+# plus the pipeline's copies-per-checkpoint budget. Writes
+# BENCH_persist.json; exits non-zero if pooled < 1.25x legacy at p=4 on
+# SSD or the hot path copies more than 1x the payload per checkpoint.
+bench-persist:
+	PYTHONPATH=src python -m repro.obs.persist_bench --out BENCH_persist.json
 
 bench-full:
 	pytest benchmarks/

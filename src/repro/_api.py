@@ -78,14 +78,19 @@ class Checkpointer:
     ) -> CheckpointHandle:
         """Start a concurrent checkpoint of ``state``.
 
-        ``state`` may be raw bytes (wrapped in a
-        :class:`~repro.core.snapshot.BytesSource`) or any
+        ``state`` may be any buffer-protocol object (wrapped zero-copy in
+        a :class:`~repro.core.snapshot.BytesSource` — the caller must keep
+        the memory stable until the handle's capture finished, i.e. until
+        :meth:`wait_for_snapshots` returns) or any
         :class:`~repro.core.snapshot.SnapshotSource`.  Returns a handle;
         ``handle.wait()`` blocks for that one checkpoint, :meth:`wait`
         blocks for all of them.
         """
-        if isinstance(state, (bytes, bytearray, memoryview)):
-            state = BytesSource(bytes(state))
+        # SnapshotSource is a non-runtime-checkable Protocol, so detect it
+        # structurally; anything else (bytes, numpy arrays, ...) must speak
+        # the buffer protocol and gets wrapped zero-copy.
+        if not (hasattr(state, "snapshot_size") and hasattr(state, "capture_chunk")):
+            state = BytesSource(state)
         return self.orchestrator.checkpoint_async(state, step=step)
 
     def checkpoint(

@@ -6,7 +6,7 @@ lock is held, lock-protected state never mutated outside its lock,
 every ``begin()`` ticket resolved by ``commit()``/``abort()``, commit
 records fenced before they can be trusted, engine errors never
 swallowed, and no magic-number backoffs.  ``pccheck-lint`` encodes each
-of those as an AST rule (PC001–PC007) so a future PR that silently
+of those as an AST rule (PC001–PC008) so a future PR that silently
 regresses lock or fence discipline fails CI instead of failing a
 recovery two weeks later.
 

@@ -7,6 +7,7 @@ from repro.analysis.static.rules.pc004 import UnfencedCommitRecord
 from repro.analysis.static.rules.pc005 import SwallowedEngineError
 from repro.analysis.static.rules.pc006 import MagicNumberBackoff
 from repro.analysis.static.rules.pc007 import HandRolledTelemetry
+from repro.analysis.static.rules.pc008 import PayloadCopyOnHotPath
 
 __all__ = [
     "BlockingCallUnderLock",
@@ -16,4 +17,5 @@ __all__ = [
     "SwallowedEngineError",
     "MagicNumberBackoff",
     "HandRolledTelemetry",
+    "PayloadCopyOnHotPath",
 ]

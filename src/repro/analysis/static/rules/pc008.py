@@ -1,0 +1,93 @@
+"""PC008: payload copies on the zero-copy persist hot path.
+
+The persist pipeline threads buffer-protocol objects end to end: the
+staging copy into the pinned DRAM buffer is the *one* intentional copy
+per checkpoint, and everything between it and the device moves
+memoryview slices.  Two patterns silently reintroduce copies:
+
+* ``bytes(payload)`` — re-materializes the whole payload (the old
+  ``BytesSource(bytes(state))`` double-copy);
+* ``payload[lo:hi]`` on a ``bytes``/``bytearray``-typed local — slicing
+  copies the range, which on the writer's share split meant one extra
+  full-payload copy per persist.
+
+The rule flags both for payload-carrying names in the hot-path modules
+of ``repro/core/`` (engine, writer, orchestrator, chunking).  Views are
+exempt: slicing a ``memoryview`` is O(1), so names like ``view`` stay
+clean — normalize with :func:`repro.storage.device.as_view` first and
+slice the view.  Intentional sites (e.g. a cold recovery read) carry a
+``# pclint: disable=PC008`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable
+
+from repro.analysis.static.diagnostics import Diagnostic
+from repro.analysis.static.rulebase import FileContext, Rule, register
+
+#: Local/attribute names that carry checkpoint payload bytes.
+PAYLOAD_NAMES = frozenset({"payload", "chunk", "data", "snapshot"})
+
+#: Hot-path modules where a stray copy costs a payload's worth of DRAM
+#: bandwidth per checkpoint.
+HOT_MODULES = frozenset(
+    {"engine.py", "writer.py", "orchestrator.py", "chunking.py"}
+)
+
+
+def _on_hot_path(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return (
+        "repro/core/" in normalized
+        and os.path.basename(normalized) in HOT_MODULES
+    )
+
+
+def _payload_name(node: ast.expr) -> str:
+    """The payload-ish name an expression refers to, or ``""``."""
+    if isinstance(node, ast.Name) and node.id in PAYLOAD_NAMES:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in PAYLOAD_NAMES:
+        return node.attr
+    return ""
+
+
+@register
+class PayloadCopyOnHotPath(Rule):
+    rule_id = "PC008"
+    title = "payload copy on the zero-copy persist path"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if not _on_hot_path(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("bytes", "bytearray")
+                and len(node.args) == 1
+            ):
+                name = _payload_name(node.args[0])
+                if name:
+                    yield self.report(
+                        ctx,
+                        node,
+                        f"{node.func.id}({name}) materializes a full "
+                        f"payload copy on the persist hot path: pass the "
+                        f"buffer through as_view() and slice the view",
+                    )
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.slice, ast.Slice
+            ):
+                name = _payload_name(node.value)
+                if name:
+                    yield self.report(
+                        ctx,
+                        node,
+                        f"slicing {name}[...] copies the range when the "
+                        f"payload is bytes/bytearray: slice a memoryview "
+                        f"(as_view({name})[lo:hi]) instead",
+                    )

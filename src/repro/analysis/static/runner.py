@@ -104,7 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pccheck-lint",
         description="Concurrency-invariant linter for the PCcheck repo "
-        "(rules PC001-PC007).",
+        "(rules PC001-PC008).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories"

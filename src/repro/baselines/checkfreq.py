@@ -23,7 +23,8 @@ from typing import Optional
 from repro.baselines.base import CheckpointStrategy
 from repro.core.engine import CheckpointEngine
 from repro.core.layout import DeviceLayout
-from repro.storage.device import PersistentDevice
+from repro.errors import OutOfSpaceError
+from repro.storage.device import Buffer, PersistentDevice, as_view
 
 
 class CheckFreqStrategy(CheckpointStrategy):
@@ -42,7 +43,10 @@ class CheckFreqStrategy(CheckpointStrategy):
         )
         self._engine = CheckpointEngine(self._layout, writer_threads=writer_threads)
         self._latest_step: Optional[int] = None
-        self._snapshot: Optional[bytearray] = None
+        # One pinned staging area reused for every snapshot: the strategy
+        # allows a single in-flight checkpoint, and checkpoint() joins the
+        # previous persist before re-filling it, so reuse is race-free.
+        self._staging = bytearray(payload_capacity)
         self._pending: Optional[threading.Thread] = None
         self._error: Optional[BaseException] = None
         self._lock = threading.Lock()
@@ -52,13 +56,23 @@ class CheckFreqStrategy(CheckpointStrategy):
         """The on-device region (for recovery in tests and examples)."""
         return self._layout
 
-    def checkpoint(self, payload: bytes, step: int) -> None:
+    def checkpoint(self, payload: Buffer, step: int) -> None:
         start = time.monotonic()
         self.stats.checkpoints_started += 1
         # The defining stall: wait for the previous persist to finish.
         self._wait_pending()
-        # Snapshot phase: copy into DRAM; training may resume after this.
-        snapshot = bytearray(payload)
+        # Snapshot phase: copy into the reused DRAM staging buffer — the
+        # one copy of the path; training may resume after this.  The
+        # persist worker gets a view of the staged prefix, not a fresh
+        # bytes object.
+        view = as_view(payload)
+        if len(view) > len(self._staging):
+            raise OutOfSpaceError(
+                f"payload of {len(view)} bytes exceeds staging capacity "
+                f"{len(self._staging)}"
+            )
+        self._staging[: len(view)] = view
+        snapshot = memoryview(self._staging)[: len(view)]
         worker = threading.Thread(
             target=self._persist, args=(snapshot, step), daemon=True,
             name="checkfreq-persist",
@@ -67,9 +81,9 @@ class CheckFreqStrategy(CheckpointStrategy):
         worker.start()
         self.stats.add_checkpoint_block(time.monotonic() - start)
 
-    def _persist(self, snapshot: bytearray, step: int) -> None:
+    def _persist(self, snapshot: memoryview, step: int) -> None:
         try:
-            result = self._engine.checkpoint(bytes(snapshot), step=step)
+            result = self._engine.checkpoint(snapshot, step=step)
             with self._lock:
                 if result.committed:
                     self._latest_step = step

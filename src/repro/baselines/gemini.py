@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple
 
 from repro.baselines.base import CheckpointStrategy
 from repro.errors import NoCheckpointError, StorageError
+from repro.storage.device import Buffer, as_view
 
 
 class NetworkChannel:
@@ -41,10 +42,15 @@ class NetworkChannel:
         self._chunk_size = chunk_size
         self.bytes_sent = 0
 
-    def send(self, payload: bytes, deliver) -> None:
-        """Stream ``payload`` chunk by chunk into ``deliver(offset, data)``."""
-        for offset in range(0, len(payload), self._chunk_size):
-            chunk = payload[offset : offset + self._chunk_size]
+    def send(self, payload: Buffer, deliver) -> None:
+        """Stream ``payload`` chunk by chunk into ``deliver(offset, data)``.
+
+        Chunks are memoryview slices of the payload — a NIC scatter-gathers
+        from the source buffer; it does not re-materialize each chunk.
+        """
+        view = as_view(payload)
+        for offset in range(0, len(view), self._chunk_size):
+            chunk = view[offset : offset + self._chunk_size]
             if self._bandwidth:
                 time.sleep(len(chunk) / self._bandwidth)
             deliver(offset, chunk)
@@ -71,7 +77,7 @@ class RemoteMemoryStore:
             self._steps[target] = step
             return target
 
-    def receive(self, buffer_index: int, offset: int, chunk: bytes) -> None:
+    def receive(self, buffer_index: int, offset: int, chunk: Buffer) -> None:
         """Land one network chunk into the staging buffer."""
         buffer = self._buffers[buffer_index]
         if offset + len(chunk) > len(buffer):
@@ -119,6 +125,10 @@ class GeminiStrategy(CheckpointStrategy):
         super().__init__()
         self._store = store
         self._channel = channel or NetworkChannel()
+        # Reused snapshot staging, grown on demand: one transfer is in
+        # flight at a time and checkpoint() joins the previous one before
+        # re-filling, so reuse is race-free.
+        self._staging = bytearray()
         self._pending: Optional[threading.Thread] = None
         self._error: Optional[BaseException] = None
         self._latest_step: Optional[int] = None
@@ -129,11 +139,17 @@ class GeminiStrategy(CheckpointStrategy):
         """The remote memory this strategy checkpoints into."""
         return self._store
 
-    def checkpoint(self, payload: bytes, step: int) -> None:
+    def checkpoint(self, payload: Buffer, step: int) -> None:
         start = time.monotonic()
         self.stats.checkpoints_started += 1
         self._wait_pending()  # one checkpoint at a time (like CheckFreq)
-        snapshot = bytes(payload)
+        # Snapshot into the reused staging buffer (the one copy), then
+        # stream a view of it — no per-checkpoint bytes materialization.
+        view = as_view(payload)
+        if len(view) > len(self._staging):
+            self._staging = bytearray(len(view))
+        self._staging[: len(view)] = view
+        snapshot = memoryview(self._staging)[: len(view)]
         worker = threading.Thread(
             target=self._transfer, args=(snapshot, step), daemon=True,
             name="gemini-transfer",
@@ -142,7 +158,7 @@ class GeminiStrategy(CheckpointStrategy):
         worker.start()
         self.stats.add_checkpoint_block(time.monotonic() - start)
 
-    def _transfer(self, payload: bytes, step: int) -> None:
+    def _transfer(self, payload: memoryview, step: int) -> None:
         try:
             buffer_index = self._store.begin(step)
             self._channel.send(

@@ -84,7 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_parser.add_argument("path", help="checkpoint region file")
     lint_parser = sub.add_parser(
         "lint",
-        help="run the concurrency-invariant linter (rules PC001-PC007)",
+        help="run the concurrency-invariant linter (rules PC001-PC008)",
     )
     lint_parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories"

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.storage.device import Buffer, as_view
 
 
 @dataclass(frozen=True)
@@ -55,3 +56,23 @@ def plan_chunks(total: int, chunk_size: Optional[int]) -> ChunkPlan:
     if chunk_size is None:
         return ChunkPlan(total=total, chunk_size=max(total, 1))
     return ChunkPlan(total=total, chunk_size=chunk_size)
+
+
+def iter_chunk_views(
+    plan: ChunkPlan, payload: Buffer
+) -> Iterator[Tuple[int, memoryview]]:
+    """Yield ``(offset, view)`` per chunk of ``payload`` — zero copies.
+
+    Each view is an O(1) memoryview slice of the payload, suitable for
+    feeding straight into ``ticket.write_chunk`` or
+    :func:`repro.core.writer.persist_scattered` without ever
+    materializing a per-chunk ``bytes`` object.
+    """
+    view = as_view(payload)
+    if len(view) != plan.total:
+        raise ConfigError(
+            f"payload of {len(view)} bytes does not match plan total "
+            f"{plan.total}"
+        )
+    for offset, length in plan:
+        yield offset, view[offset : offset + length]

@@ -65,6 +65,7 @@ from repro.errors import (
     SlotWaitTimeout,
 )
 from repro.obs.metrics import M, MetricsRegistry
+from repro.storage.device import Buffer, as_view
 from repro.obs.trace import (
     NULL_TRACER,
     STATUS_ABORTED,
@@ -162,18 +163,21 @@ class CheckpointTicket:
         """Payload bytes persisted so far."""
         return self._written
 
-    def write_chunk(self, chunk: bytes) -> None:
+    def write_chunk(self, chunk: Buffer) -> None:
         """Persist the next consecutive piece of the payload.
 
         Chunks may be scattered in DRAM but land at consecutive offsets in
         the slot (§3.1: "all the checkpoint's chunks are ordered and
-        written to consecutive addresses on persistent storage").
+        written to consecutive addresses on persistent storage").  Any
+        C-contiguous buffer is accepted and never re-materialized as
+        ``bytes`` — the writer threads slice a memoryview of it.
         """
         if self._done:
             raise EngineError("ticket already committed or aborted")
-        self._engine._persist_chunk(self, chunk)
-        self._crc = zlib.crc32(chunk, self._crc)
-        self._written += len(chunk)
+        view = as_view(chunk)
+        self._engine._persist_chunk(self, view)
+        self._crc = zlib.crc32(view, self._crc)
+        self._written += len(view)
 
     def commit(self) -> CheckpointResult:
         """Finish the checkpoint: persist the header, run the CAS protocol."""
@@ -312,7 +316,7 @@ class CheckpointEngine:
             return meta
         return self._check_addr.load()
 
-    def checkpoint(self, payload: bytes, step: int = 0) -> CheckpointResult:
+    def checkpoint(self, payload: Buffer, step: int = 0) -> CheckpointResult:
         """One-shot checkpoint of ``payload`` (Listing 1 end to end)."""
         self._metrics.inc(M.CHECKPOINTS_REQUESTED)
         started = time.monotonic()
@@ -382,8 +386,14 @@ class CheckpointEngine:
         return CheckpointTicket(self, counter, slot, step=step)
 
     def close(self) -> None:
-        """Refuse further checkpoints (in-flight tickets may still finish)."""
+        """Refuse further checkpoints (in-flight tickets may still finish).
+
+        The pooled writer threads are shut down; a ticket still persisting
+        after this point falls back to inline writes with identical fence
+        semantics, so late ``write_chunk``/``commit`` calls keep working.
+        """
         self._closed = True
+        self._writer.close()
 
     def __enter__(self) -> "CheckpointEngine":
         return self
@@ -398,7 +408,7 @@ class CheckpointEngine:
         if self._closed:
             raise EngineClosedError("checkpoint engine is closed")
 
-    def _persist_chunk(self, ticket: CheckpointTicket, chunk: bytes) -> None:
+    def _persist_chunk(self, ticket: CheckpointTicket, chunk: memoryview) -> None:
         capacity = self._layout.payload_capacity
         if ticket.bytes_written + len(chunk) > capacity:
             raise OutOfSpaceError(

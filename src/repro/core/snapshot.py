@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Protocol
 
+from repro.storage.device import Buffer, as_view
 from repro.storage.dram import PinnedBuffer
 from repro.storage.gpu import GPUBuffer, SimulatedGPU
 
@@ -39,14 +40,21 @@ class SnapshotSource(Protocol):
 
 
 class BytesSource:
-    """Snapshot source over host memory (a ``bytes``/``bytearray`` view)."""
+    """Snapshot source over host memory — any buffer-protocol object.
 
-    def __init__(self, data: bytes) -> None:
-        self._data = data
+    The payload is held as a flat :class:`memoryview`, so chunk captures
+    slice it without materializing intermediate ``bytes`` — the staging
+    copy into the pinned buffer is the only copy on this path.  The caller
+    owns the underlying memory and must keep it stable while a capture is
+    in flight (the same consistency contract every source carries).
+    """
 
-    def replace(self, data: bytes) -> None:
+    def __init__(self, data: Buffer) -> None:
+        self._data = as_view(data)
+
+    def replace(self, data: Buffer) -> None:
         """Swap in a new state version (between updates)."""
-        self._data = data
+        self._data = as_view(data)
 
     def snapshot_size(self) -> int:
         return len(self._data)

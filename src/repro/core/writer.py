@@ -1,4 +1,4 @@
-"""Parallel persist: p writer threads per checkpoint.
+"""Parallel persist: a persistent pool of ``p`` writer threads.
 
 PCcheck shortens the persist phase by splitting each checkpoint (or chunk)
 across multiple writer threads (§3.3, §5.4.2: 3 threads give up to 1.36×
@@ -14,18 +14,40 @@ explicit about it (§4.1):
   (``fence_mode="single"``).
 
 :func:`default_fence_mode` picks the right discipline for a device.
+
+Two properties keep this path at device speed:
+
+* **Zero-copy shares.**  Payloads are normalized to a ``memoryview`` once
+  (:func:`repro.storage.device.as_view`) and each writer receives an O(1)
+  slice of that view — the old per-share ``payload[lo:hi]`` ``bytes``
+  copies are gone.
+* **A pinned worker pool.**  The ``p`` writer threads are spawned once (on
+  the first multi-share persist) and live for the writer's lifetime,
+  taking work over a condition variable instead of paying a
+  ``threading.Thread`` spawn/join per persist call.  Concurrent
+  ``persist`` calls (one per in-flight checkpoint pipeline) interleave
+  their shares on the same pool; each call tracks its own completion.
+
 Writer threads propagate exceptions (including injected crashes) to the
-caller, so a power-loss mid-persist kills the checkpoint exactly as it
-would in the real system.
+calling ``persist``, so a power-loss mid-persist kills the checkpoint
+exactly as it would in the real system — a worker survives the exception
+and stays available for later work (the device, not the pool, is what
+died).
+
+:meth:`ParallelWriter.persist_many` persists a batch of scattered pieces
+with ONE fence per batch in ``single`` mode (the orchestrator's
+consecutive-chunk layout makes the covering range tight), instead of the
+fence-per-piece amplification the naive loop pays.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import List, Literal, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, List, Literal, Optional, Sequence, Tuple
 
 from repro.errors import EngineError
-from repro.storage.device import PersistentDevice
+from repro.storage.device import Buffer, PersistentDevice, as_view
 from repro.storage.pmem import SimulatedPMEM
 
 FenceMode = Literal["per-thread", "single"]
@@ -59,8 +81,56 @@ def split_range(length: int, parts: int) -> List[Tuple[int, int]]:
     return shares
 
 
+class _PersistBatch:
+    """Completion tracker for one ``persist``/``persist_many`` call.
+
+    Shares from many concurrent batches interleave on the pool; each
+    batch counts down its own outstanding shares and collects the errors
+    its shares raised, so failure propagation stays per-call exactly as
+    it was with per-call thread spawning.
+    """
+
+    __slots__ = ("_lock", "_pending", "done", "errors")
+
+    def __init__(self, pending: int) -> None:
+        self._lock = threading.Lock()
+        self._pending = pending
+        self.done = threading.Event()
+        self.errors: List[BaseException] = []
+
+    def share_finished(self, error: Optional[BaseException]) -> None:
+        with self._lock:
+            if error is not None:
+                self.errors.append(error)
+            self._pending -= 1
+            if self._pending == 0:
+                self.done.set()
+
+
+class _ShareTask:
+    """One writer share: a zero-copy slice of a payload view."""
+
+    __slots__ = ("offset", "view", "lo", "hi", "fence", "batch")
+
+    def __init__(
+        self,
+        offset: int,
+        view: memoryview,
+        lo: int,
+        hi: int,
+        fence: bool,
+        batch: _PersistBatch,
+    ) -> None:
+        self.offset = offset
+        self.view = view
+        self.lo = lo
+        self.hi = hi
+        self.fence = fence
+        self.batch = batch
+
+
 class ParallelWriter:
-    """Persist contiguous payloads with ``p`` concurrent writer threads."""
+    """Persist payloads through a pinned pool of ``p`` writer threads."""
 
     def __init__(
         self,
@@ -73,12 +143,18 @@ class ParallelWriter:
         self._device = device
         self._num_threads = num_threads
         self._fence_mode: FenceMode = fence_mode or default_fence_mode(device)
-        self._lock = threading.Lock()
+        self._work = threading.Condition(threading.Lock())
+        self._queue: Deque[_ShareTask] = deque()
+        self._workers: List[threading.Thread] = []
+        self._closed = False
         self.bytes_persisted = 0
+        #: Total worker threads ever created — stays <= ``num_threads``
+        #: for the writer's whole life (the pool is reused, not respawned).
+        self.threads_started = 0
 
     @property
     def num_threads(self) -> int:
-        """Writer threads per persist call (the parameter ``p``)."""
+        """Writer threads servicing persist calls (the parameter ``p``)."""
         return self._num_threads
 
     @property
@@ -86,76 +162,196 @@ class ParallelWriter:
         """Active fence discipline."""
         return self._fence_mode
 
-    def persist(self, offset: int, payload: bytes) -> None:
+    @property
+    def pool_size(self) -> int:
+        """Live pooled workers (0 until the first multi-share persist)."""
+        with self._work:
+            return len(self._workers)
+
+    @property
+    def closed(self) -> bool:
+        """True after :meth:`close`; persists then run inline."""
+        with self._work:
+            return self._closed
+
+    # ------------------------------------------------------------------
+    # persist API
+
+    def persist(self, offset: int, payload: Buffer) -> None:
         """Durably write ``payload`` at ``offset``.
 
         Splits the payload across the writer threads; on return every byte
         is persisted (each thread fenced its range, or the caller's single
         barrier covered all of them).  Any thread failure is re-raised.
+        ``payload`` may be any C-contiguous buffer — shares are memoryview
+        slices, never copies.
         """
-        shares = split_range(len(payload), self._num_threads)
+        view = as_view(payload)
+        length = len(view)
+        shares = split_range(length, self._num_threads)
         if not shares:
             return
+        per_thread = self._fence_mode == "per-thread"
         if len(shares) == 1:
-            # Single share: no thread spawn overhead, same semantics.
-            self._write_share(offset, payload, shares[0])
-            if self._fence_mode == "single":
-                self._device.persist(offset, len(payload))
-            self._count(len(payload))
+            # Single share: no hand-off overhead, same semantics.
+            self._write_share(offset, view, shares[0], fence=per_thread)
+        else:
+            self._run_shares(
+                [(offset, view, lo, hi) for lo, hi in shares], fence=per_thread
+            )
+        if self._fence_mode == "single":
+            self._device.persist(offset, length)
+        self._count(length)
+
+    def persist_many(self, pieces: Sequence[Tuple[int, Buffer]]) -> None:
+        """Persist several ``(offset, payload)`` pieces as one batch.
+
+        All pieces' shares go to the pool together; in ``single`` fence
+        mode the batch is covered by ONE fence spanning the pieces (they
+        land at consecutive device offsets in the orchestrator's layout,
+        §3.1), instead of one fence per piece.  ``per-thread`` mode is
+        unchanged: every share fences its own range, as PMEM requires.
+        """
+        views = [(piece_offset, as_view(data)) for piece_offset, data in pieces]
+        views = [(piece_offset, v) for piece_offset, v in views if len(v)]
+        if not views:
             return
-        errors: List[BaseException] = []
-        threads = [
-            threading.Thread(
-                target=self._run_share,
-                args=(offset, payload, share, errors),
-                name=f"pccheck-writer-{index}",
+        per_thread = self._fence_mode == "per-thread"
+        shares = [
+            (piece_offset, view, lo, hi)
+            for piece_offset, view in views
+            for lo, hi in split_range(len(view), self._num_threads)
+        ]
+        if len(shares) == 1:
+            piece_offset, view, lo, hi = shares[0]
+            self._write_share(piece_offset, view, (lo, hi), fence=per_thread)
+        else:
+            self._run_shares(shares, fence=per_thread)
+        total = sum(len(v) for _, v in views)
+        if self._fence_mode == "single":
+            span_lo = min(piece_offset for piece_offset, _ in views)
+            span_hi = max(
+                piece_offset + len(view) for piece_offset, view in views
+            )
+            self._device.persist(span_lo, span_hi - span_lo)
+        self._count(total)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent).
+
+        Workers drain any queued shares, then exit and are joined.
+        Persist calls arriving afterwards still work — they execute
+        inline in the caller's thread with identical fence semantics —
+        so in-flight checkpoint tickets can finish after the engine
+        closed, exactly as before the pool existed.
+        """
+        with self._work:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers)
+            self._work.notify_all()
+        for worker in workers:
+            worker.join()
+        with self._work:
+            self._workers.clear()
+
+    def __enter__(self) -> "ParallelWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # pool internals
+
+    def _run_shares(
+        self,
+        shares: Sequence[Tuple[int, memoryview, int, int]],
+        fence: bool,
+    ) -> None:
+        """Execute shares on the pool (or inline after close) and re-raise
+        the first failure once every share settled."""
+        batch = _PersistBatch(len(shares))
+        with self._work:
+            if self._closed:
+                pooled = False
+            else:
+                pooled = True
+                self._ensure_workers()
+                for piece_offset, view, lo, hi in shares:
+                    self._queue.append(
+                        _ShareTask(piece_offset, view, lo, hi, fence, batch)
+                    )
+                self._work.notify_all()
+        if not pooled:
+            # Pool is gone (engine closed): same semantics, caller's thread.
+            for piece_offset, view, lo, hi in shares:
+                self._write_share(piece_offset, view, (lo, hi), fence=fence)
+            return
+        batch.done.wait()
+        if batch.errors:
+            raise batch.errors[0]
+
+    def _ensure_workers(self) -> None:
+        # Caller holds self._work.  Spawned once, reused forever after.
+        while len(self._workers) < self._num_threads:
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"pccheck-writer-{len(self._workers)}",
                 daemon=True,
             )
-            for index, share in enumerate(shares)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        if errors:
-            raise errors[0]
-        if self._fence_mode == "single":
-            self._device.persist(offset, len(payload))
-        self._count(len(payload))
+            self._workers.append(worker)
+            self.threads_started += 1
+            worker.start()
 
-    def _run_share(
-        self,
-        offset: int,
-        payload: bytes,
-        share: Tuple[int, int],
-        errors: List[BaseException],
-    ) -> None:
-        try:
-            self._write_share(offset, payload, share)
-        except BaseException as exc:  # noqa: BLE001 - propagate crash injection
-            errors.append(exc)
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work:
+                while not self._queue and not self._closed:
+                    self._work.wait()
+                if self._queue:
+                    task = self._queue.popleft()
+                else:  # closed and drained
+                    return
+            error: Optional[BaseException] = None
+            try:
+                self._write_share(
+                    task.offset, task.view, (task.lo, task.hi),
+                    fence=task.fence,
+                )
+            except BaseException as exc:  # noqa: BLE001 - propagate crash injection
+                error = exc
+            task.batch.share_finished(error)
 
     def _write_share(
-        self, offset: int, payload: bytes, share: Tuple[int, int]
+        self,
+        offset: int,
+        view: memoryview,
+        share: Tuple[int, int],
+        fence: bool,
     ) -> None:
         lo, hi = share
-        self._device.write(offset + lo, payload[lo:hi])
-        if self._fence_mode == "per-thread":
+        self._device.write(offset + lo, view[lo:hi])
+        if fence:
             self._device.persist(offset + lo, hi - lo)
 
     def _count(self, nbytes: int) -> None:
-        with self._lock:
+        with self._work:
             self.bytes_persisted += nbytes
 
 
 def persist_scattered(
-    writer: ParallelWriter, pieces: Sequence[Tuple[int, bytes]]
+    writer: ParallelWriter, pieces: Sequence[Tuple[int, Buffer]]
 ) -> None:
     """Persist several (offset, payload) pieces through one writer.
 
     The orchestrator ensures chunks scattered across DRAM land at
     consecutive device offsets (§3.1); this helper persists such a chunk
-    list in order.
+    list as one batch — in ``single`` fence mode that means one fence for
+    the whole batch rather than one per piece.
     """
-    for offset, payload in pieces:
-        writer.persist(offset, payload)
+    writer.persist_many(pieces)

@@ -119,9 +119,9 @@ def run_demo_workload(
         for step in range(1, checkpoints + 1):
             payload = base.copy()
             payload[: min(8, payload_bytes)] = step % 256
-            orchestrator.checkpoint_async(
-                BytesSource(payload.tobytes()), step=step
-            )
+            # BytesSource takes the array's buffer directly; the held
+            # memoryview keeps the array alive until capture finishes.
+            orchestrator.checkpoint_async(BytesSource(payload), step=step)
         orchestrator.drain()
     finally:
         orchestrator.close()

@@ -49,6 +49,7 @@ class M:
     DANGLING = "pccheck_dangling_total"
     CAS_RETRIES = "pccheck_commit_cas_retries_total"
     BYTES_PERSISTED = "pccheck_bytes_persisted_total"
+    BYTES_COPIED = "pccheck_bytes_copied_total"
     FREE_SLOTS = "pccheck_free_slots"
     # -- the three stall classes (Figure 6 / §3.2) ---------------------
     UPDATE_STALL_SECONDS = "pccheck_update_stall_seconds_total"

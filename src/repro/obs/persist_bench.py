@@ -1,0 +1,324 @@
+"""Persist-path benchmark behind ``make bench-persist``.
+
+Compares the zero-copy pooled persist path against a faithful
+reproduction of the legacy path (fresh ``threading.Thread`` per persist
+call, a ``bytes(payload)`` materialization up front, and per-share
+``payload[lo:hi]`` slice copies — exactly what the writer did before the
+pool) for 1/2/4 writer threads on the simulated SSD and PMEM devices.
+Neither device throttles bandwidth here, so the measurement isolates the
+Python-side cost the optimization removed: copies and thread churn.
+
+Also runs the full checkpoint pipeline once and reads the
+``pccheck_bytes_copied_total`` counter to assert the engine hot path
+performs exactly one staging copy per checkpoint (copies-per-checkpoint
+<= 1x the payload), and counts fences for a scattered chunk batch to
+show the ``persist_scattered`` coalescing (one fence per batch in
+``single`` mode instead of one per piece).
+
+Two gates fail the run (non-zero exit):
+
+* pooled throughput must be >= 1.25x legacy at p=4 on the SSD model;
+* pipeline copies-per-checkpoint must be <= 1x the payload size.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs.persist_bench --out BENCH_persist.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.chunking import iter_chunk_views, plan_chunks
+from repro.core.writer import ParallelWriter, default_fence_mode, split_range
+from repro.obs.driver import run_demo_workload
+from repro.obs.metrics import M
+from repro.storage.pmem import SimulatedPMEM
+from repro.storage.ssd import InMemorySSD
+
+#: Required pooled-over-legacy throughput ratio at p=4 on the SSD model.
+SPEEDUP_TARGET = 1.25
+#: Hot-path copy budget: staged bytes per checkpoint, as a multiple of
+#: the payload size.  The pinned-buffer staging copy is the one allowed.
+COPY_BUDGET = 1.0
+
+_THREAD_COUNTS = (1, 2, 4)
+
+
+class _LegacyWriter:
+    """The pre-pool persist path, kept verbatim as the baseline.
+
+    Spawns fresh writer threads on every call, materializes the payload
+    as ``bytes`` up front (the old ``BytesSource(bytes(state))`` cast),
+    and hands each thread a ``payload[lo:hi]`` slice — a copy of its
+    share.  ``persist_scattered`` loops ``persist`` per piece, paying one
+    fence per piece in ``single`` mode.
+    """
+
+    def __init__(self, device, num_threads, fence_mode=None):
+        self._device = device
+        self._num_threads = num_threads
+        self._fence_mode = fence_mode or default_fence_mode(device)
+        self._lock = threading.Lock()
+        self.bytes_persisted = 0
+
+    def persist(self, offset, payload):
+        payload = bytes(payload)
+        shares = split_range(len(payload), self._num_threads)
+        if not shares:
+            return
+        if len(shares) == 1:
+            self._write_share(offset, payload, shares[0], [])
+        else:
+            errors: List[BaseException] = []
+            threads = [
+                threading.Thread(
+                    target=self._write_share,
+                    args=(offset, payload, share, errors),
+                    daemon=True,
+                )
+                for share in shares
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if errors:
+                raise errors[0]
+        if self._fence_mode == "single":
+            self._device.persist(offset, len(payload))
+        with self._lock:
+            self.bytes_persisted += len(payload)
+
+    def persist_scattered(self, pieces):
+        for offset, payload in pieces:
+            self.persist(offset, payload)
+
+    def _write_share(self, offset, payload, share, errors):
+        try:
+            lo, hi = share
+            self._device.write(offset + lo, payload[lo:hi])
+            if self._fence_mode == "per-thread":
+                self._device.persist(offset + lo, hi - lo)
+        except BaseException as exc:  # noqa: BLE001 - collected for caller
+            errors.append(exc)
+
+    def close(self):
+        pass
+
+
+def _make_device(kind: str, capacity: int):
+    if kind == "pmem":
+        return SimulatedPMEM(capacity)
+    return InMemorySSD(capacity)
+
+
+def _time_path(
+    make_writer: Callable[[], object],
+    payload: memoryview,
+    persists: int,
+    rounds: int,
+) -> float:
+    """Best-of-N seconds to persist ``payload`` ``persists`` times."""
+    best = float("inf")
+    for _ in range(rounds):
+        writer = make_writer()
+        start = time.perf_counter()
+        for _ in range(persists):
+            writer.persist(0, payload)
+        elapsed = time.perf_counter() - start
+        writer.close()
+        best = min(best, elapsed)
+    return best
+
+
+def _fence_counts(
+    device_kind: str,
+    payload: memoryview,
+    chunk_size: int,
+) -> dict:
+    """Fences a scattered chunk batch costs on each path."""
+    plan = plan_chunks(len(payload), chunk_size)
+    pieces: Sequence[Tuple[int, memoryview]] = list(
+        iter_chunk_views(plan, payload)
+    )
+    counts = {}
+    for label, factory in (
+        ("legacy", _LegacyWriter),
+        ("pooled", ParallelWriter),
+    ):
+        device = _make_device(device_kind, len(payload))
+        writer = factory(device, num_threads=2)
+        before = device.stats.persist_ops
+        if label == "legacy":
+            writer.persist_scattered(pieces)
+        else:
+            writer.persist_many(pieces)
+        counts[label] = device.stats.persist_ops - before
+        writer.close()
+        device.close()
+    counts["pieces"] = len(pieces)
+    return counts
+
+
+def _copies_per_checkpoint(
+    checkpoints: int, payload_bytes: int, seed: int
+) -> dict:
+    """Run the real pipeline and read the staging-copy counter."""
+    run = run_demo_workload(
+        checkpoints=checkpoints,
+        concurrent=2,
+        payload_bytes=payload_bytes,
+        persist_bandwidth=None,
+        observability="full",
+        seed=seed,
+    )
+    copied = int(run.metrics.value(M.BYTES_COPIED))
+    ratio = copied / float(checkpoints * payload_bytes)
+    return {
+        "checkpoints": checkpoints,
+        "payload_bytes": payload_bytes,
+        "bytes_copied": copied,
+        "copies_per_checkpoint": ratio,
+        "budget": COPY_BUDGET,
+        "meets_budget": ratio <= COPY_BUDGET,
+    }
+
+
+def run_benchmark(
+    *,
+    payload_mib: int = 4,
+    persists: int = 6,
+    rounds: int = 3,
+    checkpoints: int = 8,
+    seed: int = 7,
+) -> dict:
+    payload_bytes = payload_mib << 20
+    # A deterministic payload; the content never matters, only its size.
+    payload = memoryview(bytes(payload_bytes))
+
+    matrix = []
+    for device_kind in ("ssd", "pmem"):
+        for p in _THREAD_COUNTS:
+            device = _make_device(device_kind, payload_bytes)
+            legacy_s = _time_path(
+                lambda: _LegacyWriter(device, num_threads=p),
+                payload, persists, rounds,
+            )
+            pooled_s = _time_path(
+                lambda: ParallelWriter(device, num_threads=p),
+                payload, persists, rounds,
+            )
+            device.close()
+            total_gb = persists * payload_bytes / 1e9
+            matrix.append({
+                "device": device_kind,
+                "threads": p,
+                "legacy_seconds": legacy_s,
+                "pooled_seconds": pooled_s,
+                "legacy_gb_per_sec": total_gb / legacy_s,
+                "pooled_gb_per_sec": total_gb / pooled_s,
+                "speedup": legacy_s / pooled_s,
+            })
+
+    gate_row = next(
+        row for row in matrix if row["device"] == "ssd" and row["threads"] == 4
+    )
+    copies = _copies_per_checkpoint(checkpoints, payload_bytes, seed)
+    fences = _fence_counts("ssd", payload, chunk_size=payload_bytes // 8)
+
+    return {
+        "benchmark": "pccheck-persist-path",
+        "workload": {
+            "payload_bytes": payload_bytes,
+            "persists_per_round": persists,
+            "rounds": rounds,
+            "seed": seed,
+        },
+        "matrix": matrix,
+        "scattered_fences": fences,
+        "copies": copies,
+        "speedup": {
+            "device": "ssd",
+            "threads": 4,
+            "value": gate_row["speedup"],
+            "target": SPEEDUP_TARGET,
+            "meets_target": gate_row["speedup"] >= SPEEDUP_TARGET,
+        },
+    }
+
+
+def render_text(report: dict) -> str:
+    lines = [
+        "persist-path benchmark "
+        f"({report['workload']['payload_bytes'] >> 20} MiB payload, "
+        f"{report['workload']['persists_per_round']} persists x "
+        f"{report['workload']['rounds']} rounds, best-of-N)",
+    ]
+    for row in report["matrix"]:
+        lines.append(
+            f"  {row['device']:>4} p={row['threads']}: "
+            f"legacy {row['legacy_gb_per_sec']:6.2f} GB/s  "
+            f"pooled {row['pooled_gb_per_sec']:6.2f} GB/s  "
+            f"({row['speedup']:.2f}x)"
+        )
+    fences = report["scattered_fences"]
+    lines.append(
+        f"  scattered fences ({fences['pieces']} pieces, ssd): "
+        f"legacy {fences['legacy']} -> pooled {fences['pooled']}"
+    )
+    copies = report["copies"]
+    lines.append(
+        f"  pipeline copies/checkpoint: "
+        f"{copies['copies_per_checkpoint']:.3f}x payload "
+        f"(budget <= {copies['budget']:.0f}x) -> "
+        + ("PASS" if copies["meets_budget"] else "FAIL")
+    )
+    speedup = report["speedup"]
+    lines.append(
+        f"  speedup gate (ssd, p=4): {speedup['value']:.2f}x "
+        f"(target >= {speedup['target']:.2f}x) -> "
+        + ("PASS" if speedup["meets_target"] else "FAIL")
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.persist_bench",
+        description="Measure persist-path throughput and copy budget.",
+    )
+    parser.add_argument("--out", default="BENCH_persist.json",
+                        help="JSON report path")
+    parser.add_argument("--payload-mib", type=int, default=4)
+    parser.add_argument("--persists", type=int, default=6)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--checkpoints", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(
+        payload_mib=args.payload_mib,
+        persists=args.persists,
+        rounds=args.rounds,
+        checkpoints=args.checkpoints,
+        seed=args.seed,
+    )
+    print(render_text(report))
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    passed = (
+        report["speedup"]["meets_target"] and report["copies"]["meets_budget"]
+    )
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import DeviceClosedError, OutOfSpaceError, StorageError
 from repro.obs.metrics import M, MetricsRegistry
@@ -31,6 +31,40 @@ from repro.obs.metrics import M, MetricsRegistry
 #: Size of a simulated CPU cache line; crash injection applies or drops
 #: volatile data at this granularity, matching PMEM failure atomicity.
 CACHE_LINE: int = 64
+
+#: Anything the persist path accepts as payload: ``write`` takes any
+#: C-contiguous buffer-protocol object and never copies it.
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+def as_view(data: Buffer) -> memoryview:
+    """A flat ``uint8`` :class:`memoryview` over ``data`` — zero copies.
+
+    The persist hot path hands payloads around as views so chunk splits
+    and writer shares are O(1) slices instead of ``bytes`` copies.  Any
+    C-contiguous buffer-protocol object is accepted (``bytes``,
+    ``bytearray``, ``memoryview``, numpy arrays); non-contiguous views
+    are rejected — silently linearizing one would reintroduce the very
+    copy this path exists to avoid.
+    """
+    if isinstance(data, memoryview):
+        view = data
+    else:
+        try:
+            view = memoryview(data)
+        except TypeError as exc:
+            raise StorageError(
+                f"payload of type {type(data).__name__} does not support "
+                "the buffer protocol"
+            ) from exc
+    if not view.c_contiguous:
+        raise StorageError(
+            "non-contiguous buffer rejected on the zero-copy persist path; "
+            "pass a contiguous view (e.g. numpy.ascontiguousarray)"
+        )
+    if view.ndim != 1 or view.format != "B":
+        view = view.cast("B")
+    return view
 
 
 class IntervalSet:
@@ -193,9 +227,14 @@ class PersistentDevice(ABC):
             )
 
     @abstractmethod
-    def write(self, offset: int, data: bytes) -> None:
+    def write(self, offset: int, data: Buffer) -> None:
         """Store ``data`` at ``offset``; visible immediately, durable only
-        after :meth:`persist` covers the range."""
+        after :meth:`persist` covers the range.
+
+        ``data`` may be any C-contiguous buffer-protocol object (see
+        :func:`as_view`); implementations slice it with ``memoryview``
+        internally and never take a ``bytes`` copy.
+        """
 
     @abstractmethod
     def read(self, offset: int, length: int) -> bytes:

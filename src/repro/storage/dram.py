@@ -23,6 +23,7 @@ import time
 from typing import List, Optional
 
 from repro.errors import EngineError
+from repro.storage.device import Buffer, as_view
 
 
 class PinnedBuffer:
@@ -30,6 +31,9 @@ class PinnedBuffer:
 
     Holds a ``bytearray`` plus the number of valid bytes currently staged
     in it (a checkpoint's final chunk is usually shorter than ``size``).
+    Staging (:meth:`fill`/:meth:`append`) is the *one* intentional copy of
+    the checkpoint path — the snapshot that decouples training from the
+    persist phase; everything downstream moves :meth:`view` slices.
     """
 
     def __init__(self, index: int, size: int) -> None:
@@ -38,18 +42,44 @@ class PinnedBuffer:
         self.data = bytearray(size)
         self.used = 0
 
-    def fill(self, payload: bytes) -> None:
-        """Stage ``payload`` into the buffer (must fit)."""
-        if len(payload) > self.size:
-            raise EngineError(
-                f"payload of {len(payload)} bytes exceeds chunk size {self.size}"
-            )
-        self.data[: len(payload)] = payload
-        self.used = len(payload)
+    def fill(self, payload: Buffer) -> None:
+        """Stage ``payload`` into the buffer (must fit).
 
-    def view(self) -> bytes:
-        """The staged bytes."""
-        return bytes(self.data[: self.used])
+        Accepts any C-contiguous buffer-protocol object; the staging copy
+        itself is unavoidable (it is the snapshot), but the source is
+        never re-materialized as ``bytes`` on the way in.
+        """
+        view = as_view(payload)
+        if len(view) > self.size:
+            raise EngineError(
+                f"payload of {len(view)} bytes exceeds chunk size {self.size}"
+            )
+        self.data[: len(view)] = view
+        self.used = len(view)
+
+    def append(self, payload: Buffer) -> None:
+        """Stage ``payload`` directly after the bytes already staged.
+
+        Gather-style snapshot sources (several tensors landing in one
+        chunk) build the chunk with successive appends instead of
+        materializing an intermediate concatenation.
+        """
+        view = as_view(payload)
+        if self.used + len(view) > self.size:
+            raise EngineError(
+                f"appending {len(view)} bytes at {self.used} exceeds "
+                f"chunk size {self.size}"
+            )
+        self.data[self.used : self.used + len(view)] = view
+        self.used += len(view)
+
+    def view(self) -> memoryview:
+        """A zero-copy view of the staged bytes.
+
+        The view is only valid while the buffer is held — callers must
+        finish with it before releasing the buffer back to the pool.
+        """
+        return memoryview(self.data)[: self.used]
 
 
 class DRAMBufferPool:

@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.errors import CrashedDeviceError, EngineError, TransientIOError
 from repro.obs.metrics import M, MetricsRegistry
-from repro.storage.device import PersistentDevice
+from repro.storage.device import Buffer, PersistentDevice, as_view
 from repro.storage.pmem import SimulatedPMEM
 from repro.storage.ssd import InMemorySSD
 
@@ -187,7 +187,7 @@ class CrashPointDevice(PersistentDevice):
             return self._ops
 
     def _spend(self, kind: str, offset: int, length: int,
-               data: Optional[bytes] = None) -> None:
+               data: Optional[memoryview] = None) -> None:
         with self._lock:
             op = DeviceOp(index=self._ops, kind=kind, offset=offset,
                           length=length)
@@ -215,9 +215,12 @@ class CrashPointDevice(PersistentDevice):
             if self.op_log is not None:
                 self.op_log.append(op)
 
-    def write(self, offset: int, data: bytes) -> None:
-        self._spend("write", offset, len(data), data)
-        self._inner.write(offset, data)
+    def write(self, offset: int, data: Buffer) -> None:
+        # Normalize once so the torn-write prefix is a zero-copy slice
+        # and the inner device's own as_view call is a no-op.
+        view = as_view(data)
+        self._spend("write", offset, len(view), view)
+        self._inner.write(offset, view)
 
     def read(self, offset: int, length: int) -> bytes:
         return self._inner.read(offset, length)
@@ -296,8 +299,8 @@ class TransientFaultDevice(PersistentDevice):
                 )
             self._seen += 1
 
-    def write(self, offset: int, data: bytes) -> None:
-        self._gate("write", offset, len(data))
+    def write(self, offset: int, data: Buffer) -> None:
+        self._gate("write", offset, len(as_view(data)))
         self._inner.write(offset, data)
 
     def read(self, offset: int, length: int) -> bytes:

@@ -45,9 +45,11 @@ import numpy as np
 
 from repro.errors import CrashedDeviceError, StorageError
 from repro.storage.device import (
+    Buffer,
     DeviceStats,
     IntervalSet,
     PersistentDevice,
+    as_view,
     split_cache_lines,
 )
 
@@ -106,7 +108,7 @@ class SimulatedPMEM(PersistentDevice):
     # ------------------------------------------------------------------
     # store paths
 
-    def write(self, offset: int, data: bytes) -> None:
+    def write(self, offset: int, data: Buffer) -> None:
         """Default store path: nt-store when enabled, else cached store.
 
         PCcheck writes checkpoint payloads exactly once without reading
@@ -118,30 +120,34 @@ class SimulatedPMEM(PersistentDevice):
         else:
             self.cached_store(offset, data)
 
-    def cached_store(self, offset: int, data: bytes) -> None:
+    def cached_store(self, offset: int, data: Buffer) -> None:
         """A regular (write-back cached) store; durable only after
         ``clwb`` + fence covers it."""
         self._check_alive()
-        self._check_range(offset, len(data))
+        view = as_view(data)
+        length = len(view)
+        self._check_range(offset, length)
         start = self._obs_start()
         with self._lock:
-            self._visible[offset : offset + len(data)] = data
-            self._dirty.add(offset, offset + len(data))
-            self.stats.bytes_written += len(data)
+            self._visible[offset : offset + length] = view
+            self._dirty.add(offset, offset + length)
+            self.stats.bytes_written += length
             self.stats.write_ops += 1
-        self._obs_op("write", len(data), start)
+        self._obs_op("write", length, start)
 
-    def nt_store(self, offset: int, data: bytes) -> None:
+    def nt_store(self, offset: int, data: Buffer) -> None:
         """A non-temporal store: bypasses the cache, durable after ``sfence``."""
         self._check_alive()
-        self._check_range(offset, len(data))
+        view = as_view(data)
+        length = len(view)
+        self._check_range(offset, length)
         start = self._obs_start()
         with self._lock:
-            self._visible[offset : offset + len(data)] = data
-            self._pending_nt.add(offset, offset + len(data))
-            self.stats.bytes_written += len(data)
+            self._visible[offset : offset + length] = view
+            self._pending_nt.add(offset, offset + length)
+            self.stats.bytes_written += length
             self.stats.write_ops += 1
-        self._obs_op("write", len(data), start)
+        self._obs_op("write", length, start)
 
     def read(self, offset: int, length: int) -> bytes:
         """Load from the cache view (sees unpersisted stores)."""

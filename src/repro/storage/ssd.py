@@ -30,9 +30,11 @@ import numpy as np
 
 from repro.errors import CrashedDeviceError, StorageError
 from repro.storage.device import (
+    Buffer,
     DeviceStats,
     IntervalSet,
     PersistentDevice,
+    as_view,
     split_cache_lines,
 )
 
@@ -73,17 +75,20 @@ class FileBackedSSD(PersistentDevice):
         """Filesystem path backing the device."""
         return self._path
 
-    def write(self, offset: int, data: bytes) -> None:
+    def write(self, offset: int, data: Buffer) -> None:
         self._check_open()
-        self._check_range(offset, len(data))
+        view = as_view(data)
+        length = len(view)
+        self._check_range(offset, length)
         start = self._obs_start()
         written = 0
-        while written < len(data):
-            written += os.pwrite(self._fd, data[written:], offset + written)
+        while written < length:
+            # Slicing the view for a short-write retry is zero-copy.
+            written += os.pwrite(self._fd, view[written:], offset + written)
         with self._lock:
-            self.stats.bytes_written += len(data)
+            self.stats.bytes_written += length
             self.stats.write_ops += 1
-        self._obs_op("write", len(data), start)
+        self._obs_op("write", length, start)
 
     def read(self, offset: int, length: int) -> bytes:
         self._check_open()
@@ -166,16 +171,18 @@ class InMemorySSD(PersistentDevice):
         with self._lock:
             return self._dirty.total_bytes()
 
-    def write(self, offset: int, data: bytes) -> None:
+    def write(self, offset: int, data: Buffer) -> None:
         self._check_alive()
-        self._check_range(offset, len(data))
+        view = as_view(data)
+        length = len(view)
+        self._check_range(offset, length)
         start = self._obs_start()
         with self._lock:
-            self._visible[offset : offset + len(data)] = data
-            self._dirty.add(offset, offset + len(data))
-            self.stats.bytes_written += len(data)
+            self._visible[offset : offset + length] = view
+            self._dirty.add(offset, offset + length)
+            self.stats.bytes_written += length
             self.stats.write_ops += 1
-        self._obs_op("write", len(data), start)
+        self._obs_op("write", length, start)
 
     def read(self, offset: int, length: int) -> bytes:
         self._check_alive()

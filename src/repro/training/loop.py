@@ -33,6 +33,7 @@ from repro.training.module import Module
 from repro.training.optim import Optimizer
 from repro.training.state import (
     TrainingState,
+    TrainingStateSource,
     capture_state,
     restore_state,
     serialize_state,
@@ -126,6 +127,15 @@ class Trainer:
     def serialized_state(self) -> bytes:
         """The bytes a checkpoint of the current state persists."""
         return serialize_state(self.capture())
+
+    def state_source(self) -> TrainingStateSource:
+        """A zero-copy snapshot source over the current state.
+
+        Hands the engine per-tensor views instead of one concatenated
+        ``bytes`` payload; valid until the next weight update (honor the
+        ``wait_for_snapshots`` contract before stepping the optimizer).
+        """
+        return TrainingStateSource(self.capture())
 
     def resume_from(self, state: TrainingState) -> None:
         """Restore model + optimizer (+ schedule) and continue from

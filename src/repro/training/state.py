@@ -16,12 +16,14 @@ from __future__ import annotations
 
 import json
 import struct
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import CorruptCheckpointError, TrainingError
+from repro.storage.dram import PinnedBuffer
 from repro.training.module import Module
 from repro.training.optim import Optimizer
 
@@ -95,31 +97,96 @@ def restore_state(
         scheduler.load_state_dict(state.scheduler_tensors())
 
 
-def serialize_state(state: TrainingState) -> bytes:
-    """Encode a :class:`TrainingState` into the flat binary format."""
+def _encode_layout(
+    state: TrainingState,
+) -> Tuple[bytes, List[memoryview]]:
+    """The serialized stream's pieces, without concatenating them.
+
+    Returns the ``magic · length · header`` prefix as one ``bytes`` object
+    plus a flat ``uint8`` view per tensor (in canonical key order) — each
+    view aliases the tensor's own memory, so building the layout copies
+    nothing but the header.
+    """
     entries = []
-    payload_parts = []
+    views: List[memoryview] = []
     offset = 0
     for key in sorted(state.tensors):
         tensor = np.ascontiguousarray(state.tensors[key])
-        raw = tensor.tobytes()
         entries.append(
             {
                 "key": key,
                 "dtype": tensor.dtype.str,
                 "shape": list(tensor.shape),
                 "offset": offset,
-                "nbytes": len(raw),
+                "nbytes": tensor.nbytes,
             }
         )
-        payload_parts.append(raw)
-        offset += len(raw)
+        views.append(memoryview(tensor.reshape(-1).view(np.uint8)))
+        offset += tensor.nbytes
     header = json.dumps(
         {"step": state.step, "tensors": entries}, sort_keys=True
     ).encode("utf-8")
-    return b"".join(
-        [_MAGIC, _LEN_STRUCT.pack(len(header)), header, *payload_parts]
-    )
+    prefix = b"".join([_MAGIC, _LEN_STRUCT.pack(len(header)), header])
+    return prefix, views
+
+
+def serialize_state(state: TrainingState) -> bytes:
+    """Encode a :class:`TrainingState` into the flat binary format.
+
+    The single copy here is the final ``join`` into the result — tensors
+    are gathered through ``uint8`` views, never through per-tensor
+    ``tobytes()`` intermediates.  Callers feeding an engine directly
+    should prefer :class:`TrainingStateSource`, which skips even the join.
+    """
+    prefix, views = _encode_layout(state)
+    return b"".join([prefix, *views])
+
+
+class TrainingStateSource:
+    """A :class:`~repro.core.snapshot.SnapshotSource` over a
+    :class:`TrainingState` — the zero-copy path from tensors to engine.
+
+    The PCSTATE1 stream is described as a list of segments (the header
+    prefix plus one ``uint8`` view per tensor); ``capture_chunk`` gathers
+    the requested byte range segment by segment straight into the pinned
+    staging buffer.  The tensors themselves are never concatenated, so the
+    staging copy is the only copy between the training state and storage.
+
+    The source aliases the state's tensor memory: the trainer must not
+    update weights while a capture is in flight — the same
+    ``wait_for_snapshots`` contract every snapshot source carries.
+    """
+
+    def __init__(self, state: TrainingState) -> None:
+        prefix, views = _encode_layout(state)
+        self._segments: List[memoryview] = [memoryview(prefix), *views]
+        self._starts: List[int] = []
+        position = 0
+        for segment in self._segments:
+            self._starts.append(position)
+            position += len(segment)
+        self._size = position
+
+    def snapshot_size(self) -> int:
+        return self._size
+
+    def capture_chunk(self, offset: int, length: int, dest: PinnedBuffer) -> None:
+        end = offset + length
+        if offset < 0 or end > self._size:
+            raise TrainingError(
+                f"capture range [{offset}, {end}) outside serialized state "
+                f"of {self._size} bytes"
+            )
+        dest.used = 0
+        index = max(0, bisect_right(self._starts, offset) - 1)
+        while index < len(self._segments) and self._starts[index] < end:
+            start = self._starts[index]
+            segment = self._segments[index]
+            lo = max(offset, start) - start
+            hi = min(end, start + len(segment)) - start
+            if hi > lo:
+                dest.append(segment[lo:hi])
+            index += 1
 
 
 def deserialize_state(raw: bytes) -> TrainingState:

@@ -1,4 +1,4 @@
-"""Per-rule tests for pccheck-lint (PC001-PC007) and suppressions."""
+"""Per-rule tests for pccheck-lint (PC001-PC008) and suppressions."""
 
 import textwrap
 
@@ -520,6 +520,99 @@ class TestPC007HandRolledTelemetry:
                 self.elapsed_seconds += time.time()
             """,
             path="src/repro/sim/runner_fixture.py",
+        )
+        assert diags == []
+
+
+class TestPC008PayloadCopy:
+    WRITER_PATH = "src/repro/core/writer.py"
+
+    def lint_hot(self, code, path=WRITER_PATH):
+        return lint_source(textwrap.dedent(code), path=path,
+                           select={"PC008"})
+
+    def test_bytes_cast_of_payload_flagged(self):
+        diags = self.lint_hot(
+            """
+            def persist(self, offset, payload):
+                self._device.write(offset, bytes(payload))
+            """
+        )
+        assert rule_ids(diags) == ["PC008"]
+        assert "bytes(payload)" in diags[0].message
+
+    def test_bytearray_cast_of_snapshot_flagged(self):
+        diags = self.lint_hot(
+            """
+            def stage(self, snapshot):
+                return bytearray(snapshot)
+            """
+        )
+        assert rule_ids(diags) == ["PC008"]
+
+    def test_payload_slice_flagged(self):
+        diags = self.lint_hot(
+            """
+            def share(self, payload, lo, hi):
+                self._device.write(lo, payload[lo:hi])
+            """
+        )
+        assert rule_ids(diags) == ["PC008"]
+        assert "memoryview" in diags[0].message
+
+    def test_attribute_chunk_slice_flagged(self):
+        diags = self.lint_hot(
+            """
+            def capture(self, offset, length):
+                return self._data.chunk[offset : offset + length]
+            """
+        )
+        assert rule_ids(diags) == ["PC008"]
+
+    def test_view_slicing_clean(self):
+        diags = self.lint_hot(
+            """
+            def share(self, view, lo, hi):
+                self._device.write(lo, view[lo:hi])
+            """
+        )
+        assert diags == []
+
+    def test_index_subscript_clean(self):
+        diags = self.lint_hot(
+            """
+            def first(self, payload):
+                return payload[0]
+            """
+        )
+        assert diags == []
+
+    def test_outside_hot_modules_clean(self):
+        diags = self.lint_hot(
+            """
+            def recover(self, payload):
+                return bytes(payload)
+            """,
+            path="src/repro/core/recovery.py",
+        )
+        assert diags == []
+
+    def test_outside_core_clean(self):
+        diags = self.lint_hot(
+            """
+            def send(self, payload):
+                return bytes(payload)
+            """,
+            path="src/repro/baselines/writer.py",
+        )
+        assert diags == []
+
+    def test_suppression_honored(self):
+        diags = self.lint_hot(
+            """
+            def durable_copy(self, payload):
+                return bytes(payload)  # pclint: disable=PC008
+            """
         )
         assert diags == []
 

@@ -68,7 +68,9 @@ class TestAllStrategies:
 class TestBlockingSemantics:
     """The defining timing behaviour of each baseline."""
 
-    BANDWIDTH = 2e6  # ~2 ms per 4 KiB persist
+    # ~41 ms per 4 KiB persist: long enough that scheduler jitter (a few
+    # ms on a loaded CI box) cannot masquerade as a stall or hide one.
+    BANDWIDTH = 1e5
     SLOW_PAYLOAD = b"p" * PAYLOAD
 
     def test_naive_blocks_for_full_persist(self):

@@ -92,6 +92,22 @@ class TestCheckpointerSurface:
             assert h1.done() and h2.done()
             assert ckpt.latest() is not None
 
+    def test_checkpoint_accepts_numpy_state(self, tmp_path):
+        # Any buffer-protocol object, not just bytes/bytearray/memoryview,
+        # must be wrapped zero-copy on the way into the orchestrator.
+        import numpy as np
+
+        from repro.core.recovery import recover
+
+        with open_checkpointer(str(tmp_path / "n.pc"),
+                               capacity_bytes=4096) as ckpt:
+            state = np.arange(512, dtype=np.float32)
+            assert ckpt.checkpoint(state, step=4).committed
+            recovered = recover(ckpt.layout)
+            assert np.array_equal(
+                np.frombuffer(recovered.payload, dtype=np.float32), state
+            )
+
     def test_metrics_formats(self, tmp_path):
         with open_checkpointer(str(tmp_path / "h.pc"),
                                capacity_bytes=4096) as ckpt:

@@ -62,6 +62,32 @@ class TestSingleCheckpoint:
         with pytest.raises(EngineClosedError):
             engine.checkpoint(b"x")
 
+    def test_close_shuts_down_writer_pool(self):
+        engine = make_engine(writer_threads=3)
+        engine.checkpoint(b"warm the pool" * 300, step=1)
+        engine.close()
+        assert engine._writer.closed
+        assert engine._writer.pool_size == 0
+
+    def test_inflight_ticket_finishes_after_close(self):
+        engine = make_engine()
+        ticket = engine.begin(step=5)
+        ticket.write_chunk(b"first half ")
+        engine.close()
+        # The pool is gone, but the ticket's remaining writes run inline
+        # with the same fence discipline and the commit still lands.
+        ticket.write_chunk(b"second half")
+        result = ticket.commit()
+        assert result.committed
+        assert recover(engine.layout).payload == b"first half second half"
+
+    def test_checkpoint_accepts_buffer_payloads(self):
+        engine = make_engine()
+        payload = bytearray(b"buffered state")
+        result = engine.checkpoint(memoryview(payload), step=2)
+        assert result.committed
+        assert recover(engine.layout).payload == b"buffered state"
+
     def test_empty_payload_checkpoint(self):
         engine = make_engine()
         result = engine.checkpoint(b"", step=3)

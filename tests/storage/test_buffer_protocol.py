@@ -1,0 +1,95 @@
+"""Buffer-protocol acceptance across every device ``write()``.
+
+The zero-copy persist path hands devices whatever buffer the caller
+owns — bytes, bytearrays, memoryview slices, numpy arrays — so each
+device must accept any C-contiguous buffer and reject non-contiguous
+views (slicing them zero-copy is impossible) with a clear error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.device import as_view
+from repro.storage.faults import CrashPointDevice
+from repro.storage.pmem import SimulatedPMEM
+from repro.storage.ssd import FileBackedSSD, InMemorySSD
+
+CAPACITY = 4096
+PAYLOAD = bytes(range(256)) * 4
+
+
+@pytest.fixture(params=["file-ssd", "mem-ssd", "pmem", "crashpoint"])
+def device(request, tmp_path):
+    dev = {
+        "file-ssd": lambda: FileBackedSSD(str(tmp_path / "buf.dat"), CAPACITY),
+        "mem-ssd": lambda: InMemorySSD(CAPACITY),
+        "pmem": lambda: SimulatedPMEM(CAPACITY),
+        "crashpoint": lambda: CrashPointDevice(InMemorySSD(CAPACITY)),
+    }[request.param]()
+    yield dev
+    dev.close()
+
+
+@pytest.mark.parametrize(
+    "wrap",
+    [
+        bytes,
+        bytearray,
+        memoryview,
+        lambda raw: memoryview(raw)[100:612],
+        lambda raw: np.frombuffer(raw, dtype=np.uint8),
+        lambda raw: np.frombuffer(raw, dtype=np.float64),
+    ],
+    ids=["bytes", "bytearray", "memoryview", "view-slice", "np-uint8",
+         "np-float64"],
+)
+def test_write_accepts_any_contiguous_buffer(device, wrap):
+    payload = wrap(PAYLOAD)
+    view = as_view(payload)
+    device.write(0, payload)
+    device.persist(0, len(view))
+    assert device.read(0, len(view)) == bytes(view)
+
+
+def test_write_rejects_non_contiguous_view(device):
+    strided = memoryview(PAYLOAD)[::2]
+    with pytest.raises(StorageError, match="non-contiguous"):
+        device.write(0, strided)
+
+
+def test_write_rejects_non_buffer_payload(device):
+    with pytest.raises(StorageError, match="buffer protocol"):
+        device.write(0, "not bytes")
+
+
+class TestAsView:
+    def test_returns_flat_uint8_view(self):
+        view = as_view(bytearray(b"abcd"))
+        assert view.format == "B"
+        assert view.ndim == 1
+        assert bytes(view) == b"abcd"
+
+    def test_memoryview_passthrough_is_zero_copy(self):
+        raw = bytearray(b"abcdef")
+        view = as_view(memoryview(raw))
+        raw[0] = ord("z")
+        assert bytes(view[:1]) == b"z"
+
+    def test_multidim_contiguous_array_flattened(self):
+        arr = np.arange(12, dtype=np.int32).reshape(3, 4)
+        view = as_view(arr)
+        assert len(view) == arr.nbytes
+        assert bytes(view) == arr.tobytes()
+
+    def test_non_contiguous_array_rejected(self):
+        arr = np.arange(16, dtype=np.uint8).reshape(4, 4).T
+        with pytest.raises(StorageError, match="non-contiguous"):
+            as_view(arr)
+
+    def test_slicing_result_is_zero_copy(self):
+        raw = bytearray(1 << 20)
+        view = as_view(raw)
+        half = view[: 1 << 19]
+        raw[0] = 7
+        assert half[0] == 7

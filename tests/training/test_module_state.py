@@ -208,3 +208,83 @@ class TestParameter:
         seq = Sequential([Linear(2, 2, RNG), ReLU()])
         assert len(seq) == 2
         assert isinstance(seq[1], ReLU)
+
+
+class TestTrainingStateSource:
+    def _state(self):
+        return TrainingState(step=7, tensors={
+            "model/w": RNG.standard_normal((13, 5)),
+            "model/b": RNG.standard_normal(5).astype(np.float32),
+            "optim/m": RNG.standard_normal((13, 5)),
+        })
+
+    def test_size_matches_serialized_bytes(self):
+        from repro.training.state import TrainingStateSource
+
+        state = self._state()
+        source = TrainingStateSource(state)
+        assert source.snapshot_size() == len(serialize_state(state))
+
+    @pytest.mark.parametrize("chunk_size", [17, 64, 1000, 1 << 20])
+    def test_gather_matches_serialize_byte_for_byte(self, chunk_size):
+        from repro.core.chunking import plan_chunks
+        from repro.storage.dram import PinnedBuffer
+        from repro.training.state import TrainingStateSource
+
+        state = self._state()
+        blob = serialize_state(state)
+        source = TrainingStateSource(state)
+        gathered = bytearray()
+        for offset, length in plan_chunks(len(blob), chunk_size):
+            buffer = PinnedBuffer(0, max(chunk_size, 1))
+            source.capture_chunk(offset, length, buffer)
+            gathered += buffer.view()
+        assert bytes(gathered) == blob
+        assert states_equal(deserialize_state(bytes(gathered)), state)
+
+    def test_out_of_range_capture_rejected(self):
+        from repro.storage.dram import PinnedBuffer
+        from repro.training.state import TrainingStateSource
+
+        source = TrainingStateSource(self._state())
+        with pytest.raises(TrainingError):
+            source.capture_chunk(source.snapshot_size() - 4, 8,
+                                 PinnedBuffer(0, 64))
+
+    def test_source_aliases_tensor_memory(self):
+        from repro.storage.dram import PinnedBuffer
+        from repro.training.state import TrainingStateSource
+
+        state = self._state()
+        source = TrainingStateSource(state)
+        blob = serialize_state(state)
+        # Mutate a tensor after building the source: the captured bytes
+        # must reflect the new value (views alias, they do not copy).
+        state.tensors["model/w"][0, 0] = 123.0
+        buffer = PinnedBuffer(0, source.snapshot_size())
+        source.capture_chunk(0, source.snapshot_size(), buffer)
+        assert bytes(buffer.view()) != blob
+        assert states_equal(
+            deserialize_state(bytes(buffer.view())), state
+        )
+
+    def test_loop_state_source_roundtrip(self):
+        from repro.storage.dram import PinnedBuffer
+        from repro.training.loop import Trainer
+
+        model = MLP([4, 8, 2], RNG)
+        optimizer = Adam(model)
+        data = _RandomBatches()
+        loop = Trainer(model, optimizer, data, checkpoint_interval=10)
+        source = loop.state_source()
+        blob = loop.serialized_state()
+        assert source.snapshot_size() == len(blob)
+        buffer = PinnedBuffer(0, len(blob))
+        source.capture_chunk(0, len(blob), buffer)
+        assert bytes(buffer.view()) == blob
+
+
+class _RandomBatches:
+    def batch(self, step):
+        rng = np.random.default_rng(step)
+        return rng.standard_normal((2, 4)), rng.integers(0, 2, 2)
