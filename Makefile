@@ -1,6 +1,6 @@
 # Convenience targets for the PCcheck reproduction.
 
-.PHONY: install test test-sanitize lint crashsweep bench bench-obs bench-persist figures examples clean
+.PHONY: install test test-sanitize test-distributed lint crashsweep bench bench-obs bench-persist figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -14,6 +14,17 @@ test:
 # invariants on every transition.
 test-sanitize:
 	PYTHONPATH=src REPRO_SANITIZE=1 python -m pytest -x -q tests/
+
+# Distributed coordination suite (docs/DISTRIBUTED.md): the functional
+# barrier/coordinator/recovery tests, the simulator's failure model, and
+# the multi-rank crashsweep with the held-slot invariant checks.
+test-distributed:
+	PYTHONPATH=src python -m pytest -x -q \
+		tests/core/test_distributed.py \
+		tests/core/test_distributed_coordinator.py \
+		tests/sim/test_distributed.py
+	PYTHONPATH=src python -m repro.cli crashsweep --workload distributed \
+		--torn --seed 11
 
 # Concurrency-invariant static analysis (rules PC001-PC008); must stay
 # clean — CI fails on any finding.

@@ -27,15 +27,22 @@ one rank's device).
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.distributed import (
     CheckpointBarrier,
+    DistributedCoordinator,
     DistributedWorker,
     recover_consistent,
 )
+
+#: Poll cadence while waiting for settled rounds to release their held
+#: slots — settlement races the waiters waking, so the invariant check
+#: retries briefly instead of declaring a leak on the first look.
+SETTLE_POLL_SECONDS = 0.005
 from repro.core.engine import CheckpointEngine
 from repro.core.layout import DeviceLayout, Geometry
 from repro.core.meta import RECORD_SIZE
@@ -384,33 +391,79 @@ class DistributedWorkload(Workload):
             )
             for rank, layout in enumerate(layouts)
         ]
-        for step in range(1, spec.steps + 1):
-            results: List[Optional[object]] = [None] * spec.world_size
-            errors: List[BaseException] = []
+        try:
+            for step in range(1, spec.steps + 1):
+                results: List[Optional[object]] = [None] * spec.world_size
+                errors: List[BaseException] = []
 
-            def one_rank(worker: DistributedWorker, step: int = step) -> None:
-                try:
-                    results[worker.rank] = worker.checkpoint(
-                        self.expected_payload(spec, step, rank=worker.rank),
-                        step=step,
+                def one_rank(worker: DistributedWorker, step: int = step) -> None:
+                    try:
+                        results[worker.rank] = worker.checkpoint(
+                            self.expected_payload(spec, step, rank=worker.rank),
+                            step=step,
+                        )
+                    except (CrashedDeviceError, DistributedError) as exc:
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=one_rank, args=(worker,))
+                    for worker in workers
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                if errors or any(result is None for result in results):
+                    journal.crashed = True
+                    journal.crash_error = (
+                        str(errors[0]) if errors else "rank lost"
                     )
-                except (CrashedDeviceError, DistributedError) as exc:
-                    errors.append(exc)
-
-            threads = [
-                threading.Thread(target=one_rank, args=(worker,))
-                for worker in workers
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-            if errors or any(result is None for result in results):
-                journal.crashed = True
-                journal.crash_error = str(errors[0]) if errors else "rank lost"
-                break
-            journal.ack(step, results[0].counter)
+                    break
+                journal.ack(step, results[0].counter)
+            self._check_held_slot_invariant(workers, spec, journal)
+        finally:
+            DistributedCoordinator.for_barrier(barrier).close()
         return journal
+
+    def _check_held_slot_invariant(
+        self,
+        workers: List[DistributedWorker],
+        spec: WorkloadSpec,
+        journal: RunJournal,
+    ) -> None:
+        """§4.1 slot custody: once every coordination round has settled —
+        completed (recycle) or failed (reclaim) — no healthy rank's
+        engine may still hold a superseded slot, and each holds back
+        exactly its committed slot.  Settlement runs concurrently with
+        the waiters waking, so the check polls briefly before declaring
+        a leak."""
+        # Rank 0's device is the crash target; its engine state at power
+        # loss is unconstrained.  Peers keep healthy devices and must be
+        # whole again even when the run died on a failed round.
+        checked = workers[1:] if journal.crashed else workers
+        deadline = time.monotonic() + 5.0
+        for worker in checked:
+            engine = worker.engine
+            committed = engine.committed() is not None
+            expected = spec.num_slots - (1 if committed else 0)
+            while time.monotonic() < deadline:
+                if (
+                    engine.held_slots == ()
+                    and engine.free_slots == expected
+                ):
+                    break
+                time.sleep(SETTLE_POLL_SECONDS)
+            if engine.held_slots != ():
+                journal.violations.append(
+                    f"rank {worker.rank} still holds superseded slots "
+                    f"{list(engine.held_slots)} after every round settled"
+                )
+            elif engine.free_slots != expected:
+                journal.violations.append(
+                    f"rank {worker.rank} slot leak: {engine.free_slots} "
+                    f"free of {spec.num_slots} (expected {expected}) "
+                    "after rounds settled"
+                )
 
     def validate_recovery(
         self, device: CrashPointDevice, spec: WorkloadSpec, journal: RunJournal

@@ -82,6 +82,24 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="report every checkpoint in a region file"
     )
     inspect_parser.add_argument("path", help="checkpoint region file")
+    rc_parser = sub.add_parser(
+        "recover-consistent",
+        help="find the newest globally consistent step across every "
+        "rank's region file (§4.1)",
+    )
+    rc_parser.add_argument(
+        "paths", nargs="+",
+        help="one checkpoint region file per rank, in rank order",
+    )
+    rc_parser.add_argument(
+        "--out", default=None,
+        help="directory to write the recovered payloads "
+        "(rank<k>.step<S>.bin)",
+    )
+    rc_parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format",
+    )
     lint_parser = sub.add_parser(
         "lint",
         help="run the concurrency-invariant linter (rules PC001-PC008)",
@@ -224,6 +242,71 @@ def _run_crashsweep(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _run_recover_consistent(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.distributed import recover_consistent
+    from repro.core.layout import DeviceLayout
+    from repro.errors import PCcheckError
+    from repro.storage.ssd import FileBackedSSD
+
+    devices = []
+    try:
+        try:
+            layouts = []
+            for path in args.paths:
+                size = os.path.getsize(path)
+                device = FileBackedSSD(path, capacity=size)
+                devices.append(device)
+                layouts.append(DeviceLayout.open(device))
+            result = recover_consistent(layouts)
+        except PCcheckError as exc:
+            print(f"recover-consistent: {exc}", file=sys.stderr)
+            return 1
+        written = []
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            for rank, payload in enumerate(result.payloads):
+                out_path = os.path.join(
+                    args.out, f"rank{rank}.step{result.step}.bin"
+                )
+                with open(out_path, "wb") as fh:
+                    fh.write(payload)
+                written.append(out_path)
+        if args.format == "json":
+            print(json.dumps({
+                "step": result.step,
+                "ranks": [
+                    {
+                        "rank": rank,
+                        "counter": meta.counter,
+                        "slot": meta.slot,
+                        "payload_len": meta.payload_len,
+                        "source": source,
+                    }
+                    for rank, (meta, source) in enumerate(
+                        zip(result.metas, result.sources)
+                    )
+                ],
+                "written": written,
+            }, indent=2, sort_keys=True))
+        else:
+            print(f"globally consistent step: {result.step}")
+            for rank, (meta, source) in enumerate(
+                zip(result.metas, result.sources)
+            ):
+                print(
+                    f"rank {rank}: counter={meta.counter} slot={meta.slot} "
+                    f"len={meta.payload_len} via {source}"
+                )
+            for out_path in written:
+                print(f"wrote {out_path}")
+        return 0
+    finally:
+        for device in devices:
+            device.close()
+
+
 def _run_obs(args: argparse.Namespace) -> int:
     import json
 
@@ -270,6 +353,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for line in report.summary_lines():
             print(line)
         return 0 if report.recovery_choice is not None else 1
+    if args.command == "recover-consistent":
+        return _run_recover_consistent(args)
     if args.command == "lint":
         from repro.analysis.static.runner import run_lint
 

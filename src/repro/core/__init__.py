@@ -37,9 +37,13 @@ from repro.core.differential import (
     encode_delta,
 )
 from repro.core.distributed import (
+    BarrierRound,
     CheckpointBarrier,
     ConsistentCheckpoint,
+    DistributedCoordinator,
+    DistributedOrchestrator,
     DistributedWorker,
+    RoundOutcome,
     recover_consistent,
     valid_checkpoints,
 )
@@ -67,6 +71,7 @@ __all__ = [
     "Ewma",
     "AtomicFlag",
     "AtomicReference",
+    "BarrierRound",
     "BytesSource",
     "CheckMeta",
     "CheckpointBarrier",
@@ -80,7 +85,10 @@ __all__ = [
     "ChunkPlan",
     "ConsistentCheckpoint",
     "DeviceLayout",
+    "DistributedCoordinator",
+    "DistributedOrchestrator",
     "DistributedWorker",
+    "RoundOutcome",
     "GPUSource",
     "Geometry",
     "MemoryFootprint",

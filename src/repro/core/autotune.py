@@ -177,14 +177,16 @@ def functional_tw_probe(
             engine.checkpoint(payload, step=index)
             return time.monotonic() - start
 
-        with ThreadPoolExecutor(max_workers=candidate_n) as pool:
-            futures = [
-                pool.submit(one_checkpoint, index)
-                for index in range(candidate_n * rounds)
-            ]
-            durations = [future.result() for future in futures]
-        engine.close()
-        device.close()
+        try:
+            with ThreadPoolExecutor(max_workers=candidate_n) as pool:
+                futures = [
+                    pool.submit(one_checkpoint, index)
+                    for index in range(candidate_n * rounds)
+                ]
+                durations = [future.result() for future in futures]
+        finally:
+            engine.close()
+            device.close()
         return sum(durations) / len(durations)
 
     return probe

@@ -204,6 +204,7 @@ class CheckpointEngine:
         fence_mode: Optional[FenceMode] = None,
         recovered: Optional[CheckMeta] = None,
         post_cas_hook=None,
+        slot_custodian=None,
         sanitize: Optional[bool] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer=None,
@@ -212,7 +213,22 @@ class CheckpointEngine:
         durable commit-record write, but *before* the superseded slot is
         recycled — the exact point where the paper's distributed protocol
         performs its rank-0 coordination round (§4.1, "Checkpointing in
-        Distributed Training").
+        Distributed Training").  A hook that raises does NOT leak the
+        superseded slot: the engine moves it into the held-slot registry
+        (see :meth:`held_slots`) and re-raises after finishing the
+        ticket's accounting, so the caller can later recycle it with
+        :meth:`release_held_slot` / :meth:`reclaim_held_slots` once the
+        group agrees the round is dead.
+
+        ``slot_custodian`` pipelines the §4.1 hold: an object whose
+        ``take_superseded(meta, slot)`` is called (after the hook) with
+        the superseded slot already registered as *held*.  Returning
+        True transfers custody — the custodian must eventually call
+        :meth:`release_held_slot`; returning False recycles the slot
+        immediately, as if no custodian were present.  This is how the
+        distributed coordinator defers slot recycling until the group's
+        coordination round completes without blocking the committing
+        thread.
 
         ``sanitize`` enables the runtime invariant sanitizer
         (:mod:`repro.core.sanitize`); ``None`` defers to the
@@ -254,6 +270,13 @@ class CheckpointEngine:
         self._commit_write_lock = threading.Lock()
         self._last_written_counter = recovered.counter if recovered else 0
         self._post_cas_hook = post_cas_hook
+        self._slot_custodian = slot_custodian
+        # Superseded slots held across a coordination round (§4.1):
+        # slot -> counter of the superseding ticket.  Held slots are in
+        # neither the free queue nor any ticket; they are recycled by
+        # release_held_slot / reclaim_held_slots.
+        self._held_lock = threading.Lock()
+        self._held_slots: dict = {}
         self._closed = False
         self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._tracer = tracer if tracer is not None else NULL_TRACER
@@ -302,6 +325,67 @@ class CheckpointEngine:
         (the crashsweep harness checks exactly that).
         """
         return len(self._free)
+
+    @property
+    def held_slots(self) -> tuple:
+        """Superseded slots held across a coordination round (§4.1).
+
+        Non-empty only while a distributed round is in flight (the
+        custodian deferred recycling) or after a ``post_cas_hook``
+        failure left a slot awaiting explicit reclaim.
+        """
+        with self._held_lock:
+            return tuple(sorted(self._held_slots))
+
+    def release_held_slot(self, slot: int) -> None:
+        """Recycle one held superseded slot (its round completed).
+
+        Raises :class:`~repro.errors.EngineError` when ``slot`` is not
+        currently held — double releases would corrupt invariant 3.
+        """
+        with self._held_lock:
+            if slot not in self._held_slots:
+                raise EngineError(
+                    f"slot {slot} is not held across a coordination round"
+                )
+            del self._held_slots[slot]
+            remaining = len(self._held_slots)
+        self._metrics.set_gauge(M.HELD_SLOTS, remaining)
+        # Custody already counted as the superseding ticket's one slot
+        # return (invariant 3), so this enqueue is attributed to no ticket.
+        self._release_slot(slot, ticket_counter=None)
+
+    def reclaim_held_slots(self) -> int:
+        """Recycle every held slot; returns how many were reclaimed.
+
+        Called once the group agrees the coordination round(s) the slots
+        were held for can never become globally consistent (a peer died).
+        The slots' payloads stay durable and recoverable until a later
+        checkpoint overwrites them.
+        """
+        with self._held_lock:
+            slots = list(self._held_slots)
+            self._held_slots.clear()
+        self._metrics.set_gauge(M.HELD_SLOTS, 0)
+        if slots:
+            self._metrics.inc(M.HELD_SLOTS_RECLAIMED, len(slots))
+        for slot in slots:
+            self._release_slot(slot, ticket_counter=None)
+        return len(slots)
+
+    def _hold_superseded(self, counter: int, slot: int) -> None:
+        """Move a superseded slot into the held registry.
+
+        Registering custody counts as the superseding ticket's one slot
+        return (invariant 3): the later physical enqueue is attributed
+        to no ticket.
+        """
+        with self._held_lock:
+            self._held_slots[slot] = counter
+            held = len(self._held_slots)
+        if self._sanitizer is not None:
+            self._sanitizer.on_release(counter, slot)
+        self._metrics.set_gauge(M.HELD_SLOTS, held)
 
     def committed(self) -> Optional[CheckMeta]:
         """Metadata of the current recovery point (in-memory CHECK_ADDR)."""
@@ -478,14 +562,28 @@ class CheckpointEngine:
                 )
             if self._check_addr.compare_and_swap(last_check, meta):
                 # Line 22-25: success — persist CHECK_ADDR durably, then
-                # hand the superseded checkpoint's slot back to the queue.
+                # hand the superseded checkpoint's slot back to the queue
+                # (or a coordination custodian, §4.1).
                 self._write_commit_record(meta)
-                if self._post_cas_hook is not None:
-                    self._post_cas_hook(meta)
-                if last_check is not None:
-                    self._release_slot(
-                        last_check.slot, ticket_counter=meta.counter
-                    )
+                superseded = last_check.slot if last_check is not None else None
+                try:
+                    if self._post_cas_hook is not None:
+                        self._post_cas_hook(meta)
+                except BaseException:
+                    # The commit IS durable but the coordination round
+                    # failed mid-flight.  Hold the superseded slot for
+                    # explicit reclaim instead of leaking it, finish the
+                    # ticket's accounting, then surface the hook's error.
+                    if superseded is not None:
+                        self._hold_superseded(meta.counter, superseded)
+                    if self._sanitizer is not None:
+                        self._sanitizer.on_ticket_done(
+                            meta.counter, first_commit=last_check is None
+                        )
+                    self._metrics.inc(M.COMMITS)
+                    raise
+                if superseded is not None:
+                    self._settle_superseded(meta, superseded)
                 if self._sanitizer is not None:
                     self._sanitizer.on_ticket_done(
                         meta.counter, first_commit=last_check is None
@@ -500,6 +598,29 @@ class CheckpointEngine:
             # CAS failed: someone moved CHECK_ADDR. Re-sample and decide.
             self._metrics.inc(M.CAS_RETRIES)
             last_check = self._check_addr.load()
+
+    def _settle_superseded(self, meta: CheckMeta, slot: int) -> None:
+        """Recycle or hand off the superseded slot after a won CAS.
+
+        Without a custodian the slot goes straight back to the queue
+        (Listing 1 line 25).  With one, custody is registered *before*
+        asking — a racing round completion may release the held slot the
+        instant ``take_superseded`` returns True — and withdrawn again
+        when the custodian declines.
+        """
+        if self._slot_custodian is None:
+            self._release_slot(slot, ticket_counter=meta.counter)
+            return
+        self._hold_superseded(meta.counter, slot)
+        deferred = False
+        try:
+            deferred = bool(self._slot_custodian.take_superseded(meta, slot))
+        finally:
+            if not deferred:
+                # Declined (or the custodian raised): the provisional
+                # hold is withdrawn and the slot recycled now.  A raise
+                # propagates to the caller after the recycle.
+                self.release_held_slot(slot)
 
     def _write_commit_record(self, meta: CheckMeta) -> None:
         """Durably publish ``meta`` as the commit record.

@@ -94,3 +94,25 @@ class TrainingError(PCcheckError):
 
 class DistributedError(PCcheckError):
     """Multi-worker checkpoint coordination failed."""
+
+
+class DistributedTimeoutError(DistributedError):
+    """A coordination round timed out: some rank never reported its
+    checkpoint, so the step can never become globally consistent.
+
+    The round is marked *failed* for every participant — a straggler
+    arriving later is rejected rather than silently advancing
+    ``peer_check`` for a round its peers already abandoned — and the
+    superseded slots held across the round are reclaimed once the group
+    agrees it is dead.
+    """
+
+
+class DegradedGroupError(DistributedError):
+    """Checkpointing is suspended: the worker group is degraded.
+
+    Raised for new checkpoint requests after a coordination round
+    failed (a peer timed out or died).  The group must be re-formed via
+    :meth:`repro.core.distributed.DistributedCoordinator.reform` before
+    checkpointing resumes; local recovery data stays intact throughout.
+    """

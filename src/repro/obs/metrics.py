@@ -51,6 +51,14 @@ class M:
     BYTES_PERSISTED = "pccheck_bytes_persisted_total"
     BYTES_COPIED = "pccheck_bytes_copied_total"
     FREE_SLOTS = "pccheck_free_slots"
+    # -- distributed coordination (§4.1 rank-0 round) ------------------
+    HELD_SLOTS = "pccheck_held_slots"
+    HELD_SLOTS_RECLAIMED = "pccheck_held_slots_reclaimed_total"
+    BARRIER_WAIT_SECONDS = "pccheck_barrier_wait_seconds"  # label: rank=
+    BARRIER_ROUND_SECONDS = "pccheck_barrier_round_seconds"
+    BARRIER_ROUNDS_COMPLETED = "pccheck_barrier_rounds_completed_total"
+    BARRIER_ROUNDS_FAILED = "pccheck_barrier_rounds_failed_total"
+    BARRIER_ROUNDS_INFLIGHT = "pccheck_barrier_rounds_inflight"
     # -- the three stall classes (Figure 6 / §3.2) ---------------------
     UPDATE_STALL_SECONDS = "pccheck_update_stall_seconds_total"
     SLOT_WAIT_SECONDS = "pccheck_slot_wait_seconds_total"

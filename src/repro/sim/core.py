@@ -9,7 +9,8 @@ what the performance model needs:
   resumes it with the event's value;
 * :class:`Semaphore` — counting resource with FIFO waiters (checkpoint
   slots, DRAM chunks);
-* :func:`all_of` — barrier over several events.
+* :func:`all_of` — barrier over several events;
+* :func:`any_of` — first-of-several race (barrier vs. timeout).
 
 Determinism: ties in time break by insertion order (a monotonically
 increasing sequence number), so repeated runs produce identical traces.
@@ -180,3 +181,23 @@ def all_of(sim: Simulator, events: List[Event]) -> Event:
     for event in events:
         event.add_callback(arrived)
     return barrier
+
+
+def any_of(sim: Simulator, events: List[Event]) -> Event:
+    """An event firing when the *first* of ``events`` fires.
+
+    The race used to model a coordination round against its deadline:
+    ``any_of(sim, [barrier, sim.timeout(deadline)])``.  Later finishers
+    are ignored (the returned event fires exactly once).
+    """
+    if not events:
+        raise SimulationError("any_of needs at least one event")
+    trigger = Event(sim)
+
+    def arrived(event: Event) -> None:
+        if not trigger.triggered:
+            trigger.succeed(event.value)
+
+    for event in events:
+        event.add_callback(arrived)
+    return trigger

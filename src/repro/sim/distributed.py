@@ -15,6 +15,14 @@ That exposes two effects the shortcut cannot show:
 * **barrier skew** — the gap between the first and last worker's commit
   for the same step, which the paper asserts is "negligible compared to
   the actual training" for symmetric workers.
+
+The failure model mirrors the functional coordinator in
+:mod:`repro.core.distributed`: a rank can die mid-run (``dead_rank`` /
+``dead_after_step``), rounds race a deadline (``barrier_timeout``), a
+timed-out round *reclaims* every held slot (they are released, never
+leaked) and flips the group to degraded mode — checkpointing is
+suspended for the rest of the run while training throughput recovers,
+and ``peer_check`` freezes at the last globally consistent step.
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ from typing import Generator, List, Optional, Sequence
 from repro.core.config import PCcheckConfig
 from repro.errors import SimulationError
 from repro.sim.bandwidth import FlowResource
-from repro.sim.core import Event, Semaphore, Simulator, all_of
+from repro.sim.core import Event, Semaphore, Simulator, all_of, any_of
 from repro.sim.hardware import A2_HIGHGPU_1G, MachineSpec
 from repro.sim.workloads import Workload, get_workload
 
@@ -62,6 +70,14 @@ class DistributedResult:
     mean_tw: float
     checkpoint_stall_seconds: float
     update_stall_seconds: float
+    #: Last globally consistent step (§4.1); -1 when no round completed.
+    peer_check: int = -1
+    rounds_completed: int = 0
+    rounds_failed: int = 0
+    #: True when a failed round suspended checkpointing.
+    degraded: bool = False
+    #: Mean first-commit → settle duration of completed rounds.
+    mean_round_seconds: float = 0.0
 
 
 class DistributedPCcheckSim:
@@ -74,11 +90,29 @@ class DistributedPCcheckSim:
         machine: MachineSpec = A2_HIGHGPU_1G,
         config: Optional[PCcheckConfig] = None,
         straggler_factors: Optional[Sequence[float]] = None,
+        dead_rank: Optional[int] = None,
+        dead_after_step: int = 0,
+        barrier_timeout: Optional[float] = None,
     ) -> None:
         if interval < 1:
             raise SimulationError(f"interval must be >= 1, got {interval}")
         if workload.world_size < 1:
             raise SimulationError("world size must be >= 1")
+        if dead_rank is not None:
+            if not 0 <= dead_rank < workload.world_size:
+                raise SimulationError(
+                    f"dead rank {dead_rank} outside world of size "
+                    f"{workload.world_size}"
+                )
+            if barrier_timeout is None:
+                raise SimulationError(
+                    "a dead rank needs a barrier_timeout: without a "
+                    "deadline the surviving workers would wait forever"
+                )
+        if barrier_timeout is not None and barrier_timeout <= 0:
+            raise SimulationError(
+                f"barrier timeout must be positive, got {barrier_timeout}"
+            )
         factors = list(straggler_factors or [1.0] * workload.world_size)
         if len(factors) != workload.world_size:
             raise SimulationError(
@@ -101,6 +135,15 @@ class DistributedPCcheckSim:
         self.update_stall = 0.0
         self.barrier_skews: List[float] = []
         self._pending: List[Event] = []
+        self.dead_rank = dead_rank
+        self.dead_after_step = dead_after_step
+        self.barrier_timeout = barrier_timeout
+        self.peer_check = -1
+        self.rounds_completed = 0
+        self.rounds_failed = 0
+        self.degraded = False
+        self.round_durations: List[float] = []
+        self._settled_steps: set = set()
 
     def _make_worker(self, rank: int, straggler: float) -> _Worker:
         storage = self.machine.storage
@@ -148,29 +191,87 @@ class DistributedPCcheckSim:
                 yield pending
         return wall
 
+    def _rank_alive(self, rank: int, step: int) -> bool:
+        return self.dead_rank != rank or step <= self.dead_after_step
+
     def _checkpoint_all(self, step: int) -> Generator[Event, object, None]:
-        # Every worker must reserve a slot before any can proceed — the
-        # pipeline stalls when ANY stage has all N checkpoints in flight.
+        if self.degraded:
+            # A failed round suspended checkpointing (the functional
+            # coordinator's DegradedGroupError); training continues.
+            return
+        alive = [w for w in self.workers if self._rank_alive(w.rank, step)]
+        if not alive:
+            self.rounds_failed += 1
+            self.degraded = True
+            return
+        # Every live worker must reserve a slot before any can proceed —
+        # the pipeline stalls when ANY stage has all N in flight.
         since = self.sim.now
-        for worker in self.workers:
+        for worker in alive:
             yield worker.slots.acquire()
         self.checkpoint_stall += self.sim.now - since
-        commit_events = [self.sim.event() for _ in self.workers]
+        commit_events = [self.sim.event() for _ in alive]
         barrier = all_of(self.sim, commit_events)
-        barrier.add_callback(lambda _e: self._record_skew(step))
-        for worker, commit in zip(self.workers, commit_events):
+        round_start = {"t": self.sim.now}
+        # Matching the functional barrier, a round runs from its *first
+        # arrival* (first commit), not from checkpoint issue.
+        first = any_of(self.sim, commit_events)
+        first.add_callback(
+            lambda _e: round_start.__setitem__("t", self.sim.now)
+        )
+        if self.barrier_timeout is not None:
+            # The deadline races the barrier; a dead rank's commit never
+            # fires, so the deadline is what settles the round.
+            deadline = self.sim.event()
+            self.sim.process(
+                self._arm_deadline(first, deadline),
+                name=f"deadline-s{step}",
+            )
+            release = any_of(self.sim, [barrier, deadline])
+        else:
+            release = barrier
+        release.add_callback(
+            lambda _e: self._settle_round(
+                step, alive, barrier, round_start["t"]
+            )
+        )
+        for worker, commit in zip(alive, commit_events):
             process = self.sim.process(
-                self._worker_checkpoint(worker, commit, barrier),
+                self._worker_checkpoint(worker, commit, release),
                 name=f"ckpt-w{worker.rank}-s{step}",
             )
             self._pending.append(process.done)
 
-    def _record_skew(self, step: int) -> None:
-        recent = [worker.commit_times[-1] for worker in self.workers]
-        self.barrier_skews.append(max(recent) - min(recent))
+    def _arm_deadline(
+        self, first_commit: Event, deadline: Event
+    ) -> Generator[Event, object, None]:
+        yield first_commit
+        yield self.sim.timeout(self.barrier_timeout)
+        deadline.succeed()
+
+    def _settle_round(
+        self, step: int, alive: List[_Worker], barrier: Event, started: float
+    ) -> None:
+        if step in self._settled_steps:
+            return
+        self._settled_steps.add(step)
+        duration = self.sim.now - started
+        if barrier.triggered and len(alive) == len(self.workers):
+            self.rounds_completed += 1
+            self.peer_check = max(self.peer_check, step)
+            self.round_durations.append(duration)
+            recent = [worker.commit_times[-1] for worker in alive]
+            self.barrier_skews.append(max(recent) - min(recent))
+        else:
+            # Timed out (or a rank was already dead): the step can never
+            # become globally consistent.  Held slots are reclaimed when
+            # each worker process passes the release event — no leak —
+            # and the group degrades until re-formed.
+            self.rounds_failed += 1
+            self.degraded = True
 
     def _worker_checkpoint(
-        self, worker: _Worker, commit: Event, barrier: Event
+        self, worker: _Worker, commit: Event, release: Event
     ) -> Generator[Event, object, None]:
         started = self.sim.now
         partition = self.workload.partition_bytes
@@ -192,9 +293,11 @@ class DistributedPCcheckSim:
         worker.commit_times.append(self.sim.now)
         worker.tw_seconds.append(self.sim.now - started)
         commit.succeed()
-        # §4.1: hold the superseded slot until all peers committed this
-        # step, then recycle.
-        yield barrier
+        # §4.1: hold the superseded slot until the round settles — all
+        # peers committed this step (recycle) or the deadline passed
+        # (reclaim: the group agreed the step is dead).  Either way the
+        # slot comes back; a failed round never leaks it.
+        yield release
         worker.slots.release()
 
     def _persist_stage(
@@ -222,12 +325,17 @@ def run_distributed_throughput(
     config: Optional[PCcheckConfig] = None,
     num_iterations: Optional[int] = None,
     straggler_factors: Optional[Sequence[float]] = None,
+    dead_rank: Optional[int] = None,
+    dead_after_step: int = 0,
+    barrier_timeout: Optional[float] = None,
 ) -> DistributedResult:
     """Simulate explicit multi-worker PCcheck training."""
     workload = get_workload(workload_name)
     model = DistributedPCcheckSim(
         workload, interval, machine=machine, config=config,
         straggler_factors=straggler_factors,
+        dead_rank=dead_rank, dead_after_step=dead_after_step,
+        barrier_timeout=barrier_timeout,
     )
     iterations = num_iterations or max(200, 20 * interval)
     process = model.sim.process(model.train(iterations), name="dist-train")
@@ -250,4 +358,12 @@ def run_distributed_throughput(
         mean_tw=sum(all_tw) / len(all_tw) if all_tw else 0.0,
         checkpoint_stall_seconds=model.checkpoint_stall,
         update_stall_seconds=model.update_stall,
+        peer_check=model.peer_check,
+        rounds_completed=model.rounds_completed,
+        rounds_failed=model.rounds_failed,
+        degraded=model.degraded,
+        mean_round_seconds=(
+            sum(model.round_durations) / len(model.round_durations)
+            if model.round_durations else 0.0
+        ),
     )

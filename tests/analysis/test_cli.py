@@ -52,3 +52,74 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "optimal N*" in out
         assert "min interval f*" in out
+
+
+class TestRecoverConsistentCommand:
+    def _write_group(self, tmp_path, steps):
+        import threading
+
+        from repro.core.distributed import (
+            DistributedCoordinator,
+            DistributedWorker,
+        )
+        from repro.core.layout import DeviceLayout
+        from repro.storage.ssd import FileBackedSSD
+
+        paths = [str(tmp_path / f"rank{rank}.img") for rank in range(2)]
+        with DistributedCoordinator(world_size=2, timeout=10.0) as coord:
+            devices = [FileBackedSSD(p, capacity=16384) for p in paths]
+            workers = [
+                DistributedWorker.create(
+                    rank,
+                    DeviceLayout.format(dev, num_slots=3, slot_size=1088),
+                    coord,
+                )
+                for rank, dev in enumerate(devices)
+            ]
+            for step in range(1, steps + 1):
+                threads = [
+                    threading.Thread(
+                        target=w.checkpoint,
+                        args=(f"r{w.rank}s{step}".encode() * 8, step),
+                    )
+                    for w in workers
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            for dev in devices:
+                dev.close()
+        return paths
+
+    def test_reports_consistent_step(self, tmp_path, capsys):
+        paths = self._write_group(tmp_path, steps=2)
+        assert main(["recover-consistent", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "globally consistent step: 2" in out
+        assert "rank 0" in out and "rank 1" in out
+
+    def test_json_format_and_payload_output(self, tmp_path, capsys):
+        import json
+
+        paths = self._write_group(tmp_path, steps=1)
+        out_dir = str(tmp_path / "restored")
+        assert main(
+            ["recover-consistent", *paths, "--out", out_dir,
+             "--format", "json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["step"] == 1
+        assert [r["rank"] for r in report["ranks"]] == [0, 1]
+        for rank, path in enumerate(report["written"]):
+            with open(path, "rb") as fh:
+                assert fh.read() == f"r{rank}s1".encode() * 8
+
+    def test_wiped_rank_fails_with_clear_error(self, tmp_path, capsys):
+        paths = self._write_group(tmp_path, steps=1)
+        # Wipe rank 1's region: no step is globally consistent any more.
+        with open(paths[1], "r+b") as fh:
+            fh.write(b"\x00" * os.path.getsize(paths[1]))
+        assert main(["recover-consistent", *paths]) == 1
+        err = capsys.readouterr().err
+        assert "recover-consistent" in err

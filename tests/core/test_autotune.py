@@ -168,6 +168,33 @@ class TestFunctionalProbe:
         tw = probe(2)
         assert tw > 0
 
+    def test_probe_closes_resources_when_checkpoint_raises(self, monkeypatch):
+        """PR-5 leak fix: a failing probe checkpoint must still close the
+        engine and the throttled device it created."""
+        from repro.core.engine import CheckpointEngine
+        from repro.storage.ssd import InMemorySSD
+
+        closed = []
+        real_close = InMemorySSD.close
+
+        def recording_close(self):
+            closed.append(self)
+            return real_close(self)
+
+        def exploding_checkpoint(self, payload, step=0):
+            raise RuntimeError("probe device fell over")
+
+        monkeypatch.setattr(InMemorySSD, "close", recording_close)
+        monkeypatch.setattr(
+            CheckpointEngine, "checkpoint", exploding_checkpoint
+        )
+        probe = functional_tw_probe(
+            checkpoint_size=4096, storage_bandwidth=50e6, rounds=1
+        )
+        with pytest.raises(RuntimeError):
+            probe(1)
+        assert len(closed) == 1
+
     def test_end_to_end_tuning_with_functional_probe(self):
         m = 64 * 1024
         probe = functional_tw_probe(

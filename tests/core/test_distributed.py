@@ -1,6 +1,7 @@
 """Tests for distributed checkpoint coordination and consistent recovery."""
 
 import threading
+import time
 
 import pytest
 
@@ -12,7 +13,11 @@ from repro.core.distributed import (
 )
 from repro.core.layout import DeviceLayout, Geometry
 from repro.core.meta import RECORD_SIZE
-from repro.errors import DistributedError, NoCheckpointError
+from repro.errors import (
+    DistributedError,
+    DistributedTimeoutError,
+    NoCheckpointError,
+)
 from repro.storage.ssd import InMemorySSD
 
 PAYLOAD_CAPACITY = 512
@@ -84,6 +89,103 @@ class TestBarrier:
         barrier.synchronize(0, step=3)
         barrier.synchronize(0, step=1)  # late round for an older step
         assert barrier.peer_check == 3
+
+
+class TestBarrierRegressions:
+    """The PR-5 bug fixes: bounded memory, consistent timeout outcome."""
+
+    def test_settled_rounds_are_garbage_collected(self):
+        barrier = CheckpointBarrier(1, history=4)
+        for step in range(1, 21):
+            barrier.synchronize(0, step=step)
+        assert barrier.peer_check == 20
+        assert barrier.in_flight_rounds == 0
+        assert barrier.settled_rounds <= 4
+
+    def test_memory_bounded_by_in_flight_rounds(self):
+        """Completed rounds leave only a bounded tombstone window even
+        when many steps are coordinated concurrently."""
+        barrier = CheckpointBarrier(2, history=8)
+        for step in range(1, 6):
+            barrier.arrive(0, step)
+        assert barrier.in_flight_rounds == 5
+        for step in range(1, 6):
+            barrier.arrive(1, step)
+        assert barrier.in_flight_rounds == 0
+        assert barrier.settled_rounds == 5
+        assert barrier.peer_check == 5
+
+    def test_timeout_reports_consistent_arrival_count(self):
+        barrier = CheckpointBarrier(3, timeout=0.05)
+        with pytest.raises(DistributedTimeoutError) as excinfo:
+            barrier.synchronize(0, step=7)
+        message = str(excinfo.value)
+        assert "1 of 3" in message
+        assert "[1, 2]" in message
+        outcome = barrier.round_outcome(7)
+        assert outcome is not None and outcome.status == "failed"
+        assert outcome.arrived == (0,)
+        assert outcome.missing == (1, 2)
+
+    def test_straggler_after_timeout_is_rejected(self):
+        """A rank arriving after its peers abandoned the round must not
+        resurrect it or advance peer_check."""
+        barrier = CheckpointBarrier(2, timeout=0.05)
+        with pytest.raises(DistributedTimeoutError):
+            barrier.synchronize(0, step=1)
+        handle = barrier.arrive(1, step=1)
+        assert handle.settled
+        with pytest.raises(DistributedTimeoutError):
+            handle.wait()
+        assert barrier.peer_check == -1
+        assert barrier.in_flight_rounds == 0
+
+    def test_concurrent_multi_step_rounds_settle_independently(self):
+        barrier = CheckpointBarrier(2, timeout=5.0)
+        barrier.arrive(0, 1)
+        barrier.arrive(0, 2)
+        barrier.arrive(1, 2)  # newer round completes first
+        assert barrier.peer_check == 2
+        assert barrier.in_flight_rounds == 1
+        barrier.arrive(1, 1)
+        assert barrier.peer_check == 2  # older completion cannot regress
+        assert barrier.in_flight_rounds == 0
+
+    def test_waiters_observe_failure_marked_by_peer(self):
+        """When one waiter's deadline fails the round, a concurrent
+        waiter for the same round observes the same failed outcome."""
+        barrier = CheckpointBarrier(3, timeout=0.15)
+        errors = []
+
+        def wait_rank(rank):
+            try:
+                barrier.synchronize(rank, step=1)
+            except DistributedError as exc:
+                errors.append(str(exc))
+
+        threads = [
+            threading.Thread(target=wait_rank, args=(rank,))
+            for rank in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(errors) == 2
+        # Both report the identical settled arrival count.
+        assert all("2 of 3" in message for message in errors)
+
+    def test_round_metrics_recorded(self):
+        barrier = CheckpointBarrier(1, timeout=0.05)
+        barrier.synchronize(0, step=1)
+        with pytest.raises(DistributedError):
+            barrier.arrive(0, step=1)  # duplicate, not a new round
+        metrics = barrier.metrics
+        from repro.obs.metrics import M
+
+        assert metrics.value(M.BARRIER_ROUNDS_COMPLETED) == 1
+        assert metrics.value(M.BARRIER_ROUNDS_FAILED) == 0
+        assert metrics.value(M.BARRIER_ROUNDS_INFLIGHT) == 0
 
 
 class TestDistributedCheckpointing:
@@ -178,3 +280,76 @@ class TestDistributedCheckpointing:
             b"stage-2-weights",
             b"stage-3-weights",
         ]
+
+
+class TestRecoverConsistentValidation:
+    """PR-5 fix: payload CRCs are re-validated after the chunked read."""
+
+    def _lockstep(self, workers, step):
+        threads = [
+            threading.Thread(
+                target=worker.checkpoint,
+                args=(partition_payload(worker.rank, step), step),
+            )
+            for worker in workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_torn_rank_payload_falls_back_to_older_step(self):
+        """A rank whose newest payload is torn on media must not poison
+        recovery: the intersection falls back to the newest step every
+        rank still holds intact."""
+        _, workers = make_group(world_size=2)
+        self._lockstep(workers, 1)
+        self._lockstep(workers, 2)
+        # Tear rank 1's step-2 payload (flip bytes mid-payload, header
+        # left intact) — its CRC can no longer validate.
+        layout = workers[1].engine.layout
+        meta = next(
+            m for m in valid_checkpoints(layout) if m.step == 2
+        )
+        offset = layout.payload_offset(meta.slot)
+        layout.device.write(offset, b"\xff" * 8)
+        consistent = recover_consistent([w.engine.layout for w in workers])
+        assert consistent.step == 1
+        assert consistent.payloads[0] == partition_payload(0, 1)
+        assert consistent.payloads[1] == partition_payload(1, 1)
+
+    def test_reports_sources_per_rank(self):
+        _, workers = make_group(world_size=2)
+        self._lockstep(workers, 1)
+        consistent = recover_consistent([w.engine.layout for w in workers])
+        assert consistent.sources == ["commit-record", "commit-record"]
+
+    def test_unstable_rank_named_in_error(self, monkeypatch):
+        """A payload that keeps failing CRC re-validation after the read
+        (overwritten under an online reader) names the failing rank."""
+        _, workers = make_group(world_size=2)
+        self._lockstep(workers, 1)
+
+        import repro.core.distributed as dist
+
+        real_iterator = dist.PersistentIterator
+
+        class TornIterator:
+            def __init__(self, layout, meta, chunk_size):
+                self._inner = real_iterator(layout, meta, chunk_size=chunk_size)
+                self._rank1 = layout is workers[1].engine.layout
+
+            def read_all(self):
+                payload = self._inner.read_all()
+                if self._rank1:
+                    return b"\x00" * len(payload)  # overwritten under us
+                return payload
+
+        monkeypatch.setattr(dist, "PersistentIterator", TornIterator)
+        with pytest.raises(DistributedError) as excinfo:
+            recover_consistent(
+                [w.engine.layout for w in workers], max_attempts=3
+            )
+        message = str(excinfo.value)
+        assert "rank 1" in message
+        assert "3 times" in message

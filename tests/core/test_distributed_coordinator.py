@@ -1,0 +1,386 @@
+"""Tests for the pipelined distributed coordinator (§4.1).
+
+Covers the PR-5 acceptance criteria: a failed coordination round must
+not leak the superseded slot (``free_slots`` recovers fully), the group
+degrades instead of poisoning the engines, and with a deliberately slow
+peer the training-thread checkpoint call returns without waiting on the
+barrier round.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.distributed import (
+    DistributedCoordinator,
+    DistributedOrchestrator,
+    DistributedWorker,
+    recover_consistent,
+)
+from repro.core.engine import CheckpointEngine
+from repro.core.layout import DeviceLayout, Geometry
+from repro.core.meta import RECORD_SIZE
+from repro.core.snapshot import BytesSource
+from repro.errors import (
+    DegradedGroupError,
+    DistributedError,
+    DistributedTimeoutError,
+    EngineError,
+)
+from repro.obs.metrics import M
+from repro.storage.ssd import InMemorySSD
+
+PAYLOAD_CAPACITY = 512
+NUM_SLOTS = 3
+
+#: Generous bound for polling asynchronous settlement in tests.
+SETTLE_SECONDS = 5.0
+
+
+def make_layout(num_slots=NUM_SLOTS):
+    slot_size = PAYLOAD_CAPACITY + RECORD_SIZE
+    geometry = Geometry(num_slots=num_slots, slot_size=slot_size)
+    device = InMemorySSD(capacity=geometry.total_size)
+    return DeviceLayout.format(device, num_slots=num_slots, slot_size=slot_size)
+
+
+def payload(rank, step):
+    return f"rank={rank};step={step};".encode() * 4
+
+
+def lockstep(workers, step):
+    errors = []
+
+    def one(worker):
+        try:
+            worker.checkpoint(payload(worker.rank, step), step)
+        except DistributedError as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=one, args=(w,)) for w in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+def wait_until(predicate, timeout=SETTLE_SECONDS):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestFailedRoundReclaimsSlots:
+    def test_timeout_does_not_leak_a_slot(self):
+        """The headline PR-5 bug: rank 1 stalls at step 2, rank 0's round
+        fails — its superseded slot must be reclaimed, not leaked."""
+        with DistributedCoordinator(world_size=2, timeout=0.3) as coord:
+            workers = [
+                DistributedWorker.create(rank, make_layout(), coord)
+                for rank in range(2)
+            ]
+            assert lockstep(workers, 1) == []
+            engine = workers[0].engine
+            free_after_commit = engine.free_slots
+            with pytest.raises(DistributedTimeoutError):
+                workers[0].checkpoint(payload(0, 2), 2)
+            # The step-1 slot was held across the failed round; once the
+            # group agreed the step is dead it comes back.
+            assert wait_until(
+                lambda: engine.free_slots == free_after_commit
+                and engine.held_slots == ()
+            ), (
+                f"slot leaked: free={engine.free_slots} "
+                f"held={engine.held_slots} expected {free_after_commit} free"
+            )
+            assert coord.degraded
+            assert coord.failed_ranks == (1,)
+            assert engine.metrics.value(M.HELD_SLOTS) == 0
+
+    def test_degraded_group_suspends_and_reforms(self):
+        with DistributedCoordinator(world_size=2, timeout=0.2) as coord:
+            workers = [
+                DistributedWorker.create(rank, make_layout(), coord)
+                for rank in range(2)
+            ]
+            assert lockstep(workers, 1) == []
+            with pytest.raises(DistributedTimeoutError):
+                workers[0].checkpoint(payload(0, 2), 2)
+            assert coord.degraded
+            with pytest.raises(DegradedGroupError):
+                workers[1].checkpoint(payload(1, 3), 3)
+            coord.reform()
+            assert not coord.degraded
+            assert coord.failed_ranks == ()
+            assert lockstep(workers, 3) == []
+            consistent = recover_consistent(
+                [w.engine.layout for w in workers]
+            )
+            assert consistent.step == 3
+
+    def test_previous_step_survives_the_failed_round(self):
+        """Reclaiming held slots must not sacrifice the last globally
+        consistent checkpoint — recovery still lands on step 1."""
+        with DistributedCoordinator(world_size=2, timeout=0.2) as coord:
+            workers = [
+                DistributedWorker.create(rank, make_layout(), coord)
+                for rank in range(2)
+            ]
+            assert lockstep(workers, 1) == []
+            with pytest.raises(DistributedTimeoutError):
+                workers[0].checkpoint(payload(0, 2), 2)
+            consistent = recover_consistent(
+                [w.engine.layout for w in workers]
+            )
+            assert consistent.step == 1
+            assert consistent.payloads[1] == payload(1, 1)
+
+
+class TestPipelinedCoordination:
+    def test_pipelined_checkpoint_returns_before_peers_arrive(self):
+        """A pipelined worker's checkpoint() must not wait for the round:
+        it returns once the local commit is durable."""
+        with DistributedCoordinator(world_size=2, timeout=10.0) as coord:
+            fast = DistributedWorker.create(
+                0, make_layout(), coord, pipelined=True
+            )
+            slow = DistributedWorker.create(1, make_layout(), coord)
+            started = time.monotonic()
+            result = fast.checkpoint(payload(0, 1), 1)
+            elapsed = time.monotonic() - started
+            assert result.committed
+            assert not coord.barrier.round_outcome(1)
+            assert elapsed < 2.0  # did not sit out the 10 s round
+            peer = threading.Thread(
+                target=slow.checkpoint, args=(payload(1, 1), 1)
+            )
+            peer.start()
+            outcome = fast.wait_consistent(1)
+            peer.join()
+            assert outcome.status == "completed"
+            assert coord.peer_check == 1
+
+    def test_held_slot_recycled_after_round_completes(self):
+        with DistributedCoordinator(world_size=2, timeout=10.0) as coord:
+            fast = DistributedWorker.create(
+                0, make_layout(), coord, pipelined=True
+            )
+            slow = DistributedWorker.create(1, make_layout(), coord)
+            lockstep([fast, slow], 1)
+            engine = fast.engine
+            free_steady = engine.free_slots
+            # Step 2: the fast rank commits and returns immediately; the
+            # superseded step-1 slot is in custody until the peer lands.
+            fast.checkpoint(payload(0, 2), 2)
+            assert engine.held_slots != () or coord.peer_check >= 2 or (
+                coord.barrier.round_outcome(2) is not None
+            )
+            slow_thread = threading.Thread(
+                target=slow.checkpoint, args=(payload(1, 2), 2)
+            )
+            slow_thread.start()
+            fast.wait_consistent(2)
+            slow_thread.join()
+            assert wait_until(
+                lambda: engine.free_slots == free_steady
+                and engine.held_slots == ()
+            )
+
+    def test_training_thread_not_blocked_by_slow_peer(self):
+        """Acceptance: with a deliberately slow peer, the training
+        thread's checkpoint call returns without waiting on the round."""
+        peer_delay = 1.5
+        with DistributedCoordinator(world_size=2, timeout=30.0) as coord:
+            orch = DistributedOrchestrator.create(
+                0, make_layout(), coord,
+                num_chunks=2, chunk_size=PAYLOAD_CAPACITY,
+            )
+            slow = DistributedWorker.create(1, make_layout(), coord)
+
+            def slow_peer():
+                time.sleep(peer_delay)
+                slow.checkpoint(payload(1, 1), 1)
+
+            peer = threading.Thread(target=slow_peer)
+            peer.start()
+            try:
+                started = time.monotonic()
+                handle = orch.checkpoint_async(
+                    BytesSource(payload(0, 1)), step=1
+                )
+                issue_elapsed = time.monotonic() - started
+                result = handle.wait(10.0)
+                commit_elapsed = time.monotonic() - started
+                assert result.committed
+                # Training thread and even the local commit wait are
+                # decoupled from the peer's 1.5 s delay.
+                assert issue_elapsed < 0.5
+                assert commit_elapsed < peer_delay
+                outcome = orch.wait_consistent(1, timeout=10.0)
+                assert outcome.status == "completed"
+            finally:
+                peer.join()
+                orch.close()
+
+    def test_orchestrator_group_degrades_on_lost_peer(self):
+        with DistributedCoordinator(world_size=2, timeout=0.3) as coord:
+            orch = DistributedOrchestrator.create(
+                0, make_layout(), coord,
+                num_chunks=2, chunk_size=PAYLOAD_CAPACITY,
+            )
+            peer = DistributedWorker.create(1, make_layout(), coord)
+            try:
+                handle = orch.checkpoint_async(
+                    BytesSource(payload(0, 1)), step=1
+                )
+                peer_thread = threading.Thread(
+                    target=peer.checkpoint, args=(payload(1, 1), 1)
+                )
+                peer_thread.start()
+                assert handle.wait(10.0).committed
+                peer_thread.join()
+                orch.wait_consistent(1, timeout=10.0)
+                free_steady = orch.engine.free_slots
+                # Step 2: the peer never checkpoints; the watcher expires
+                # the round and the group degrades without a slot leak.
+                handle = orch.checkpoint_async(
+                    BytesSource(payload(0, 2)), step=2
+                )
+                assert handle.wait(10.0).committed
+                assert wait_until(lambda: coord.degraded)
+                assert wait_until(
+                    lambda: orch.engine.free_slots == free_steady
+                    and orch.engine.held_slots == ()
+                )
+                with pytest.raises(DegradedGroupError):
+                    orch.checkpoint_async(BytesSource(b"x"), step=3)
+            finally:
+                orch.close()
+
+    def test_concurrent_steps_in_flight(self):
+        """Pipelined workers may be several rounds apart; every round
+        settles and every held slot comes back."""
+        with DistributedCoordinator(world_size=2, timeout=10.0) as coord:
+            workers = [
+                DistributedWorker.create(
+                    rank, make_layout(num_slots=4), coord, pipelined=True
+                )
+                for rank in range(2)
+            ]
+            for step in (1, 2, 3):
+                workers[0].checkpoint(payload(0, step), step)
+            for step in (1, 2, 3):
+                workers[1].checkpoint(payload(1, step), step)
+            workers[0].wait_consistent(3)
+            assert coord.peer_check == 3
+            for worker in workers:
+                assert wait_until(lambda w=worker: w.engine.held_slots == ())
+                assert worker.engine.free_slots == 3  # 4 slots - committed
+
+
+class TestEngineHeldSlots:
+    """Engine-level custody API the coordinator is built on."""
+
+    def test_post_cas_hook_exception_holds_instead_of_leaking(self):
+        def exploding_hook(meta):
+            if meta.step == 2:
+                raise RuntimeError("coordination plane down")
+
+        engine = CheckpointEngine(make_layout(), post_cas_hook=exploding_hook)
+        engine.checkpoint(b"step-1", step=1)
+        free_before = engine.free_slots
+        with pytest.raises(RuntimeError):
+            engine.checkpoint(b"step-2", step=2)
+        # The superseded slot is parked, visible, and recoverable.
+        assert len(engine.held_slots) == 1
+        assert engine.free_slots == free_before - 1
+        assert engine.reclaim_held_slots() == 1
+        assert engine.free_slots == free_before
+        assert engine.held_slots == ()
+
+    def test_release_held_slot_rejects_unknown_slot(self):
+        engine = CheckpointEngine(make_layout())
+        with pytest.raises(EngineError):
+            engine.release_held_slot(0)
+
+    def test_declining_custodian_recycles_immediately(self):
+        class Decliner:
+            def take_superseded(self, meta, slot):
+                return False
+
+        engine = CheckpointEngine(make_layout(), slot_custodian=Decliner())
+        engine.checkpoint(b"one", step=1)
+        free = engine.free_slots
+        engine.checkpoint(b"two", step=2)
+        assert engine.free_slots == free
+        assert engine.held_slots == ()
+
+    def test_accepting_custodian_defers_until_release(self):
+        class Holder:
+            def __init__(self):
+                self.taken = []
+
+            def take_superseded(self, meta, slot):
+                self.taken.append(slot)
+                return True
+
+        holder = Holder()
+        engine = CheckpointEngine(make_layout(), slot_custodian=holder)
+        engine.checkpoint(b"one", step=1)
+        free = engine.free_slots
+        engine.checkpoint(b"two", step=2)
+        assert holder.taken and engine.free_slots == free - 1
+        assert engine.held_slots == tuple(sorted(holder.taken))
+        engine.release_held_slot(holder.taken[0])
+        assert engine.free_slots == free
+        assert engine.held_slots == ()
+
+
+class TestWaitBeforeRoundOpens:
+    """A waiter may line up before any rank's commit opened the round —
+    the natural pipelined flow is checkpoint_async(step) followed
+    immediately by wait_consistent(step)."""
+
+    def test_wait_consistent_lines_up_before_any_commit(self):
+        with DistributedCoordinator(world_size=2, timeout=SETTLE_SECONDS) as coord:
+            orchs = [
+                DistributedOrchestrator.create(
+                    rank, make_layout(), coord,
+                    num_chunks=2, chunk_size=256, writer_threads=2,
+                )
+                for rank in range(2)
+            ]
+            try:
+                for orch in orchs:
+                    orch.checkpoint_async(
+                        BytesSource(payload(orch.rank, 1)), step=1
+                    )
+                # The round for step 1 almost certainly hasn't opened yet;
+                # the waiter must block for it rather than raise.
+                for orch in orchs:
+                    outcome = orch.wait_consistent(1, timeout=SETTLE_SECONDS)
+                    assert outcome.status == "completed"
+                assert coord.peer_check == 1
+            finally:
+                for orch in orchs:
+                    orch.close()
+
+    def test_wait_round_times_out_when_no_rank_commits(self):
+        with DistributedCoordinator(world_size=2, timeout=30.0) as coord:
+            started = time.monotonic()
+            with pytest.raises(DistributedTimeoutError) as excinfo:
+                coord.wait_round(99, timeout=0.2)
+            assert time.monotonic() - started < SETTLE_SECONDS
+            assert "no coordination round opened" in str(excinfo.value)
+
+    def test_wait_open_sees_already_settled_round(self):
+        with DistributedCoordinator(world_size=1, timeout=30.0) as coord:
+            # world of one: the round opens and completes inside arrive().
+            coord.barrier.arrive(0, 1)
+            assert coord.barrier.wait_open(1, timeout=0.0)
+            assert coord.wait_round(1, timeout=0.2).status == "completed"

@@ -197,3 +197,36 @@ class TestAllOf:
         sim = Simulator()
         barrier = all_of(sim, [])
         assert barrier.triggered
+
+
+class TestAnyOf:
+    def test_first_event_wins(self):
+        from repro.sim.core import any_of
+
+        sim = Simulator()
+        events = [sim.timeout(t, value=t) for t in (4.0, 1.0, 3.0)]
+        done = []
+
+        def proc():
+            value = yield any_of(sim, events)
+            done.append((sim.now, value))
+
+        sim.process(proc())
+        sim.run()
+        assert done == [(1.0, 1.0)]
+
+    def test_later_finishers_are_ignored(self):
+        from repro.sim.core import any_of
+
+        sim = Simulator()
+        race = any_of(sim, [sim.timeout(1.0), sim.timeout(2.0)])
+        sim.run()
+        assert race.triggered  # fired exactly once, no double-succeed
+
+    def test_empty_race_rejected(self):
+        from repro.sim.core import any_of
+        from repro.errors import SimulationError
+
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            any_of(sim, [])

@@ -127,3 +127,71 @@ class TestSingleWorkerDegenerate:
         assert explicit.throughput == pytest.approx(
             shortcut.throughput, rel=0.02
         )
+
+
+class TestFailureModel:
+    """Dead ranks, round deadlines, and degraded mode — aligned with the
+    functional coordinator in repro.core.distributed."""
+
+    def test_dead_rank_requires_timeout(self):
+        with pytest.raises(SimulationError):
+            DistributedPCcheckSim(
+                get_workload("opt_2_7b"), interval=10, dead_rank=1,
+            )
+
+    def test_dead_rank_out_of_range_rejected(self):
+        with pytest.raises(SimulationError):
+            DistributedPCcheckSim(
+                get_workload("opt_2_7b"), interval=10,
+                dead_rank=7, barrier_timeout=1.0,
+            )
+
+    def test_healthy_run_reports_round_stats(self):
+        result = run_distributed_throughput(
+            "opt_2_7b", 10, config=config_for("opt_2_7b"),
+            num_iterations=60,
+        )
+        assert result.rounds_completed == 6
+        assert result.rounds_failed == 0
+        assert not result.degraded
+        assert result.peer_check == 60
+
+    def test_dead_rank_degrades_without_deadlock(self):
+        """A rank dying mid-run fails exactly one round, freezes
+        peer_check at the last consistent step, and suspends further
+        checkpointing — the simulation still terminates."""
+        result = run_distributed_throughput(
+            "opt_2_7b", 10, config=config_for("opt_2_7b"),
+            num_iterations=60, dead_rank=1, dead_after_step=20,
+            barrier_timeout=1000.0,
+        )
+        assert result.peer_check == 20
+        assert result.rounds_completed == 2
+        # Every round in flight when the rank died fails (the slots held
+        # across them throttle how many that can be), never fewer than 1.
+        assert result.rounds_failed >= 1
+        assert result.degraded
+
+    def test_slow_straggler_with_tight_deadline_degrades(self):
+        result = run_distributed_throughput(
+            "opt_2_7b", 10, config=config_for("opt_2_7b"),
+            num_iterations=60, straggler_factors=[1.0, 0.01],
+            barrier_timeout=0.5,
+        )
+        assert result.degraded
+        assert result.rounds_failed >= 1
+        assert result.rounds_completed == 0
+        assert result.peer_check == -1
+
+    def test_generous_deadline_changes_nothing(self):
+        config = config_for("opt_2_7b")
+        plain = run_distributed_throughput(
+            "opt_2_7b", 10, config=config, num_iterations=60,
+        )
+        bounded = run_distributed_throughput(
+            "opt_2_7b", 10, config=config, num_iterations=60,
+            barrier_timeout=1e6,
+        )
+        assert bounded.rounds_completed == plain.rounds_completed
+        assert bounded.throughput == pytest.approx(plain.throughput)
+        assert not bounded.degraded
