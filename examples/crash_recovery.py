@@ -51,7 +51,9 @@ def run_with_crash_budget(budget, rng=None):
     inner.recover()
     try:
         layout = DeviceLayout.open(inner)
-    except Exception:
+    # A crash can leave the superblock torn; this demo maps "layout
+    # unreadable" to "nothing recovered" rather than dying.
+    except Exception:  # pclint: disable=PC005
         return acked, None
     return acked, try_recover(layout)
 

@@ -1,0 +1,95 @@
+"""Checked-in finding baselines: fail CI only on *new* findings.
+
+A baseline is a JSON snapshot of known findings.  Each finding is
+fingerprinted on ``(path, rule, message)`` — deliberately **not** on
+the line number, so unrelated edits that shift code up or down do not
+resurrect baselined findings.  Identical findings are counted: if the
+baseline holds two occurrences of a fingerprint and a run produces
+three, one is new.
+
+The workflow:
+
+* ``pccheck-lint --write-baseline lint-baseline.json src`` snapshots
+  the current findings;
+* ``pccheck-lint --baseline lint-baseline.json src`` subtracts them —
+  the report and the exit code reflect only findings the baseline does
+  not cover.
+
+The baseline is a ratchet for *legacy* debt, not a dumping ground: new
+whole-program findings (PC009–PC011) in ``repro/core`` are fixed or
+carry an inline justified suppression, never silently baselined.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.static.diagnostics import Diagnostic
+
+#: Bump when the fingerprint or file layout changes.
+BASELINE_VERSION = 1
+
+
+def fingerprint(diagnostic: Diagnostic) -> str:
+    """Line-number-insensitive identity of one finding."""
+    path = diagnostic.path.replace(os.sep, "/")
+    return f"{path}::{diagnostic.rule_id}::{diagnostic.message}"
+
+
+def load_baseline(path: str) -> Counter:
+    """fingerprint -> allowed count, from a baseline file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    counts: Counter = Counter()
+    for entry in payload.get("findings", []):
+        key = f"{entry['path']}::{entry['rule']}::{entry['message']}"
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def save_baseline(path: str, diagnostics: Sequence[Diagnostic]) -> None:
+    """Snapshot ``diagnostics`` as the new baseline."""
+    grouped: Dict[str, Diagnostic] = {}
+    counts: Counter = Counter()
+    for diagnostic in diagnostics:
+        key = fingerprint(diagnostic)
+        grouped.setdefault(key, diagnostic)
+        counts[key] += 1
+    findings = [
+        {
+            "path": grouped[key].path.replace(os.sep, "/"),
+            "rule": grouped[key].rule_id,
+            "message": grouped[key].message,
+            "count": counts[key],
+        }
+        for key in sorted(grouped)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": findings}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def apply_baseline(
+    diagnostics: Sequence[Diagnostic], baseline: Counter
+) -> Tuple[List[Diagnostic], int]:
+    """(new findings, baselined count) after subtracting the baseline."""
+    remaining = Counter(baseline)
+    fresh: List[Diagnostic] = []
+    matched = 0
+    for diagnostic in sorted(diagnostics):
+        key = fingerprint(diagnostic)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            fresh.append(diagnostic)
+    return fresh, matched

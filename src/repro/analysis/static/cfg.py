@@ -1,0 +1,324 @@
+"""Per-function control-flow graphs for the whole-program rules.
+
+Pass 1 of the project analysis lowers every function body into a small
+statement-level CFG: one node per statement, edges for the possible
+successors, and a virtual ``EXIT`` id for normal function return.  The
+flow-aware rules (PC010 fence ordering, PC011 view escapes) then ask
+path questions — "does every path from this write to the exit cross a
+fence?", "can this view be read after its buffer was released?" —
+instead of relying on lexical ordering the way the per-file rules do.
+
+The graph is deliberately approximate in the places a lint-grade
+analysis can afford to be:
+
+* compound statements own only their *header* expressions (an ``if``
+  node owns the test, a ``with`` node owns its items); bodies are
+  separate nodes, so events are never double-counted;
+* ``try`` bodies may branch to their handlers from the block entry
+  (an exception before anything ran), handlers and bodies both funnel
+  through the ``finally`` block when one exists;
+* ``return``/``break``/``continue`` inside a ``try`` are routed through
+  the innermost ``finally`` — the extra finally→after edge this shares
+  with the normal path errs toward *requiring* discipline, never toward
+  missing a violation;
+* ``raise`` is a terminal node with no successors — crash paths are
+  exempt from fence-coverage obligations (recovery owns them), which
+  :func:`all_paths_reach` encodes by treating raises as vacuously true.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Virtual successor id meaning "the function returns normally here".
+EXIT = -1
+
+#: Statement types whose child statement lists become separate nodes.
+_COMPOUND = (
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+)
+if hasattr(ast, "TryStar"):  # pragma: no branch - version dependent
+    _COMPOUND = _COMPOUND + (ast.TryStar,)
+
+if hasattr(ast, "Match"):  # pragma: no branch - version dependent
+    _COMPOUND = _COMPOUND + (ast.Match,)
+
+
+def header_nodes(stmt: ast.stmt) -> List[ast.AST]:
+    """The AST nodes a CFG node *owns* (header only for compounds)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return list(stmt.items)
+    if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        # A nested definition's body does not execute here.
+        return list(stmt.decorator_list)
+    if _is_try(stmt):
+        return []
+    return [stmt]
+
+
+def _is_try(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, ast.Try):
+        return True
+    return hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+
+
+def iter_header_exprs(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Walk only the AST the node owns (see :func:`header_nodes`)."""
+    for root in header_nodes(stmt):
+        yield from ast.walk(root)
+
+
+@dataclass
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    statements: List[ast.stmt] = field(default_factory=list)
+    succ: List[List[int]] = field(default_factory=list)
+    #: Ids control can enter through (``[EXIT]`` for an empty body).
+    entry: List[int] = field(default_factory=list)
+
+    def calls_in(self, node_id: int) -> List[ast.Call]:
+        """Call expressions owned by this node, in source order."""
+        calls = [
+            n
+            for n in iter_header_exprs(self.statements[node_id])
+            if isinstance(n, ast.Call)
+        ]
+        calls.sort(key=lambda c: (c.lineno, c.col_offset))
+        return calls
+
+    def node_of(self, target: ast.AST) -> Optional[int]:
+        """The node whose owned header subtree contains ``target``."""
+        for node_id, stmt in enumerate(self.statements):
+            for child in iter_header_exprs(stmt):
+                if child is target:
+                    return node_id
+        return None
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+
+    def new(self, stmt: ast.stmt) -> int:
+        self.cfg.statements.append(stmt)
+        self.cfg.succ.append([])
+        return len(self.cfg.statements) - 1
+
+    def seq(
+        self,
+        body: Sequence[ast.stmt],
+        after: List[int],
+        loop: Optional[Tuple[List[int], List[int]]],
+        fin: Optional[List[int]],
+    ) -> List[int]:
+        """Wire ``body`` so control continues to ``after``; returns entries."""
+        entry = after
+        for stmt in reversed(body):
+            entry = self.stmt(stmt, entry, loop, fin)
+        return entry
+
+    def stmt(
+        self,
+        stmt: ast.stmt,
+        after: List[int],
+        loop: Optional[Tuple[List[int], List[int]]],
+        fin: Optional[List[int]],
+    ) -> List[int]:
+        if isinstance(stmt, ast.If):
+            node = self.new(stmt)
+            then_entry = self.seq(stmt.body, after, loop, fin)
+            else_entry = (
+                self.seq(stmt.orelse, after, loop, fin) if stmt.orelse else after
+            )
+            self.cfg.succ[node] = _dedupe(then_entry + else_entry)
+            return [node]
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            node = self.new(stmt)
+            exits = (
+                self.seq(stmt.orelse, after, loop, fin) if stmt.orelse else after
+            )
+            body_entry = self.seq(stmt.body, [node], ([node], after), fin)
+            targets = list(body_entry)
+            if not _loops_forever(stmt):
+                targets += exits
+            self.cfg.succ[node] = _dedupe(targets)
+            return [node]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self.new(stmt)
+            self.cfg.succ[node] = self.seq(stmt.body, after, loop, fin)
+            return [node]
+        if _is_try(stmt):
+            return self._try(stmt, after, loop, fin)
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            node = self.new(stmt)
+            entries: List[int] = []
+            exhaustive = any(
+                isinstance(case.pattern, ast.MatchAs) and case.pattern.pattern is None
+                for case in stmt.cases
+            )
+            for case in stmt.cases:
+                entries += self.seq(case.body, after, loop, fin)
+            if not exhaustive:
+                entries += after
+            self.cfg.succ[node] = _dedupe(entries)
+            return [node]
+        if isinstance(stmt, ast.Return):
+            node = self.new(stmt)
+            self.cfg.succ[node] = list(fin) if fin else [EXIT]
+            return [node]
+        if isinstance(stmt, ast.Raise):
+            node = self.new(stmt)
+            # Terminal: exception propagation is recovery's problem.
+            self.cfg.succ[node] = []
+            return [node]
+        if isinstance(stmt, ast.Continue):
+            node = self.new(stmt)
+            if fin:
+                self.cfg.succ[node] = list(fin)
+            else:
+                self.cfg.succ[node] = list(loop[0]) if loop else [EXIT]
+            return [node]
+        if isinstance(stmt, ast.Break):
+            node = self.new(stmt)
+            if fin:
+                self.cfg.succ[node] = list(fin)
+            else:
+                self.cfg.succ[node] = list(loop[1]) if loop else [EXIT]
+            return [node]
+        node = self.new(stmt)
+        self.cfg.succ[node] = list(after)
+        return [node]
+
+    def _try(
+        self,
+        stmt: ast.stmt,
+        after: List[int],
+        loop: Optional[Tuple[List[int], List[int]]],
+        fin: Optional[List[int]],
+    ) -> List[int]:
+        if stmt.finalbody:
+            fin_entry = self.seq(stmt.finalbody, after, loop, fin)
+            inner_fin: Optional[List[int]] = fin_entry
+            after_inner = fin_entry
+        else:
+            inner_fin = fin
+            after_inner = after
+        handler_entries: List[int] = []
+        for handler in stmt.handlers:
+            handler_entries += self.seq(
+                handler.body, after_inner, loop, inner_fin
+            )
+        orelse_entry = (
+            self.seq(stmt.orelse, after_inner, loop, inner_fin)
+            if stmt.orelse
+            else after_inner
+        )
+        body_entry = self.seq(stmt.body, orelse_entry, loop, inner_fin)
+        # An exception may fire before the first body statement completes,
+        # so handlers are alternative entries of the whole construct.
+        return _dedupe(body_entry + handler_entries)
+
+
+def _loops_forever(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.While)
+        and isinstance(stmt.test, ast.Constant)
+        and bool(stmt.test.value)
+    )
+
+
+def _dedupe(ids: List[int]) -> List[int]:
+    seen: Dict[int, None] = {}
+    for node_id in ids:
+        seen.setdefault(node_id)
+    return list(seen)
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """CFG over ``func``'s immediate body (nested defs stay opaque)."""
+    builder = _Builder()
+    body = getattr(func, "body", [])
+    entry = builder.seq(body, [EXIT], loop=None, fin=None)
+    builder.cfg.entry = entry
+    return builder.cfg
+
+
+def all_paths_reach(
+    cfg: CFG,
+    satisfies: Callable[[int], bool],
+    start: Sequence[int],
+) -> bool:
+    """Does every path from ``start`` hit a satisfying node before EXIT?
+
+    A node satisfies by its own events (``satisfies(id)``); ``raise``
+    nodes are vacuously satisfied (the exception path carries no
+    obligation); a direct edge to ``EXIT`` from an unsatisfied node is a
+    counterexample.  Computed as a greatest fixed point so loops that
+    never exit do not produce counterexamples.
+    """
+    n = len(cfg.statements)
+    good = [True] * n
+
+    def settled(node_id: int) -> bool:
+        if satisfies(node_id):
+            return True
+        stmt = cfg.statements[node_id]
+        if isinstance(stmt, ast.Raise):
+            return True
+        succ = cfg.succ[node_id]
+        if not succ:
+            # Dead end that is not a raise (e.g. trailing loop body):
+            # no path escapes, so no counterexample either.
+            return True
+        return all(s != EXIT and good[s] for s in succ)
+
+    changed = True
+    while changed:
+        changed = False
+        for node_id in range(n):
+            if good[node_id] and not settled(node_id):
+                good[node_id] = False
+                changed = True
+    if EXIT in start:
+        return False
+    return all(good[s] for s in start)
+
+
+def paths_from(
+    cfg: CFG, start: Sequence[int], stop: Callable[[int], bool]
+) -> Iterator[int]:
+    """Every node reachable from ``start`` without crossing a stop node.
+
+    ``stop`` is evaluated on each reached node *before* yielding it —
+    a stopping node is neither yielded nor expanded.  Start nodes are
+    included in the walk.
+    """
+    seen = set()
+    stack = [s for s in start if s != EXIT]
+    while stack:
+        node_id = stack.pop()
+        if node_id in seen or node_id == EXIT:
+            continue
+        seen.add(node_id)
+        if stop(node_id):
+            continue
+        yield node_id
+        stack.extend(s for s in cfg.succ[node_id] if s != EXIT)

@@ -1,0 +1,400 @@
+"""Zero-copy escape analysis for PC011.
+
+The zero-copy persist pipeline (PR 3/4) hands out *views* over pooled
+staging buffers: ``memoryview`` slices that alias the buffer's memory
+without copying.  A view is only valid while its backing buffer is
+checked out of the pool; once ``pool.release(buf)`` runs, the buffer
+may be recycled into another checkpoint's staging area and the view
+silently reads (or worse, a writer overwrites) someone else's bytes.
+
+This module finds, per function:
+
+* **pooled buffers** — variables acquired from a pool-ish receiver
+  (``x = self._pool.acquire(...)``) or passed to its ``release`` /
+  ``recycle``;
+* **views** — ``v = x.view()``, ``v = memoryview(x...)``, and aliases
+  ``w = v``;
+* **escapes** of those views past the buffer's release:
+
+  - returned from the function (including ``try: return buf.view()``
+    with the release in a ``finally`` — the classic escape),
+  - stored on ``self`` (outliving the call frame),
+  - captured by a nested function / lambda or handed to a thread-spawn
+    call,
+  - read on some CFG path *after* the release executed
+    (use-after-release; rebinding the view ends its tracking).
+
+The first three only fire when the function also releases the backing
+buffer — a function that returns a view and never releases transfers
+ownership, which is the pool's documented hand-off pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.static.astutils import terminal_name
+from repro.analysis.static.cfg import (
+    CFG,
+    build_cfg,
+    iter_header_exprs,
+    paths_from,
+)
+from repro.analysis.static.callgraph import own_nodes
+
+#: Receiver-name substrings that mark an object as a buffer pool.
+POOLISH = ("pool", "staging", "arena")
+
+#: Calls that give a buffer back to its pool.
+RELEASE_CALLS = {"release", "recycle"}
+
+#: Calls whose arguments run on another thread / deferred context.
+SPAWN_CALLS = {"Thread", "submit", "start_new_thread", "run_in_executor", "spawn"}
+
+
+@dataclass(frozen=True)
+class EscapeFinding:
+    """One view escaping its buffer's checkout window."""
+
+    kind: str  # return | store | capture | use-after-release
+    line: int
+    col: int
+    view: str
+    buffer: str
+    detail: str
+
+
+def _poolish(expr: ast.expr) -> bool:
+    name = terminal_name(expr)
+    if not name:
+        return False
+    lowered = name.lower()
+    return any(marker in lowered for marker in POOLISH)
+
+
+def _reads(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(n, ast.Name) and n.id == name and isinstance(n.ctx, ast.Load)
+        for n in ast.walk(node)
+    )
+
+
+def _stmt_reads(stmt: ast.stmt, name: str) -> bool:
+    return any(
+        isinstance(n, ast.Name) and n.id == name and isinstance(n.ctx, ast.Load)
+        for n in iter_header_exprs(stmt)
+    )
+
+
+def _stmt_assigns(stmt: ast.stmt, name: str) -> bool:
+    return any(
+        isinstance(n, ast.Name) and n.id == name and isinstance(n.ctx, ast.Store)
+        for n in iter_header_exprs(stmt)
+    )
+
+
+def _fresh_view_of(expr: ast.AST, buffers: Set[str]) -> Optional[str]:
+    """Buffer name if ``expr`` is a direct ``buf.view(...)`` over one."""
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "view"
+        and isinstance(expr.func.value, ast.Name)
+        and expr.func.value.id in buffers
+    ):
+        return expr.func.value.id
+    return None
+
+
+def analyze_function(func_node: ast.AST) -> List[EscapeFinding]:
+    """All view escapes in one function (nested defs analysed separately)."""
+    pooled, views, releases = _collect(func_node)
+    if not views and not any(
+        isinstance(n, ast.Call)
+        and isinstance(n.func, ast.Attribute)
+        and n.func.attr == "view"
+        for n in own_nodes(func_node)
+    ):
+        return []
+    released: Set[str] = {buf for _, buf in releases}
+    findings: List[EscapeFinding] = []
+    escaped_views = {v: b for v, b in views.items() if b in released}
+
+    for node in own_nodes(func_node):
+        # -- returned views -------------------------------------------
+        if isinstance(node, ast.Return) and node.value is not None:
+            for view, buf in escaped_views.items():
+                if _reads(node.value, view):
+                    findings.append(
+                        EscapeFinding(
+                            "return", node.lineno, node.col_offset, view, buf,
+                            f"view '{view}' of pooled buffer '{buf}' is "
+                            f"returned, but the buffer is released in this "
+                            f"function",
+                        )
+                    )
+            buf = _fresh_view_of(node.value, released)
+            if buf is not None:
+                findings.append(
+                    EscapeFinding(
+                        "return", node.lineno, node.col_offset, "<view>", buf,
+                        f"a fresh view of pooled buffer '{buf}' is returned, "
+                        f"but the buffer is released in this function",
+                    )
+                )
+        # -- views stored on self -------------------------------------
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                base = target
+                while isinstance(base, (ast.Attribute, ast.Subscript)):
+                    base = base.value
+                if not (isinstance(base, ast.Name) and base.id == "self"):
+                    continue
+                if target is base:
+                    continue
+                for view, buf in escaped_views.items():
+                    if _reads(node.value, view):
+                        findings.append(
+                            EscapeFinding(
+                                "store", node.lineno, node.col_offset, view,
+                                buf,
+                                f"view '{view}' of pooled buffer '{buf}' is "
+                                f"stored on self and outlives the buffer's "
+                                f"release",
+                            )
+                        )
+                fresh = _fresh_view_of(node.value, released)
+                if fresh is not None:
+                    findings.append(
+                        EscapeFinding(
+                            "store", node.lineno, node.col_offset, "<view>",
+                            fresh,
+                            f"a fresh view of pooled buffer '{fresh}' is "
+                            f"stored on self and outlives the buffer's "
+                            f"release",
+                        )
+                    )
+        # -- views appended to self-owned containers ------------------
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in {"append", "add", "put", "setdefault"}
+        ):
+            base = node.func.value
+            while isinstance(base, (ast.Attribute, ast.Subscript)):
+                base = base.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                for view, buf in escaped_views.items():
+                    if any(_reads(arg, view) for arg in node.args):
+                        findings.append(
+                            EscapeFinding(
+                                "store", node.lineno, node.col_offset, view,
+                                buf,
+                                f"view '{view}' of pooled buffer '{buf}' is "
+                                f"stored on self and outlives the buffer's "
+                                f"release",
+                            )
+                        )
+                for arg in node.args:
+                    fresh = _fresh_view_of(arg, released)
+                    if fresh is not None:
+                        findings.append(
+                            EscapeFinding(
+                                "store", node.lineno, node.col_offset,
+                                "<view>", fresh,
+                                f"a fresh view of pooled buffer '{fresh}' is "
+                                f"stored on self and outlives the buffer's "
+                                f"release",
+                            )
+                        )
+        # -- views handed to spawn calls ------------------------------
+        if isinstance(node, ast.Call) and (
+            terminal_name(node.func) in SPAWN_CALLS
+        ):
+            for view, buf in escaped_views.items():
+                captured = any(
+                    _reads(arg, view) for arg in node.args
+                ) or any(
+                    kw.value is not None and _reads(kw.value, view)
+                    for kw in node.keywords
+                )
+                if captured:
+                    findings.append(
+                        EscapeFinding(
+                            "capture", node.lineno, node.col_offset, view, buf,
+                            f"view '{view}' of pooled buffer '{buf}' is "
+                            f"passed to '{terminal_name(node.func)}' and may "
+                            f"run after the buffer's release",
+                        )
+                    )
+            for arg in list(node.args) + [
+                kw.value for kw in node.keywords if kw.value is not None
+            ]:
+                fresh = next(
+                    (
+                        buf
+                        for sub in ast.walk(arg)
+                        if (buf := _fresh_view_of(sub, released)) is not None
+                    ),
+                    None,
+                )
+                if fresh is not None:
+                    findings.append(
+                        EscapeFinding(
+                            "capture", node.lineno, node.col_offset, "<view>",
+                            fresh,
+                            f"a fresh view of pooled buffer '{fresh}' is "
+                            f"passed to '{terminal_name(node.func)}' and may "
+                            f"run after the buffer's release",
+                        )
+                    )
+
+    # -- closure capture by nested defs -------------------------------
+    for node in ast.walk(func_node):
+        if node is func_node or not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        inner_params = {
+            a.arg
+            for a in list(node.args.posonlyargs)
+            + list(node.args.args)
+            + list(node.args.kwonlyargs)
+        }
+        for view, buf in escaped_views.items():
+            if view in inner_params:
+                continue
+            body = node.body if isinstance(node.body, list) else [node.body]
+            if any(_reads(stmt, view) for stmt in body):
+                findings.append(
+                    EscapeFinding(
+                        "capture", node.lineno, node.col_offset, view, buf,
+                        f"view '{view}' of pooled buffer '{buf}' is captured "
+                        f"by a nested function and may run after the "
+                        f"buffer's release",
+                    )
+                )
+
+    findings.extend(_use_after_release(func_node, views, releases))
+    return findings
+
+
+def _collect(
+    func_node: ast.AST,
+) -> Tuple[Set[str], Dict[str, str], List[Tuple[ast.Call, str]]]:
+    """(pooled buffer names, view -> buffer, [(release call, buffer)])."""
+    pooled: Set[str] = set()
+    releases: List[Tuple[ast.Call, str]] = []
+    assigns: List[ast.Assign] = []
+    for node in own_nodes(func_node):
+        if isinstance(node, ast.Assign):
+            assigns.append(node)
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in RELEASE_CALLS
+            and _poolish(node.func.value)
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+        ):
+            pooled.add(node.args[0].id)
+            releases.append((node, node.args[0].id))
+    for node in assigns:
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr == "acquire"
+            and _poolish(node.value.func.value)
+        ):
+            pooled.add(node.targets[0].id)
+    views: Dict[str, str] = {}
+    changed = True
+    while changed:
+        changed = False
+        for node in assigns:
+            if len(node.targets) != 1 or not isinstance(
+                node.targets[0], ast.Name
+            ):
+                continue
+            target = node.targets[0].id
+            if target in views:
+                continue
+            buf = _view_source(node.value, pooled, views)
+            if buf is not None:
+                views[target] = buf
+                changed = True
+    return pooled, views, releases
+
+
+def _view_source(
+    value: ast.expr, pooled: Set[str], views: Dict[str, str]
+) -> Optional[str]:
+    """The pooled buffer a view expression derives from, if any."""
+    if isinstance(value, ast.Call):
+        func = value.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "view"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in pooled
+        ):
+            return func.value.id
+        if isinstance(func, ast.Name) and func.id == "memoryview" and value.args:
+            arg = value.args[0]
+            base = arg
+            while isinstance(base, (ast.Attribute, ast.Subscript)):
+                base = base.value
+            if isinstance(base, ast.Name) and base.id in pooled:
+                return base.id
+    if isinstance(value, ast.Name):
+        if value.id in views:
+            return views[value.id]
+    if isinstance(value, ast.Subscript):
+        base = value.value
+        if isinstance(base, ast.Name) and base.id in views:
+            return views[base.id]
+    return None
+
+
+def _use_after_release(
+    func_node: ast.AST,
+    views: Dict[str, str],
+    releases: List[Tuple[ast.Call, str]],
+) -> List[EscapeFinding]:
+    """Views read on a CFG path after their buffer was released."""
+    if not views or not releases:
+        return []
+    cfg: CFG = build_cfg(func_node)
+    findings: List[EscapeFinding] = []
+    reported: Set[Tuple[str, int]] = set()
+    for call, buf in releases:
+        release_node = cfg.node_of(call)
+        if release_node is None:
+            continue
+        for view, owner in views.items():
+            if owner != buf:
+                continue
+            for reached in paths_from(
+                cfg,
+                cfg.succ[release_node],
+                stop=lambda nid, v=view: _stmt_assigns(cfg.statements[nid], v),
+            ):
+                stmt = cfg.statements[reached]
+                if _stmt_reads(stmt, view) and (view, stmt.lineno) not in reported:
+                    reported.add((view, stmt.lineno))
+                    findings.append(
+                        EscapeFinding(
+                            "use-after-release",
+                            stmt.lineno,
+                            stmt.col_offset,
+                            view,
+                            buf,
+                            f"view '{view}' is read after pooled buffer "
+                            f"'{buf}' was released on this path",
+                        )
+                    )
+    return findings

@@ -11,6 +11,7 @@ the suppression machinery covers the rest.
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.static.astutils import dotted_name, terminal_name
@@ -18,21 +19,41 @@ from repro.analysis.static.astutils import dotted_name, terminal_name
 #: Constructors that produce lock-like objects.
 LOCK_FACTORIES: Set[str] = {"Lock", "RLock", "Semaphore", "BoundedSemaphore"}
 
-#: Last-segment substrings that mark a name as a lock.
+#: Substrings (within one word) that mark a name as a lock.
 _LOCK_MARKERS = ("lock", "mutex")
 
-#: Substrings that veto the marker match ("blocking", "unblock", ...).
-_LOCK_VETOES = ("block",)
+#: Whole words that must not count as a marker hit: ``block`` contains
+#: the substring ``lock``, so without this list ``blocking``/``unblock``
+#: would read as locks.  The veto is per *word*, not per name — a name
+#: like ``block_lock`` or ``blocking_write_lock`` still has a genuine
+#: standalone ``lock`` word and is recognised.
+_LOCK_VETO_WORDS = frozenset(
+    {
+        "block",
+        "blocks",
+        "blocked",
+        "blocking",
+        "unblock",
+        "unblocked",
+        "nonblocking",
+    }
+)
+
+#: Identifier words: underscore- and camelCase-separated runs.
+_WORD = re.compile(r"[A-Za-z][a-z0-9]*")
 
 
 def name_is_lock(name: Optional[str]) -> bool:
     """Does this identifier's spelling look like a lock?"""
     if not name:
         return False
-    lowered = name.lower()
-    if any(veto in lowered for veto in _LOCK_VETOES):
-        return False
-    return any(marker in lowered for marker in _LOCK_MARKERS)
+    for match in _WORD.finditer(name):
+        word = match.group(0).lower()
+        if word in _LOCK_VETO_WORDS:
+            continue
+        if any(marker in word for marker in _LOCK_MARKERS):
+            return True
+    return False
 
 
 def expr_is_lock(expr: ast.expr) -> bool:

@@ -1,12 +1,13 @@
-"""Render lint diagnostics as text or JSON."""
+"""Render lint diagnostics as text, JSON, or SARIF."""
 
 from __future__ import annotations
 
 import json
+import os
 from collections import Counter
 from typing import List
 
-from repro.analysis.static.diagnostics import Diagnostic
+from repro.analysis.static.diagnostics import Diagnostic, Severity
 
 
 def render_text(diagnostics: List[Diagnostic], files_checked: int) -> str:
@@ -37,4 +38,61 @@ def render_json(diagnostics: List[Diagnostic], files_checked: int) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-REPORTERS = {"text": render_text, "json": render_json}
+def render_sarif(diagnostics: List[Diagnostic], files_checked: int) -> str:
+    """SARIF 2.1.0 report, consumable by code-scanning UIs."""
+    from repro.analysis.static.rulebase import all_rules
+
+    rules = [
+        {
+            "id": rule.rule_id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.title},
+        }
+        for rule in all_rules()
+    ]
+    results = [
+        {
+            "ruleId": d.rule_id,
+            "level": "error" if d.severity is Severity.ERROR else "warning",
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": d.path.replace(os.sep, "/")
+                        },
+                        "region": {
+                            "startLine": d.line,
+                            "startColumn": max(d.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for d in diagnostics
+    ]
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "pccheck-lint",
+                        "informationUri": (
+                            "https://github.com/pccheck/pccheck"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+REPORTERS = {"text": render_text, "json": render_json, "sarif": render_sarif}

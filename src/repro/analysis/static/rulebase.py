@@ -12,12 +12,19 @@ from repro.errors import ConfigError
 
 @dataclass
 class FileContext:
-    """Everything a rule needs to analyse one source file."""
+    """Everything a rule needs to analyse one source file.
+
+    ``project_mode`` tells a rule that the whole-program pass is also
+    running: PC004 uses it to defer its "commit write must be followed
+    by a fence in this function" half to the interprocedural PC010,
+    which understands fences placed in callers.
+    """
 
     path: str
     source: str
     tree: ast.Module
     lines: List[str] = field(default_factory=list)
+    project_mode: bool = False
 
     def __post_init__(self) -> None:
         if not self.lines:
@@ -56,6 +63,41 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules (PC009, PC010, ...).
+
+    Project rules run once per lint invocation against the shared
+    :class:`~repro.analysis.static.projectindex.ProjectIndex` instead
+    of once per file; :meth:`check` is a no-op so a project rule mixed
+    into a per-file run contributes nothing.
+    """
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        return []
+
+    def check_project(self, index) -> Iterable[Diagnostic]:
+        """Yield findings over the whole indexed project."""
+        raise NotImplementedError
+
+    def report_at(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        severity: Severity = Severity.ERROR,
+    ) -> Diagnostic:
+        """Build a diagnostic anchored at an explicit position."""
+        return Diagnostic(
+            path=path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            message=message,
+            severity=severity,
+        )
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 
@@ -75,6 +117,16 @@ def all_rules() -> List[Rule]:
     import repro.analysis.static.rules  # noqa: F401
 
     return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def all_file_rules() -> List[Rule]:
+    """Fresh instances of the per-file rules only."""
+    return [r for r in all_rules() if not isinstance(r, ProjectRule)]
+
+
+def all_project_rules() -> List[ProjectRule]:
+    """Fresh instances of the whole-program rules only."""
+    return [r for r in all_rules() if isinstance(r, ProjectRule)]
 
 
 def rule_ids() -> List[str]:

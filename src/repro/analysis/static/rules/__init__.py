@@ -8,6 +8,9 @@ from repro.analysis.static.rules.pc005 import SwallowedEngineError
 from repro.analysis.static.rules.pc006 import MagicNumberBackoff
 from repro.analysis.static.rules.pc007 import HandRolledTelemetry
 from repro.analysis.static.rules.pc008 import PayloadCopyOnHotPath
+from repro.analysis.static.rules.pc009 import LockOrderCycle
+from repro.analysis.static.rules.pc010 import InterprocedurallyUnfencedCommit
+from repro.analysis.static.rules.pc011 import EscapingZeroCopyView
 
 __all__ = [
     "BlockingCallUnderLock",
@@ -18,4 +21,7 @@ __all__ = [
     "MagicNumberBackoff",
     "HandRolledTelemetry",
     "PayloadCopyOnHotPath",
+    "LockOrderCycle",
+    "InterprocedurallyUnfencedCommit",
+    "EscapingZeroCopyView",
 ]

@@ -14,7 +14,11 @@ commit.  Lexically, inside one function that means:
 
 Cross-function fence ordering (e.g. the engine persisting the slot
 header in ``_commit`` before calling ``_write_commit_record``) is out
-of lexical reach and is covered by the runtime sanitizer instead.
+of lexical reach.  In project mode the interprocedural PC010 owns the
+"followed by a fence" half — it sees fences placed in callers and
+``persist_many`` single-fence batches — so this rule then checks only
+the intra-function slot-write-before-commit ordering and leaves the
+rest to PC010.  Single-file runs keep both halves.
 """
 
 from __future__ import annotations
@@ -90,7 +94,9 @@ class UnfencedCommitRecord(Rule):
             and _targets_slot(c)
         ]
         for write in commit_writes:
-            if not any(position(f) > position(write) for f in fences):
+            if not ctx.project_mode and not any(
+                position(f) > position(write) for f in fences
+            ):
                 yield self.report(
                     ctx,
                     write,

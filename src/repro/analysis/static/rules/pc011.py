@@ -1,0 +1,41 @@
+"""PC011: zero-copy views must not escape their buffer's checkout.
+
+The persist pipeline's zero-copy contract (PR 3/4) is that a
+``memoryview``/``PinnedBuffer.view()`` over a pooled staging buffer is
+a *loan*: valid only between the pool ``acquire`` and the matching
+``release``.  A view that leaks past the release aliases memory the
+pool will hand to the next checkpoint — the corruption is silent and
+appears as a torn or cross-contaminated checkpoint long after the
+buggy frame returned.
+
+The flow analysis lives in :mod:`repro.analysis.static.escape`; this
+rule runs it over every indexed function and reports each escape:
+views returned while the function releases the buffer (including the
+``try: return buf.view()`` / ``finally: release`` shape), views stored
+on ``self``, views captured by nested functions or thread-spawn calls,
+and views read on a CFG path after the release executed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.static.diagnostics import Diagnostic
+from repro.analysis.static.escape import analyze_function
+from repro.analysis.static.rulebase import ProjectRule, register
+
+
+@register
+class EscapingZeroCopyView(ProjectRule):
+    rule_id = "PC011"
+    title = "zero-copy view escapes its pooled buffer's lifetime"
+
+    def check_project(self, index) -> Iterable[Diagnostic]:
+        for finfo in index.functions.values():
+            for finding in analyze_function(finfo.node):
+                yield self.report_at(
+                    finfo.path,
+                    finding.line,
+                    finding.col + 1,
+                    f"{finding.detail} [{finding.kind}]",
+                )

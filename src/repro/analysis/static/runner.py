@@ -1,21 +1,55 @@
-"""Drive the lint rules over files and directories; CLI entry point."""
+"""Drive the lint rules over files and directories; CLI entry point.
+
+Two execution modes share this module:
+
+* **single-file** (:func:`lint_source`, or ``--no-project``) — the
+  original per-file rules PC001–PC008, no cross-file knowledge;
+* **project** (the default for :func:`lint_paths`) — pass 1 builds the
+  shared :class:`~repro.analysis.static.projectindex.ProjectIndex`
+  (incremental: unchanged files are not re-parsed, and ``--cache FILE``
+  persists the index across invocations), pass 2 replays the cached
+  per-file findings and runs the whole-program rules PC009–PC011 on
+  top.
+
+Exit codes (also documented in ``--help``):
+
+* ``0`` — clean: no findings (after baseline subtraction, if any);
+* ``1`` — findings were reported;
+* ``2`` — usage error: unknown rule id, missing path, bad baseline.
+
+Usage errors go to ``error_stream`` (default ``sys.stderr``) so the
+report on stdout stays machine-parseable for the JSON/SARIF formats.
+"""
 
 from __future__ import annotations
 
 import argparse
 import ast
 import os
+import pickle
 import sys
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.static.baseline import (
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
 from repro.analysis.static.diagnostics import (
     Diagnostic,
     Severity,
     SYNTAX_RULE_ID,
 )
+from repro.analysis.static.projectindex import CACHE_VERSION, ProjectIndex
 from repro.analysis.static.reporters import REPORTERS
-from repro.analysis.static.rulebase import FileContext, Rule, all_rules, rule_ids
-from repro.analysis.static.suppress import SuppressionIndex
+from repro.analysis.static.rulebase import (
+    FileContext,
+    Rule,
+    all_project_rules,
+    all_rules,
+    rule_ids,
+)
+from repro.analysis.static.suppress import Directive, SuppressionIndex
 
 _SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "build", "dist"}
 
@@ -39,7 +73,7 @@ def lint_source(
     rules: Optional[List[Rule]] = None,
     select: Optional[Set[str]] = None,
 ) -> List[Diagnostic]:
-    """Run the rule set over one in-memory source blob."""
+    """Run the rule set over one in-memory source blob (single-file mode)."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -69,12 +103,62 @@ def lint_source(
 def lint_paths(
     paths: Sequence[str],
     select: Optional[Set[str]] = None,
+    index: Optional[ProjectIndex] = None,
+    project: bool = True,
 ) -> Tuple[List[Diagnostic], int]:
     """Lint every python file under ``paths``.
 
     Returns (diagnostics, files_checked).  Unreadable files surface as
     PC000 diagnostics rather than aborting the run.
+
+    In project mode (the default) pass 1 refreshes ``index`` — passing
+    the same index again re-parses only files whose content hash
+    changed — and pass 2 runs the whole-program rules.  Project
+    findings are suppressed at their anchor line via the same
+    ``# pclint: disable=`` machinery as per-file findings.
     """
+    if not project:
+        return _lint_paths_flat(paths, select)
+    if index is None:
+        index = ProjectIndex()
+    covered = index.refresh(paths)
+    diagnostics: List[Diagnostic] = []
+    files_checked = 0
+    for path in covered:
+        record = index.records.get(path)
+        if record is None:
+            continue
+        if record.readable:
+            files_checked += 1
+        record.suppressions.reset_project_uses()
+        for diagnostic in record.file_diagnostics:
+            if _selected(diagnostic, select):
+                diagnostics.append(diagnostic)
+    for rule in all_project_rules():
+        if select and rule.rule_id not in select:
+            continue
+        for diagnostic in rule.check_project(index):
+            record = index.record_for(diagnostic.path)
+            if record is not None and (
+                record.suppressions.skip_file
+                or record.suppressions.is_suppressed(diagnostic, project=True)
+            ):
+                continue
+            if _selected(diagnostic, select):
+                diagnostics.append(diagnostic)
+    return sorted(set(diagnostics)), files_checked
+
+
+def _selected(diagnostic: Diagnostic, select: Optional[Set[str]]) -> bool:
+    # Syntax/read failures are reported regardless of --select.
+    if diagnostic.rule_id == SYNTAX_RULE_ID:
+        return True
+    return not select or diagnostic.rule_id in select
+
+
+def _lint_paths_flat(
+    paths: Sequence[str], select: Optional[Set[str]]
+) -> Tuple[List[Diagnostic], int]:
     rules = all_rules()
     diagnostics: List[Diagnostic] = []
     files_checked = 0
@@ -100,11 +184,63 @@ def lint_paths(
     return sorted(diagnostics), files_checked
 
 
+def unused_suppressions(index: ProjectIndex) -> List[Tuple[str, Directive]]:
+    """(path, directive) for every suppression that silenced nothing."""
+    stale: List[Tuple[str, Directive]] = []
+    for path in sorted(index.records):
+        record = index.records[path]
+        if record.suppressions.skip_file:
+            continue
+        for directive in record.suppressions.unused_directives():
+            stale.append((path, directive))
+    return stale
+
+
+# ----------------------------------------------------------------------
+# index cache persistence
+
+
+def load_index_cache(path: str) -> ProjectIndex:
+    """A pickled index from ``path``, or a fresh one when unusable."""
+    try:
+        with open(path, "rb") as handle:
+            index = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return ProjectIndex()
+    if (
+        not isinstance(index, ProjectIndex)
+        or getattr(index, "cache_version", None) != CACHE_VERSION
+    ):
+        return ProjectIndex()
+    return index
+
+
+def save_index_cache(path: str, index: ProjectIndex) -> None:
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as handle:
+        pickle.dump(index, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+_EPILOG = """\
+exit codes:
+  0  clean: no findings (after --baseline subtraction, if given)
+  1  findings were reported
+  2  usage error (unknown rule id, missing path, unreadable baseline)
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pccheck-lint",
         description="Concurrency-invariant linter for the PCcheck repo "
-        "(rules PC001-PC008).",
+        "(per-file rules PC001-PC008, whole-program rules PC009-PC011).",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories"
@@ -118,6 +254,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--no-project", action="store_true",
+        help="per-file rules only; skip the whole-program pass",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="subtract known findings in FILE; only new ones count",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="snapshot current findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help="persist the project index; warm runs re-parse only "
+        "changed files",
+    )
+    parser.add_argument(
+        "--warn-unused-suppressions", action="store_true",
+        help="report pclint directives that silenced nothing",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
     )
     return parser
@@ -128,9 +285,21 @@ def run_lint(
     report_format: str = "text",
     select: Optional[str] = None,
     stream=None,
+    error_stream=None,
+    project: bool = True,
+    baseline: Optional[str] = None,
+    write_baseline: Optional[str] = None,
+    cache: Optional[str] = None,
+    warn_unused_suppressions: bool = False,
 ) -> int:
-    """Shared implementation behind ``pccheck-lint`` and ``repro.cli lint``."""
+    """Shared implementation behind ``pccheck-lint`` and ``repro.cli lint``.
+
+    Returns the documented exit code (0 clean / 1 findings / 2 usage
+    error).  Usage errors are written to ``error_stream`` so stdout
+    stays parseable.
+    """
     stream = stream or sys.stdout
+    error_stream = error_stream or sys.stderr
     selected: Optional[Set[str]] = None
     if select:
         selected = {part.strip().upper() for part in select.split(",") if part.strip()}
@@ -138,14 +307,61 @@ def run_lint(
         if unknown:
             print(
                 f"unknown rule id(s): {', '.join(sorted(unknown))}",
-                file=sys.stderr,
+                file=error_stream,
             )
             return 2
+    if report_format not in REPORTERS:
+        print(f"unknown format: {report_format}", file=error_stream)
+        return 2
     missing = [p for p in paths if not os.path.exists(p)]
     if missing:
-        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        print(f"no such path: {', '.join(missing)}", file=error_stream)
         return 2
-    diagnostics, files_checked = lint_paths(paths, select=selected)
+    known_findings = None
+    if baseline:
+        try:
+            known_findings = load_baseline(baseline)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"cannot load baseline {baseline}: {exc}", file=error_stream)
+            return 2
+
+    index: Optional[ProjectIndex] = None
+    if project:
+        index = load_index_cache(cache) if cache else ProjectIndex()
+    diagnostics, files_checked = lint_paths(
+        paths, select=selected, index=index, project=project
+    )
+    if cache and index is not None:
+        save_index_cache(cache, index)
+
+    if write_baseline:
+        save_baseline(write_baseline, diagnostics)
+        print(
+            f"baseline: wrote {len(diagnostics)} finding(s) to "
+            f"{write_baseline}",
+            file=error_stream,
+        )
+        return 0
+
+    if known_findings is not None:
+        diagnostics, matched = apply_baseline(diagnostics, known_findings)
+        print(
+            f"baseline: {matched} known finding(s) subtracted",
+            file=error_stream,
+        )
+
+    if warn_unused_suppressions and index is not None:
+        for path, directive in unused_suppressions(index):
+            rules = (
+                "all rules"
+                if "*" in directive.rules
+                else ",".join(sorted(directive.rules))
+            )
+            print(
+                f"{path}:{directive.line}: unused suppression ({rules})",
+                file=error_stream,
+            )
+
     print(REPORTERS[report_format](diagnostics, files_checked), file=stream)
     return 1 if diagnostics else 0
 
@@ -156,7 +372,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for rule in all_rules():
             print(f"{rule.rule_id}  {rule.title}")
         return 0
-    return run_lint(args.paths, report_format=args.format, select=args.select)
+    return run_lint(
+        args.paths,
+        report_format=args.format,
+        select=args.select,
+        project=not args.no_project,
+        baseline=args.baseline,
+        write_baseline=args.write_baseline,
+        cache=args.cache,
+        warn_unused_suppressions=args.warn_unused_suppressions,
+    )
 
 
 if __name__ == "__main__":

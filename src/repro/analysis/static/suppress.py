@@ -7,8 +7,21 @@ Two scopes are supported:
   when no ``=RULES`` part is given) for that line;
 * ``# pclint: skip-file`` anywhere in the file opts the whole file out.
 
+Multi-rule directives (``# pclint: disable=PC001,PC009``) silence each
+listed rule.  Project-mode findings (PC009–PC011) are suppressed at
+their *anchor* line — for an interprocedural finding that is the call
+site or acquisition site the diagnostic points at, so the comment sits
+next to the code being excused.
+
 Suppressions are parsed from the token stream, not with regexes over
 raw lines, so string literals containing ``pclint:`` never trigger.
+
+Every directive tracks whether it matched a finding, split by phase:
+``used_file`` is frozen into the incremental cache alongside the
+per-file diagnostics, while ``used_project`` is recomputed on every
+run (cross-file findings can appear or vanish when *other* files
+change).  ``--warn-unused-suppressions`` reports directives that
+matched nothing in either phase.
 """
 
 from __future__ import annotations
@@ -17,7 +30,7 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.static.diagnostics import Diagnostic
 
@@ -30,12 +43,40 @@ ALL_RULES: FrozenSet[str] = frozenset({"*"})
 
 
 @dataclass
+class Directive:
+    """One ``# pclint: disable`` comment and the lines it covers."""
+
+    line: int  # line the comment sits on (anchor for unused reports)
+    lines: Tuple[int, ...]  # source lines the directive silences
+    rules: FrozenSet[str]  # rule ids, or {"*"} for everything
+    used_file: bool = False  # matched a per-file finding (cached)
+    used_project: bool = False  # matched a project finding (per run)
+
+    def covers(self, diagnostic: Diagnostic) -> bool:
+        if diagnostic.line not in self.lines:
+            return False
+        return "*" in self.rules or diagnostic.rule_id in self.rules
+
+    @property
+    def used(self) -> bool:
+        return self.used_file or self.used_project
+
+
+@dataclass
 class SuppressionIndex:
     """Per-line map of suppressed rule ids for one source file."""
 
     skip_file: bool = False
-    #: line number -> rule ids suppressed there ({"*"} = everything).
-    by_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    directives: List[Directive] = field(default_factory=list)
+
+    @property
+    def by_line(self) -> Dict[int, FrozenSet[str]]:
+        """line -> union of rule ids suppressed there (legacy view)."""
+        merged: Dict[int, FrozenSet[str]] = {}
+        for directive in self.directives:
+            for line in directive.lines:
+                merged[line] = merged.get(line, frozenset()) | directive.rules
+        return merged
 
     @classmethod
     def from_source(cls, source: str) -> "SuppressionIndex":
@@ -55,25 +96,43 @@ class SuppressionIndex:
                 index.skip_file = True
                 continue
             line = token.start[0]
-            index._add(line, rules)
+            lines = [line]
             # A comment that is the whole line covers the next line too,
             # so multi-line statements can carry a justification above.
             if token.line.strip().startswith("#"):
-                index._add(line + 1, rules)
+                lines.append(line + 1)
+            index.directives.append(
+                Directive(line=line, lines=tuple(lines), rules=rules)
+            )
         return index
 
-    def _add(self, line: int, rules: FrozenSet[str]) -> None:
-        existing = self.by_line.get(line, frozenset())
-        self.by_line[line] = existing | rules
+    def is_suppressed(self, diagnostic: Diagnostic, project: bool = False) -> bool:
+        """True when ``diagnostic`` is silenced; marks directives used.
 
-    def is_suppressed(self, diagnostic: Diagnostic) -> bool:
-        """True when ``diagnostic`` is silenced by a directive."""
+        ``project`` selects which usage flag the match sets — project
+        usage is transient per run (see :meth:`reset_project_uses`),
+        per-file usage is frozen into the incremental cache.
+        """
         if self.skip_file:
             return True
-        rules = self.by_line.get(diagnostic.line)
-        if rules is None:
-            return False
-        return "*" in rules or diagnostic.rule_id in rules
+        hit = False
+        for directive in self.directives:
+            if directive.covers(diagnostic):
+                hit = True
+                if project:
+                    directive.used_project = True
+                else:
+                    directive.used_file = True
+        return hit
+
+    def reset_project_uses(self) -> None:
+        """Forget project-phase usage before a fresh project pass."""
+        for directive in self.directives:
+            directive.used_project = False
+
+    def unused_directives(self) -> List[Directive]:
+        """Directives that silenced nothing (stale suppressions)."""
+        return [d for d in self.directives if not d.used]
 
 
 def _parse_directive(comment: str) -> Optional[FrozenSet[str]]:

@@ -102,18 +102,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_parser = sub.add_parser(
         "lint",
-        help="run the concurrency-invariant linter (rules PC001-PC008)",
+        help="run the concurrency-invariant linter (per-file rules "
+        "PC001-PC008, whole-program rules PC009-PC011); exits 0 clean, "
+        "1 findings, 2 usage error",
     )
     lint_parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories"
     )
     lint_parser.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=["text", "json", "sarif"], default="text",
         help="report format",
     )
     lint_parser.add_argument(
         "--select", default=None,
         help="comma-separated rule ids to run (default: all)",
+    )
+    lint_parser.add_argument(
+        "--no-project", action="store_true",
+        help="per-file rules only; skip the whole-program pass",
+    )
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="subtract known findings in FILE; only new ones count",
+    )
+    lint_parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="snapshot current findings to FILE and exit 0",
+    )
+    lint_parser.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help="persist the project index across runs (content-hash "
+        "incremental)",
+    )
+    lint_parser.add_argument(
+        "--warn-unused-suppressions", action="store_true",
+        help="report pclint directives that silenced nothing",
     )
     for verb, help_text in (
         ("metrics", "run an instrumented demo workload and print its "
@@ -359,7 +382,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis.static.runner import run_lint
 
         return run_lint(
-            args.paths, report_format=args.format, select=args.select
+            args.paths,
+            report_format=args.format,
+            select=args.select,
+            project=not args.no_project,
+            baseline=args.baseline,
+            write_baseline=args.write_baseline,
+            cache=args.cache,
+            warn_unused_suppressions=args.warn_unused_suppressions,
         )
     if args.command in ("metrics", "trace"):
         return _run_obs(args)

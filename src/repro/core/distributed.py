@@ -372,7 +372,7 @@ class CheckpointBarrier:
                     if remaining <= 0:
                         return False
                 # Condition.wait releases the lock while blocked.
-                self._lock.wait(remaining)  # pclint: disable=PC001
+                self._lock.wait(remaining)
             return True
 
     # ------------------------------------------------------------------

@@ -88,7 +88,15 @@ def clean_file(tmp_path):
 
 class TestRunner:
     def test_every_rule_fires_on_fixture(self, bad_file):
+        # Project mode: the unfenced commit write is PC010's call (it
+        # checks callers too); PC004 keeps the slot-ordering half only.
         diags, checked = lint_paths([bad_file])
+        assert checked == 1
+        fired = {d.rule_id for d in diags}
+        assert fired == {"PC001", "PC002", "PC003", "PC005", "PC006", "PC010"}
+
+    def test_fixture_single_file_mode_keeps_pc004(self, bad_file):
+        diags, checked = lint_paths([bad_file], project=False)
         assert checked == 1
         fired = {d.rule_id for d in diags}
         assert fired == {"PC001", "PC002", "PC003", "PC004", "PC005", "PC006"}

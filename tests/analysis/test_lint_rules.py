@@ -694,3 +694,74 @@ class TestSyntaxErrors:
         diags = lint("def broken(:\n")
         assert rule_ids(diags) == ["PC000"]
         assert "syntax error" in diags[0].message
+
+
+class TestLockNameRecognition:
+    """The ``block`` veto must match whole words, not substrings.
+
+    ``block`` contains the substring ``lock``, so a substring veto is
+    needed to keep ``blocking``/``unblock`` out — but the old substring
+    veto also rejected genuine locks like ``block_lock``.
+    """
+
+    def test_genuine_locks_with_block_words_recognised(self):
+        from repro.analysis.static.lockutils import name_is_lock
+
+        for name in (
+            "block_lock",
+            "blocking_write_lock",
+            "_block_table_lock",
+            "blockLock",
+            "unblock_mutex",
+        ):
+            assert name_is_lock(name), name
+
+    def test_veto_words_still_rejected(self):
+        from repro.analysis.static.lockutils import name_is_lock
+
+        for name in (
+            "blocking",
+            "unblock",
+            "nonblocking",
+            "blocked",
+            "block_size",
+            "is_blocking",
+            "free_blocks",
+        ):
+            assert not name_is_lock(name), name
+
+    def test_plain_names_unchanged(self):
+        from repro.analysis.static.lockutils import name_is_lock
+
+        assert name_is_lock("_lock")
+        assert name_is_lock("commit_write_lock")
+        assert name_is_lock("mutex")
+        # "clock" contains "lock" as a substring of one word and always
+        # matched; unchanged here, documented so a change is deliberate.
+        assert name_is_lock("clock") is True
+
+    def test_with_block_lock_region_detected(self):
+        diags = lint(
+            """
+            import time
+
+            def flush(self):
+                with self.block_lock:
+                    time.sleep(0.01)
+            """,
+            select={"PC001"},
+        )
+        assert rule_ids(diags) == ["PC001"]
+
+    def test_blocking_flag_not_treated_as_lock(self):
+        diags = lint(
+            """
+            import time
+
+            def poll(self):
+                with self.blocking:
+                    time.sleep(0.01)
+            """,
+            select={"PC001"},
+        )
+        assert diags == []
