@@ -16,15 +16,20 @@ test-sanitize:
 	PYTHONPATH=src REPRO_SANITIZE=1 python -m pytest -x -q tests/
 
 # Distributed coordination suite (docs/DISTRIBUTED.md): the functional
-# barrier/coordinator/recovery tests, the simulator's failure model, and
-# the multi-rank crashsweep with the held-slot invariant checks.
+# barrier/coordinator/recovery/reshard tests, the simulator's failure
+# model, the multi-rank crashsweep with the held-slot invariant checks,
+# and the elastic crashsweep — 4-rank sharded checkpoints must recover
+# bit-identically onto 2 and 8 ranks at every crash point.
 test-distributed:
 	PYTHONPATH=src python -m pytest -x -q \
 		tests/core/test_distributed.py \
 		tests/core/test_distributed_coordinator.py \
+		tests/core/test_reshard.py \
 		tests/sim/test_distributed.py
 	PYTHONPATH=src python -m repro.cli crashsweep --workload distributed \
 		--torn --seed 11
+	PYTHONPATH=src python -m repro.cli crashsweep --workload elastic \
+		--world-size 4 --torn --seed 11
 
 # Concurrency-invariant static analysis: per-file rules PC001-PC008
 # plus the whole-program pass (PC009 lock-order cycles, PC010

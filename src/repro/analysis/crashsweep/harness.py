@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.analysis.crashsweep.workloads import (
     DEFAULT_SLOTS,
+    DEFAULT_WORLD,
     WORKLOADS,
     Workload,
     WorkloadSpec,
@@ -76,6 +77,9 @@ class CrashSweepConfig:
     target: Optional[str] = None
     sanitize: bool = True
     barrier_timeout: float = 0.25
+    #: Writer world size for multi-rank workloads; ``None`` → the
+    #: workload's default (2 for ``distributed``, 4 for ``elastic``).
+    world_size: Optional[int] = None
 
     def spec(self) -> WorkloadSpec:
         if self.workload not in WORKLOADS:
@@ -91,6 +95,10 @@ class CrashSweepConfig:
             chunk_size=self.chunk_size,
             num_chunks=self.num_chunks,
             sanitize=self.sanitize,
+            world_size=(
+                self.world_size
+                or DEFAULT_WORLD.get(self.workload, 2)
+            ),
             barrier_timeout=self.barrier_timeout,
         )
 
@@ -220,6 +228,8 @@ def reproducer_command(config: CrashSweepConfig, point: int) -> str:
         f"--device {config.device}",
         f"--point {point}",
     ]
+    if config.world_size is not None:
+        parts.append(f"--world-size {config.world_size}")
     if config.seed is not None:
         parts.append(f"--seed {config.seed}")
     if config.torn_writes:

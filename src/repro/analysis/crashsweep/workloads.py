@@ -16,12 +16,15 @@ durable image and asserts the §4.1 guarantee:
   again after the pipelines died, and a completed run returns every slot
   but the committed one to the free queue (engine invariant 4).
 
-Four workloads cover the stack bottom-up: ``engine`` (one-shot
+Five workloads cover the stack bottom-up: ``engine`` (one-shot
 ``checkpoint()`` calls), ``streaming`` (interleaved ticket sessions,
 exercising the superseded path deterministically), ``orchestrator``
-(the full capture/persist pipeline with ≥3 concurrent checkpoints), and
+(the full capture/persist pipeline with ≥3 concurrent checkpoints),
 ``distributed`` (multi-rank engines behind the rank-0 barrier, crashing
-one rank's device).
+one rank's device), and ``elastic`` (the distributed workload writing
+*shards of one global state*, whose recovery is additionally
+re-partitioned onto smaller and larger worlds and must reassemble
+bit-identically — ROADMAP item 4's acceptance bar).
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ from repro.core.layout import DeviceLayout, Geometry
 from repro.core.meta import RECORD_SIZE
 from repro.core.orchestrator import PCcheckOrchestrator
 from repro.core.recovery import try_recover
+from repro.core.sharding import shard_payload, reassemble
 from repro.core.snapshot import BytesSource
 from repro.errors import (
     CrashedDeviceError,
@@ -55,6 +59,7 @@ from repro.errors import (
     EngineClosedError,
     LayoutError,
     NoCheckpointError,
+    PCcheckError,
 )
 from repro.storage.dram import DRAMBufferPool
 from repro.storage.faults import CrashPointDevice
@@ -78,6 +83,8 @@ class WorkloadSpec:
     sanitize: bool = True
     world_size: int = 2
     barrier_timeout: float = 0.25
+    #: Reader worlds the elastic workload re-partitions recovery onto.
+    elastic_readers: tuple = (2, 8)
 
     @property
     def slot_size(self) -> int:
@@ -513,6 +520,85 @@ class DistributedWorkload(Workload):
         return RecoveryOutcome(consistent.step, "distributed", violations)
 
 
+class ElasticShardedWorkload(DistributedWorkload):
+    """The distributed workload writing shards of one global state, with
+    elastic recovery onto different world sizes.
+
+    Every rank persists its :func:`~repro.core.sharding.shard_payload`
+    shard of a shared per-step state.  Recovery is validated three
+    ways: the writer-world recovery must match the shards bit-exactly
+    (the inherited check), and for each world size in
+    ``spec.elastic_readers`` the re-partitioned recovery
+    (:func:`~repro.core.distributed.recover_consistent` with
+    ``world_size``) must reassemble to the *bit-identical* global state
+    — ROADMAP item 4's acceptance bar, swept across every crash point.
+    """
+
+    name = "elastic"
+    description = (
+        "sharded global state; recovery re-partitioned onto other worlds"
+    )
+
+    def global_state(self, spec: WorkloadSpec, step: int) -> bytes:
+        """Deterministic per-step global state with a step-varying
+        length, so truncated or cross-slot reads can never validate.
+        Sized so every shard (piece + header) fits the slot capacity."""
+        pattern = f"es{step:06d};".encode()
+        per_rank = max(1, spec.payload_capacity - 64)
+        length = max(spec.world_size, spec.world_size * per_rank - (step % 5))
+        reps = length // len(pattern) + 1
+        return (pattern * reps)[:length]
+
+    def expected_payload(
+        self, spec: WorkloadSpec, step: int, rank: int = 0
+    ) -> bytes:
+        return shard_payload(
+            self.global_state(spec, step), spec.world_size
+        )[rank]
+
+    def validate_recovery(
+        self, device: CrashPointDevice, spec: WorkloadSpec, journal: RunJournal
+    ) -> RecoveryOutcome:
+        outcome = super().validate_recovery(device, spec, journal)
+        if outcome.recovered_step is None:
+            return outcome
+        violations = list(outcome.violations)
+        peers = journal.aux.get("peer_devices", [])
+        layouts = [
+            DeviceLayout.open(dev) for dev in [device.inner, *peers]
+        ]
+        expected_state = self.global_state(spec, outcome.recovered_step)
+        for readers in spec.elastic_readers:
+            try:
+                resharded = recover_consistent(layouts, world_size=readers)
+                reassembled = reassemble(resharded.payloads)
+            except PCcheckError as exc:
+                violations.append(
+                    f"elastic recovery of step {outcome.recovered_step} "
+                    f"onto {readers} ranks failed: {exc}"
+                )
+                continue
+            if resharded.step != outcome.recovered_step:
+                violations.append(
+                    f"elastic recovery onto {readers} ranks chose step "
+                    f"{resharded.step}, the {spec.world_size}-rank "
+                    f"recovery chose {outcome.recovered_step}"
+                )
+            elif len(resharded.payloads) != readers:
+                violations.append(
+                    f"elastic recovery onto {readers} ranks returned "
+                    f"{len(resharded.payloads)} payloads"
+                )
+            elif reassembled != expected_state:
+                violations.append(
+                    f"elastic recovery onto {readers} ranks is not "
+                    f"bit-identical at step {resharded.step} "
+                    f"({len(reassembled)} vs {len(expected_state)} bytes)"
+                )
+        return RecoveryOutcome(outcome.recovered_step, outcome.source,
+                               violations)
+
+
 WORKLOADS: Dict[str, Workload] = {
     workload.name: workload
     for workload in (
@@ -520,6 +606,7 @@ WORKLOADS: Dict[str, Workload] = {
         StreamingTicketWorkload(),
         OrchestratorWorkload(),
         DistributedWorkload(),
+        ElasticShardedWorkload(),
     )
 }
 
@@ -530,4 +617,12 @@ DEFAULT_SLOTS: Dict[str, int] = {
     "streaming": 3,
     "orchestrator": 4,
     "distributed": 3,
+    "elastic": 3,
+}
+
+#: Per-workload default world sizes: the elastic scenario shards a
+#: 4-writer checkpoint and recovers it onto 2 and 8 ranks.
+DEFAULT_WORLD: Dict[str, int] = {
+    "distributed": 2,
+    "elastic": 4,
 }

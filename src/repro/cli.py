@@ -97,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(rank<k>.step<S>.bin)",
     )
     rc_parser.add_argument(
+        "--world-size", type=int, default=None,
+        help="re-partition the recovered sharded checkpoint onto this "
+        "many ranks (elastic recovery; default: the writer world)",
+    )
+    rc_parser.add_argument(
         "--format", choices=["text", "json"], default="text",
         help="report format",
     )
@@ -174,7 +179,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--workload", default="engine",
-        choices=["engine", "streaming", "orchestrator", "distributed"],
+        choices=["engine", "streaming", "orchestrator", "distributed",
+                 "elastic"],
         help="which checkpointing workload to crash",
     )
     sweep_parser.add_argument(
@@ -187,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--payload-capacity", type=int, default=512)
     sweep_parser.add_argument("--writer-threads", type=int, default=2)
+    sweep_parser.add_argument(
+        "--world-size", type=int, default=None,
+        help="writer ranks for multi-rank workloads "
+        "(default: 2 distributed, 4 elastic)",
+    )
     sweep_parser.add_argument(
         "--device", default="ssd", choices=["ssd", "pmem"]
     )
@@ -249,6 +260,7 @@ def _run_crashsweep(args: argparse.Namespace) -> int:
         max_points=args.max_points,
         target=args.target,
         sanitize=not args.no_sanitize,
+        world_size=args.world_size,
     )
     if args.point is not None:
         outcome = run_point(config, args.point)
@@ -282,7 +294,7 @@ def _run_recover_consistent(args: argparse.Namespace) -> int:
                 device = FileBackedSSD(path, capacity=size)
                 devices.append(device)
                 layouts.append(DeviceLayout.open(device))
-            result = recover_consistent(layouts)
+            result = recover_consistent(layouts, world_size=args.world_size)
         except PCcheckError as exc:
             print(f"recover-consistent: {exc}", file=sys.stderr)
             return 1
@@ -299,7 +311,10 @@ def _run_recover_consistent(args: argparse.Namespace) -> int:
         if args.format == "json":
             print(json.dumps({
                 "step": result.step,
-                "ranks": [
+                "world_size": result.world_size,
+                "writer_world": result.writer_world,
+                "resharded": result.resharded,
+                "writers": [
                     {
                         "rank": rank,
                         "counter": meta.counter,
@@ -311,6 +326,7 @@ def _run_recover_consistent(args: argparse.Namespace) -> int:
                         zip(result.metas, result.sources)
                     )
                 ],
+                "payload_lens": [len(p) for p in result.payloads],
                 "written": written,
             }, indent=2, sort_keys=True))
         else:
@@ -319,9 +335,16 @@ def _run_recover_consistent(args: argparse.Namespace) -> int:
                 zip(result.metas, result.sources)
             ):
                 print(
-                    f"rank {rank}: counter={meta.counter} slot={meta.slot} "
-                    f"len={meta.payload_len} via {source}"
+                    f"writer rank {rank}: counter={meta.counter} "
+                    f"slot={meta.slot} len={meta.payload_len} via {source}"
                 )
+            if result.resharded:
+                print(
+                    f"re-partitioned {result.writer_world}-writer "
+                    f"checkpoint onto {result.world_size} ranks:"
+                )
+                for rank, payload in enumerate(result.payloads):
+                    print(f"reader rank {rank}: len={len(payload)}")
             for out_path in written:
                 print(f"wrote {out_path}")
         return 0

@@ -57,7 +57,10 @@ from repro.core.recovery import (
     PersistentIterator,
     _from_commit_record,
 )
+from repro.core.reshard import reshard_shards
+from repro.core.sharding import is_shard
 from repro.errors import (
+    CorruptCheckpointError,
     DegradedGroupError,
     DistributedError,
     DistributedTimeoutError,
@@ -193,6 +196,12 @@ class CheckpointBarrier:
         self._rounds: Dict[int, _Round] = {}
         #: step -> settled RoundOutcome, oldest first, bounded by history.
         self._settled: "OrderedDict[int, RoundOutcome]" = OrderedDict()
+        #: Ranks a shrink evicted from the world (see :meth:`resize`);
+        #: arrivals from them get a re-form-aware error message.
+        self._evicted_ranks: Set[int] = set()
+        #: Human-readable note about the last :meth:`resize`, woven into
+        #: out-of-range arrival errors so a shrunk world explains itself.
+        self._resize_note = ""
         self._listeners: List[Tuple[Callable, Callable]] = []
         self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._tracer = tracer if tracer is not None else NULL_TRACER
@@ -249,12 +258,23 @@ class CheckpointBarrier:
         arrivals for an in-flight or completed round raise
         :class:`~repro.errors.DistributedError`.
         """
-        if not 0 <= rank < self._world_size:
-            raise DistributedError(
-                f"rank {rank} outside world of size {self._world_size}"
-            )
         to_settle: Optional[_Round] = None
         with self._lock:
+            # Bounds-checked under the lock so an arrival can never read
+            # a half-updated world size while resize() runs.
+            if not 0 <= rank < self._world_size:
+                if rank in self._evicted_ranks:
+                    raise DistributedError(
+                        f"rank {rank} was evicted when {self._resize_note}; "
+                        f"evicted ranks {sorted(self._evicted_ranks)} are no "
+                        f"longer part of the world of size {self._world_size} "
+                        f"— arrival for step {step} rejected"
+                    )
+                raise DistributedError(
+                    f"rank {rank} outside world of size {self._world_size}"
+                    + (f" (note: {self._resize_note})"
+                       if self._resize_note else "")
+                )
             settled = self._settled.get(step)
             if settled is not None:
                 if settled.status == ROUND_FAILED:
@@ -326,6 +346,94 @@ class CheckpointBarrier:
             self._settle_locked(round_, ROUND_FAILED, reason=reason)
         self._notify(round_.outcome)
         return round_.outcome
+
+    def fail_all_pending(self, reason: str) -> List[RoundOutcome]:
+        """Declare every in-flight round failed, atomically.
+
+        All pending rounds settle under one lock acquisition, so no
+        concurrent :meth:`arrive` or waiter can observe some rounds
+        failed and others still pending across a group re-form.
+        Returns the settled outcomes (listeners are notified outside
+        the lock, as always).
+        """
+        settled: List[_Round] = []
+        with self._lock:
+            for round_ in list(self._rounds.values()):
+                if round_.status == ROUND_PENDING:
+                    self._settle_locked(round_, ROUND_FAILED, reason=reason)
+                    settled.append(round_)
+        outcomes = [round_.outcome for round_ in settled]
+        for outcome in outcomes:
+            self._notify(outcome)
+        return outcomes
+
+    def resize(self, world_size: int, reason: str = "the world was resized"
+               ) -> List[RoundOutcome]:
+        """Change the world size; fails every in-flight round first.
+
+        The settle-and-resize happens under one lock acquisition: a
+        concurrent :meth:`arrive` either runs before (old world, old
+        rounds) or after (new world, no rounds) — never against a
+        half-updated world.  A round opened for the old world cannot
+        complete against the new count, so pending rounds are failed
+        with ``reason`` rather than left to mis-count.
+
+        Shrinking records the evicted ranks (``world_size <= rank <
+        old``): their later arrivals raise a
+        :class:`~repro.errors.DistributedError` that names the re-form
+        instead of a bare bounds error.  Growing re-admits previously
+        evicted ranks that are back inside the world.
+        """
+        if world_size < 1:
+            raise DistributedError(
+                f"world size must be >= 1, got {world_size}"
+            )
+        settled: List[_Round] = []
+        with self._lock:
+            for round_ in list(self._rounds.values()):
+                if round_.status == ROUND_PENDING:
+                    self._settle_locked(round_, ROUND_FAILED, reason=reason)
+                    settled.append(round_)
+            old = self._world_size
+            self._world_size = world_size
+            if world_size != old:
+                self._resize_note = (
+                    f"the group re-formed from world size {old} to "
+                    f"{world_size}"
+                )
+            if world_size < old:
+                self._evicted_ranks.update(range(world_size, old))
+            self._evicted_ranks -= set(range(world_size))
+        outcomes = [round_.outcome for round_ in settled]
+        for outcome in outcomes:
+            self._notify(outcome)
+        return outcomes
+
+    @property
+    def evicted_ranks(self) -> Tuple[int, ...]:
+        """Ranks removed from the world by a shrinking :meth:`resize`."""
+        with self._lock:
+            return tuple(sorted(self._evicted_ranks))
+
+    def is_pending(self, step: int) -> bool:
+        """True while a round for ``step`` is open and unsettled."""
+        with self._lock:
+            return step in self._rounds
+
+    def participant(self, step: int, rank: int = -1
+                    ) -> Optional[BarrierRound]:
+        """A waitable handle on the in-flight round for ``step``.
+
+        Returns ``None`` when no round for ``step`` is currently open
+        (check :meth:`round_outcome` for a settled one).  ``rank`` only
+        labels the failure reason if this participant's deadline is the
+        one that fails the round.
+        """
+        with self._lock:
+            round_ = self._rounds.get(step)
+        if round_ is None:
+            return None
+        return BarrierRound(self, round_, rank)
 
     def expire_overdue(self) -> List[RoundOutcome]:
         """Fail every pending round whose deadline has passed."""
@@ -609,20 +717,28 @@ class DistributedCoordinator:
     def reform(self, world_size: Optional[int] = None) -> None:
         """Re-form the group after a failure: fail any in-flight rounds,
         reclaim their held slots, clear the degraded flag, and optionally
-        resize the world (e.g. a replacement node joined, or the dead
-        rank's shard was re-partitioned away)."""
+        resize the world (e.g. a replacement node joined, spot preemption
+        shrank the fleet, or scale-up grew it — elastic recovery then
+        re-partitions the checkpoint via
+        :func:`recover_consistent` with ``world_size``).
+
+        Uses only the barrier's public, internally locked APIs
+        (:meth:`CheckpointBarrier.fail_all_pending`,
+        :meth:`CheckpointBarrier.resize`), so the re-form can never race
+        a concurrent arrival or waiter reading a half-updated world.
+        """
         with self._lock:
-            for step in list(self._holds):
-                self._barrier.fail_round(step, "group re-formed")
-            # Rounds with no holds (first commits) may still be pending.
-            for step in list(self._barrier._rounds):  # noqa: SLF001
-                self._barrier.fail_round(step, "group re-formed")
-            if world_size is not None:
-                if world_size < 1:
-                    raise DistributedError(
-                        f"world size must be >= 1, got {world_size}"
-                    )
-                self._barrier._world_size = world_size  # noqa: SLF001
+            failed = tuple(sorted(self._failed_ranks))
+        reason = "group re-formed"
+        if failed:
+            reason += f" (failed ranks {list(failed)} evicted)"
+        if world_size is not None:
+            # resize() fails every pending round under the same lock
+            # acquisition that installs the new world size.
+            self._barrier.resize(world_size, reason=reason)
+        else:
+            self._barrier.fail_all_pending(reason)
+        with self._lock:
             self._degraded = False
             self._degraded_reason = ""
             self._failed_ranks.clear()
@@ -656,15 +772,12 @@ class DistributedCoordinator:
                 remaining = max(0.0, remaining - (time.monotonic() - started))
             outcome = self._barrier.round_outcome(step)
             if outcome is None:
-                with self._barrier._lock:  # noqa: SLF001
-                    round_ = self._barrier._rounds.get(step)  # noqa: SLF001
-                if round_ is None:
+                handle = self._barrier.participant(step, rank=rank)
+                if handle is None:
                     raise DistributedError(
                         f"no coordination round is known for step {step}"
                     )
-                return BarrierRound(
-                    self._barrier, round_, rank=rank
-                ).wait(remaining)
+                return handle.wait(remaining)
         if outcome.status == ROUND_COMPLETED:
             return outcome
         raise DistributedTimeoutError(
@@ -751,9 +864,7 @@ class DistributedCoordinator:
             # outside the barrier lock), and checking pending-ness while
             # still holding our lock is what guarantees the settle
             # handler cannot pop the holds list before we append.
-            with self._barrier._lock:  # noqa: SLF001  # pclint: disable=PC001
-                pending = step in self._barrier._rounds  # noqa: SLF001
-            if not pending:
+            if not self._barrier.is_pending(step):
                 return False
             self._holds.setdefault(step, []).append((rank, engine, slot))
             return True
@@ -1017,13 +1128,32 @@ class DistributedOrchestrator:
 
 @dataclass
 class ConsistentCheckpoint:
-    """The newest globally consistent checkpoint across all workers."""
+    """The newest globally consistent checkpoint across all workers.
+
+    ``payloads`` is index-aligned with *reader* rank; ``metas`` and
+    ``sources`` stay aligned with the *writer* ranks whose devices the
+    checkpoint was read from.  The two worlds coincide unless elastic
+    recovery re-partitioned the state (``resharded``), in which case
+    ``len(payloads) == world_size`` may differ from ``len(metas)``.
+    """
 
     step: int
-    payloads: List[bytes]  # index-aligned with worker rank
-    metas: List[CheckMeta]
-    #: Per-rank location mechanism: "commit-record" or "slot-scan".
+    payloads: List[bytes]  # index-aligned with reader rank
+    metas: List[CheckMeta]  # index-aligned with writer rank
+    #: Per-writer-rank location mechanism: "commit-record" or "slot-scan".
     sources: List[str] = field(default_factory=list)
+    #: Reader world the payloads are partitioned for.
+    world_size: int = 0
+    #: Writer world that produced the checkpoint.
+    writer_world: int = 0
+    #: True when the payloads were re-partitioned onto a different world.
+    resharded: bool = False
+
+    def __post_init__(self) -> None:
+        if self.world_size == 0:
+            self.world_size = len(self.payloads)
+        if self.writer_world == 0:
+            self.writer_world = len(self.metas)
 
 
 def valid_checkpoints(layout: DeviceLayout) -> List[CheckMeta]:
@@ -1064,11 +1194,40 @@ def _candidate_steps(layout: DeviceLayout) -> Tuple[Dict[int, CheckMeta], Dict[i
     return by_step, source
 
 
+def _reshard_payloads(
+    step: int, payloads: List[bytes], world_size: int
+) -> List[bytes]:
+    """Re-partition N writers' shard payloads onto ``world_size`` readers.
+
+    The payloads must be self-describing shards; the global index is
+    rebuilt from their headers and re-partitioned through
+    :func:`~repro.core.reshard.reshard_shards`.
+    """
+    plain = [rank for rank, p in enumerate(payloads) if not is_shard(p)]
+    if plain:
+        raise DistributedError(
+            f"cannot recover step {step} onto a world of {world_size}: "
+            f"rank payloads {plain} are not self-describing shards, so "
+            f"there is no global index to re-partition them with "
+            f"(checkpoint was written by {len(payloads)} ranks; shard "
+            f"with repro.core.sharding.shard_payload to enable elastic "
+            f"recovery)"
+        )
+    try:
+        return reshard_shards(payloads, world_size)
+    except CorruptCheckpointError as exc:
+        raise DistributedError(
+            f"cannot re-partition step {step} onto a world of "
+            f"{world_size}: {exc}"
+        ) from exc
+
+
 def recover_consistent(
     layouts: Sequence[DeviceLayout],
     chunk_size: int = DEFAULT_READ_CHUNK,
     max_attempts: int = 8,
     metrics: Optional[MetricsRegistry] = None,
+    world_size: Optional[int] = None,
 ) -> ConsistentCheckpoint:
     """Find and load the newest step every worker holds a checkpoint for.
 
@@ -1081,11 +1240,25 @@ def recover_consistent(
     :func:`~repro.core.recovery.recover`; after ``max_attempts`` the
     error names the rank whose payload kept failing.
 
+    ``world_size`` asks for **elastic recovery**: the returned payloads
+    are re-partitioned onto that many reader ranks (again as
+    self-describing shards), regardless of how many writers produced
+    the checkpoint.  This needs the payloads to be sharded
+    (:func:`~repro.core.sharding.shard_payload`) so the global index
+    can be rebuilt; recovering a non-sharded checkpoint onto a
+    different world raises :class:`~repro.errors.DistributedError`.
+    ``world_size`` equal to the writer count with an unchanged layout
+    returns the payloads bit-identical to the non-elastic path.
+
     Raises :class:`~repro.errors.NoCheckpointError` when the step sets do
     not intersect (e.g. a device was wiped).
     """
     if not layouts:
         raise DistributedError("need at least one worker layout")
+    if world_size is not None and world_size < 1:
+        raise DistributedError(
+            f"target world size must be >= 1, got {world_size}"
+        )
     started = time.monotonic()
     unstable: Optional[Tuple[int, int]] = None  # (rank, step)
     for _attempt in range(max_attempts):
@@ -1122,6 +1295,11 @@ def recover_consistent(
             metas.append(meta)
             sources.append(per_worker_sources[rank][step])
         if unstable is None:
+            out_payloads = payloads
+            resharded = False
+            if world_size is not None and world_size != len(payloads):
+                out_payloads = _reshard_payloads(step, payloads, world_size)
+                resharded = True
             if metrics is not None:
                 metrics.observe(
                     M.RECOVERY_SECONDS, time.monotonic() - started
@@ -1131,7 +1309,11 @@ def recover_consistent(
                     M.RECOVERY_BYTES, sum(len(p) for p in payloads)
                 )
             return ConsistentCheckpoint(
-                step=step, payloads=payloads, metas=metas, sources=sources
+                step=step, payloads=out_payloads, metas=metas,
+                sources=sources,
+                world_size=len(out_payloads),
+                writer_world=len(metas),
+                resharded=resharded,
             )
     rank, step = unstable  # type: ignore[misc]
     raise DistributedError(

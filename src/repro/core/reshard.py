@@ -1,0 +1,240 @@
+"""Elastic re-partitioning: recover an N-writer checkpoint onto M readers.
+
+`recover_consistent` used to assume the restarted world has the same
+size and shard layout as the one that wrote the checkpoint.  Real fleets
+do not: spot preemption shrinks the world, scale-up grows it.  Following
+Orbax's distributed checkpointing model, the global shard index
+(:class:`~repro.core.sharding.ShardManifest`) makes the checkpoint
+self-describing, and this module turns that index into a **reshard
+plan** — per reader rank, which byte ranges of which writers' shards to
+gather — and executes the plan through buffer views so each recovered
+byte is copied exactly once into its reader's buffer (the PR-4
+zero-copy budget).
+
+Three slice shapes cover every (N, M) pair:
+
+* **pass-through** — a reader's range coincides with one writer's shard
+  (always the case when M == N);
+* **split** — one writer's shard feeds several readers (growing the
+  world, M > N);
+* **merge** — several writers' shards feed one reader (shrinking,
+  M < N).
+
+Plans are pure data: :func:`plan_reshard` never touches payload bytes,
+so it can be computed (and audited) before any I/O, and
+:func:`execute_reshard` validates the payloads it is handed against the
+manifest before gathering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.sharding import (
+    ShardManifest,
+    build_manifest,
+    decode_shard,
+    encode_shard,
+    manifest_from_shards,
+)
+from repro.errors import ConfigError, CorruptCheckpointError
+
+#: Slice shapes a plan is made of (``RankPlan.kind``).
+PASS_THROUGH = "pass-through"
+SPLIT = "split"
+MERGE = "merge"
+
+
+@dataclass(frozen=True)
+class SourceSlice:
+    """One gather: bytes of a writer's shard bound for a reader's shard."""
+
+    writer_rank: int
+    #: Offset of the slice inside the *writer's shard payload*.
+    source_start: int
+    length: int
+    #: Offset of the slice inside the *reader's shard payload*.
+    target_start: int
+
+
+@dataclass(frozen=True)
+class RankPlan:
+    """Everything one reader rank gathers: its range and the slices."""
+
+    reader_rank: int
+    #: The reader's byte range of the global state.
+    start: int
+    length: int
+    slices: Tuple[SourceSlice, ...]
+    #: Full shard length of the single source writer (single-slice plans
+    #: only; -1 when the plan merges several writers).
+    source_len: int = -1
+
+    @property
+    def kind(self) -> str:
+        """``pass-through``, ``split``, or ``merge`` (see module doc)."""
+        if len(self.slices) > 1:
+            return MERGE
+        if not self.slices:
+            return PASS_THROUGH  # an empty range trivially passes through
+        (only,) = self.slices
+        if only.source_start == 0 and only.length == self.source_len:
+            return PASS_THROUGH
+        return SPLIT
+
+
+@dataclass(frozen=True)
+class ReshardPlan:
+    """The full N-writers → M-readers re-partitioning, as pure data."""
+
+    manifest: ShardManifest
+    target_world: int
+    ranks: Tuple[RankPlan, ...]
+
+    @property
+    def kinds(self) -> Dict[str, int]:
+        """How many reader ranks use each slice shape."""
+        counts: Dict[str, int] = {PASS_THROUGH: 0, SPLIT: 0, MERGE: 0}
+        for rank_plan in self.ranks:
+            counts[rank_plan.kind] += 1
+        return counts
+
+
+def plan_reshard(manifest: ShardManifest, target_world: int) -> ReshardPlan:
+    """Plan re-partitioning the manifest's state onto ``target_world``
+    readers, using the same even split :func:`~repro.core.sharding.
+    shard_payload` would produce for the new world."""
+    if target_world < 1:
+        raise ConfigError(
+            f"need at least one reader rank, got {target_world}"
+        )
+    manifest.validate()
+    writer_len = {
+        entry.writer_rank: entry.length for entry in manifest.entries
+    }
+    if len(writer_len) != len(manifest.entries):
+        raise CorruptCheckpointError(
+            "manifest names the same writer rank for multiple ranges; "
+            "re-partitioning needs one contiguous range per writer"
+        )
+    target = build_manifest(manifest.total_len, manifest.state_crc,
+                            target_world)
+    rank_plans: List[RankPlan] = []
+    for reader in target.entries:
+        slices: List[SourceSlice] = []
+        for source in manifest.entries:
+            lo = max(reader.start, source.start)
+            hi = min(reader.stop, source.stop)
+            if lo >= hi:
+                continue
+            slices.append(
+                SourceSlice(
+                    writer_rank=source.writer_rank,
+                    source_start=lo - source.start,
+                    length=hi - lo,
+                    target_start=lo - reader.start,
+                )
+            )
+        rank_plans.append(
+            RankPlan(
+                reader_rank=reader.writer_rank,
+                start=reader.start,
+                length=reader.length,
+                slices=tuple(slices),
+                source_len=(
+                    writer_len[slices[0].writer_rank]
+                    if len(slices) == 1 else -1
+                ),
+            )
+        )
+    return ReshardPlan(
+        manifest=manifest, target_world=target_world, ranks=tuple(rank_plans)
+    )
+
+
+def execute_reshard(
+    plan: ReshardPlan, shard_payloads: Sequence
+) -> List[bytes]:
+    """Gather each reader rank's bytes according to ``plan``.
+
+    ``shard_payloads`` maps writer rank → that writer's shard *payload*
+    (header stripped), any bytes-like object.  Each source is read
+    through a zero-copy :class:`memoryview`; every output byte is
+    written exactly once into its reader's buffer — one copy per
+    recovered byte, matching the persist pipeline's budget.
+
+    Returns the per-reader payloads (no shard headers; see
+    :func:`reshard_shards` for self-describing output).
+    """
+    by_writer = {
+        entry.writer_rank: entry for entry in plan.manifest.entries
+    }
+    views: Dict[int, memoryview] = {}
+    for writer_rank, payload in enumerate(shard_payloads):
+        entry = by_writer.get(writer_rank)
+        if entry is None:
+            raise CorruptCheckpointError(
+                f"writer rank {writer_rank} is not in the manifest"
+            )
+        view = memoryview(payload).cast("B")
+        if len(view) != entry.length:
+            raise CorruptCheckpointError(
+                f"writer rank {writer_rank}'s shard payload is "
+                f"{len(view)} bytes; the manifest promises {entry.length}"
+            )
+        views[writer_rank] = view
+    missing = sorted(set(by_writer) - set(views))
+    if missing:
+        raise CorruptCheckpointError(
+            f"missing shard payloads for writer ranks {missing}"
+        )
+    outputs: List[bytes] = []
+    for rank_plan in plan.ranks:
+        out = bytearray(rank_plan.length)
+        for piece in rank_plan.slices:
+            source = views[piece.writer_rank]
+            out[piece.target_start : piece.target_start + piece.length] = (
+                source[piece.source_start : piece.source_start + piece.length]
+            )
+        outputs.append(bytes(out))
+    return outputs
+
+
+def reshard_shards(shards: Sequence, target_world: int) -> List[bytes]:
+    """Re-partition self-describing shards onto ``target_world`` ranks.
+
+    The inputs are shards as written by
+    :func:`~repro.core.sharding.shard_payload` (in any order); the
+    outputs are again self-describing shards — indexed for the new
+    world, carrying the *same* state digest — so a later recovery (or a
+    further reshard) treats them exactly like freshly written ones.
+    Raises :class:`~repro.errors.CorruptCheckpointError` when the shards
+    disagree about the state version or do not cover it.
+    """
+    decoded = sorted(
+        (decode_shard(shard) for shard in shards),
+        key=lambda pair: pair[0].offset,
+    )
+    manifest = manifest_from_shards([bytes(shard) for shard in shards])
+    if target_world == len(manifest.entries) and all(
+        info.index == rank for rank, (info, _) in enumerate(decoded)
+    ):
+        # Same world, same layout: hand the originals back bit-identical.
+        return [bytes(shard) for shard in shards]
+    by_writer = {info.index: piece for info, piece in decoded}
+    plan = plan_reshard(manifest, target_world)
+    payloads = execute_reshard(
+        plan, [by_writer[rank] for rank in sorted(by_writer)]
+    )
+    return [
+        encode_shard(
+            index=rank_plan.reader_rank,
+            count=target_world,
+            total_len=manifest.total_len,
+            offset=rank_plan.start,
+            state_crc=manifest.state_crc,
+            piece=payload,
+        )
+        for rank_plan, payload in zip(plan.ranks, payloads)
+    ]

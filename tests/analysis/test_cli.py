@@ -110,7 +110,10 @@ class TestRecoverConsistentCommand:
         ) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["step"] == 1
-        assert [r["rank"] for r in report["ranks"]] == [0, 1]
+        assert [r["rank"] for r in report["writers"]] == [0, 1]
+        assert report["world_size"] == 2
+        assert report["writer_world"] == 2
+        assert report["resharded"] is False
         for rank, path in enumerate(report["written"]):
             with open(path, "rb") as fh:
                 assert fh.read() == f"r{rank}s1".encode() * 8
@@ -123,3 +126,79 @@ class TestRecoverConsistentCommand:
         assert main(["recover-consistent", *paths]) == 1
         err = capsys.readouterr().err
         assert "recover-consistent" in err
+
+    def _write_sharded_group(self, tmp_path, state, world):
+        import threading
+
+        from repro.core.distributed import (
+            DistributedCoordinator,
+            DistributedWorker,
+        )
+        from repro.core.layout import DeviceLayout
+        from repro.core.sharding import shard_payload
+        from repro.storage.ssd import FileBackedSSD
+
+        shards = shard_payload(state, world)
+        paths = [str(tmp_path / f"rank{rank}.img") for rank in range(world)]
+        with DistributedCoordinator(world_size=world, timeout=10.0) as coord:
+            devices = [FileBackedSSD(p, capacity=16384) for p in paths]
+            workers = [
+                DistributedWorker.create(
+                    rank,
+                    DeviceLayout.format(dev, num_slots=3, slot_size=1088),
+                    coord,
+                )
+                for rank, dev in enumerate(devices)
+            ]
+            threads = [
+                threading.Thread(
+                    target=w.checkpoint, args=(shards[w.rank], 1)
+                )
+                for w in workers
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for dev in devices:
+                dev.close()
+        return paths
+
+    def test_world_size_reshards_recovery(self, tmp_path, capsys):
+        import json
+
+        from repro.core.sharding import reassemble
+
+        state = bytes(range(256)) * 6
+        paths = self._write_sharded_group(tmp_path, state, world=4)
+        out_dir = str(tmp_path / "restored")
+        assert main(
+            ["recover-consistent", *paths, "--world-size", "2",
+             "--out", out_dir, "--format", "json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["resharded"] is True
+        assert report["world_size"] == 2
+        assert report["writer_world"] == 4
+        assert len(report["written"]) == 2
+        recovered = []
+        for path in report["written"]:
+            with open(path, "rb") as fh:
+                recovered.append(fh.read())
+        assert reassemble(recovered) == state
+
+    def test_world_size_text_report(self, tmp_path, capsys):
+        state = b"elastic" * 100
+        paths = self._write_sharded_group(tmp_path, state, world=2)
+        assert main(["recover-consistent", *paths, "--world-size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "re-partitioned 2-writer checkpoint onto 3 ranks" in out
+        assert "reader rank 2" in out
+
+    def test_world_size_on_plain_payloads_fails(self, tmp_path, capsys):
+        paths = self._write_group(tmp_path, steps=1)
+        assert main(
+            ["recover-consistent", *paths, "--world-size", "3"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "not self-describing shards" in err

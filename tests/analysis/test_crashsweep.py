@@ -101,6 +101,25 @@ class TestOtherWorkloads:
             o.recovered_source == "distributed" for o in report.outcomes
         )
 
+    def test_elastic_sweep_reshards_bit_identically(self):
+        """The ROADMAP item 4 acceptance bar: a 4-writer sharded
+        checkpoint recovers onto 2 and 8 ranks bit-identically at every
+        swept crash point (the workload validates both worlds per
+        point)."""
+        config = CrashSweepConfig(workload="elastic", steps=2, stride=3)
+        assert config.spec().world_size == 4
+        assert config.spec().elastic_readers == (2, 8)
+        report = sweep(config)
+        assert report.ok, render_text(report)
+        assert any(
+            o.recovered_source == "distributed" for o in report.outcomes
+        )
+
+    def test_elastic_world_size_override(self):
+        config = CrashSweepConfig(workload="elastic", world_size=2)
+        assert config.spec().world_size == 2
+        assert "--world-size 2" in reproducer_command(config, 0)
+
     def test_unknown_workload_rejected(self):
         with pytest.raises(EngineError, match="unknown workload"):
             CrashSweepConfig(workload="nonsense").spec()

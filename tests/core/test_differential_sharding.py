@@ -285,3 +285,87 @@ class TestSharding:
             thread.join()
         consistent = recover_consistent([w.engine.layout for w in workers])
         assert reassemble(consistent.payloads) == state
+
+
+class TestAnchorToken:
+    """The anchor uniqueness token (counter + payload CRC)."""
+
+    STATE_LEN = 1024
+
+    def make(self, **kwargs):
+        anchors = make_engine(self.STATE_LEN + 64)
+        deltas = make_engine(self.STATE_LEN + 1024)
+        kwargs.setdefault("page_size", 128)
+        return DifferentialCheckpointer(anchors, deltas, **kwargs)
+
+    def state(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 256, size=self.STATE_LEN,
+                            dtype=np.uint8).tobytes()
+
+    def test_delta_carries_base_crc(self):
+        base = self.state()
+        current = bytearray(base)
+        current[3] ^= 0xFF
+        delta = diff_states(base, bytes(current), 128, base_counter=4)
+        import zlib
+
+        assert delta.base_crc == zlib.crc32(base)
+        assert decode_delta(encode_delta(delta)).base_crc == delta.base_crc
+
+    def test_counter_collision_with_wrong_crc_rejected(self):
+        """A stale same-counter anchor must not satisfy a delta: the
+        token's CRC half catches the collision as corruption."""
+        checkpointer = self.make()
+        base = self.state()
+        checkpointer.checkpoint(base, step=1)  # anchor, counter 1
+        current = bytearray(base)
+        current[0] ^= 0xA5
+        # Forge the post-restart hazard: a delta naming the anchor's
+        # counter but stamped against a *different* base state.
+        forged = diff_states(self.state(seed=9), bytes(current), 128,
+                             base_counter=1)
+        checkpointer._deltas.checkpoint(encode_delta(forged), step=2)
+        with pytest.raises(CorruptCheckpointError,
+                           match="same-counter anchor"):
+            checkpointer.recover()
+
+    def test_matching_token_recovers(self):
+        checkpointer = self.make()
+        base = self.state()
+        checkpointer.checkpoint(base, step=1)
+        current = bytearray(base)
+        current[0] ^= 0xA5
+        checkpointer.checkpoint(bytes(current), step=2)
+        assert checkpointer.recover() == (2, bytes(current))
+
+    def test_mark_resharded_forces_full(self):
+        checkpointer = self.make()
+        states = [self.state()]
+        current = bytearray(states[0])
+        current[1] ^= 0x5A
+        states.append(bytes(current))
+        assert checkpointer.checkpoint(states[0], step=1) == "full"
+        checkpointer.mark_resharded()
+        # Same length, tiny change — without the reshard mark this
+        # would be a delta.
+        assert checkpointer.checkpoint(states[1], step=2) == "full"
+
+    def test_adopt_anchor_enables_post_restart_delta(self):
+        """Unchanged layout across a restart: adopting the recovered
+        anchor avoids a full rewrite, and the stamped token validates."""
+        checkpointer = self.make()
+        base = self.state()
+        result = checkpointer._anchors.checkpoint(base, step=7)
+        restarted = DifferentialCheckpointer(
+            checkpointer._anchors, checkpointer._deltas, page_size=128
+        )
+        restarted.adopt_anchor(base, result.counter)
+        current = bytearray(base)
+        current[2] ^= 0x0F
+        assert restarted.checkpoint(bytes(current), step=8) == "delta"
+        assert restarted.recover() == (8, bytes(current))
+
+    def test_adopt_anchor_rejects_negative_counter(self):
+        with pytest.raises(ConfigError):
+            self.make().adopt_anchor(self.state(), -1)

@@ -384,3 +384,135 @@ class TestWaitBeforeRoundOpens:
             coord.barrier.arrive(0, 1)
             assert coord.barrier.wait_open(1, timeout=0.0)
             assert coord.wait_round(1, timeout=0.2).status == "completed"
+
+
+class TestBarrierResize:
+    """The locked resize()/fail_all_pending() APIs (elastic re-form)."""
+
+    def make_barrier(self, world, timeout=30.0):
+        from repro.core.distributed import CheckpointBarrier
+
+        return CheckpointBarrier(world, timeout=timeout)
+
+    def test_resize_fails_pending_rounds(self):
+        barrier = self.make_barrier(3)
+        handle = barrier.arrive(0, 1)
+        outcomes = barrier.resize(2, reason="shrink for test")
+        assert [o.step for o in outcomes] == [1]
+        assert outcomes[0].status == "failed"
+        assert outcomes[0].reason == "shrink for test"
+        assert handle.settled
+        assert barrier.world_size == 2
+        with pytest.raises(DistributedTimeoutError):
+            handle.wait(timeout=0.0)
+
+    def test_fail_all_pending_settles_every_round(self):
+        barrier = self.make_barrier(2)
+        barrier.arrive(0, 1)
+        barrier.arrive(0, 2)
+        barrier.arrive(1, 2)  # completes round 2
+        outcomes = barrier.fail_all_pending("reforming")
+        assert [o.step for o in outcomes] == [1]
+        assert barrier.in_flight_rounds == 0
+        assert barrier.round_outcome(2).status == "completed"
+
+    def test_shrink_evicts_and_names_the_reform(self):
+        barrier = self.make_barrier(4)
+        barrier.resize(2)
+        assert barrier.evicted_ranks == (2, 3)
+        with pytest.raises(DistributedError) as excinfo:
+            barrier.arrive(3, 5)
+        message = str(excinfo.value)
+        assert "rank 3 was evicted" in message
+        assert "re-formed from world size 4 to 2" in message
+        assert "[2, 3]" in message
+        # Surviving ranks still coordinate.
+        barrier.arrive(0, 5)
+        barrier.arrive(1, 5)
+        assert barrier.round_outcome(5).status == "completed"
+
+    def test_grow_readmits_evicted_ranks(self):
+        barrier = self.make_barrier(4)
+        barrier.resize(2)
+        barrier.resize(8)
+        assert barrier.evicted_ranks == ()
+        for rank in range(8):
+            barrier.arrive(rank, 1)
+        assert barrier.round_outcome(1).status == "completed"
+
+    def test_resize_rejects_empty_world(self):
+        with pytest.raises(DistributedError):
+            self.make_barrier(2).resize(0)
+
+    def test_resize_never_races_arrive(self):
+        """Hammer concurrent arrive() against resize(): every arrival
+        either lands in a consistent world or raises DistributedError —
+        no crash, no round completing against a half-updated count."""
+        barrier = self.make_barrier(4, timeout=None)
+        stop = threading.Event()
+        errors = []
+
+        def arrivals():
+            step = 0
+            while not stop.is_set():
+                step += 1
+                for rank in range(8):
+                    try:
+                        barrier.arrive(rank, step)
+                    except DistributedError:
+                        pass
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+
+        thread = threading.Thread(target=arrivals)
+        thread.start()
+        try:
+            for world in (2, 8, 3, 4) * 10:
+                barrier.resize(world)
+        finally:
+            stop.set()
+            thread.join()
+        assert errors == []
+
+
+class TestReform:
+    def test_reform_resizes_the_world(self):
+        with DistributedCoordinator(world_size=4, timeout=0.2) as coord:
+            workers = [
+                DistributedWorker.create(rank, make_layout(), coord)
+                for rank in range(4)
+            ]
+            # Ranks 2 and 3 stall: the round fails and the group degrades.
+            lockstep(workers[:2], 1)
+            assert wait_until(lambda: coord.degraded)
+            assert coord.failed_ranks == (2, 3)
+            coord.reform(world_size=2)
+            assert not coord.degraded
+            assert coord.world_size == 2
+            assert coord.barrier.evicted_ranks == (2, 3)
+            assert lockstep(workers[:2], 2) == []
+            assert coord.peer_check == 2
+            with pytest.raises(DistributedError, match="evicted"):
+                workers[3].checkpoint(payload(3, 2), 2)
+
+    def test_reform_without_resize_keeps_world(self):
+        with DistributedCoordinator(world_size=2, timeout=0.2) as coord:
+            workers = [
+                DistributedWorker.create(rank, make_layout(), coord)
+                for rank in range(2)
+            ]
+            lockstep(workers[:1], 1)
+            assert wait_until(lambda: coord.degraded)
+            coord.reform()
+            assert coord.world_size == 2
+            assert lockstep(workers, 2) == []
+
+    def test_reform_uses_no_barrier_private_state(self):
+        """The acceptance bar: reform() goes through the barrier's public
+        API only — no reaching into its lock, rounds, or world size."""
+        import inspect
+
+        source = inspect.getsource(DistributedCoordinator.reform)
+        assert "._barrier._" not in source
+        for private in ("_lock", "_rounds", "_world_size", "_settled"):
+            assert f"barrier.{private}" not in source
