@@ -1,6 +1,6 @@
 # Convenience targets for the PCcheck reproduction.
 
-.PHONY: install test test-sanitize test-distributed lint lint-sarif lint-baseline crashsweep bench bench-obs bench-persist figures examples clean
+.PHONY: install test test-sanitize test-distributed test-service lint lint-sarif lint-baseline crashsweep bench bench-obs bench-persist figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -30,6 +30,17 @@ test-distributed:
 		--torn --seed 11
 	PYTHONPATH=src python -m repro.cli crashsweep --workload elastic \
 		--world-size 4 --torn --seed 11
+
+# Multi-tenant service suite (docs/SERVICE.md): engine-pool lease
+# lifecycle, admission control and Eq. 3 quotas, group-commit batching
+# with the slow-device close-ordering regression, the 8-tenant fleet
+# e2e, the over-subscription hammer, and the shared strategy registry —
+# then the `serve` demo fleet, which exits non-zero on any slot or
+# DRAM-buffer leak.
+test-service:
+	PYTHONPATH=src python -m pytest -x -q tests/service tests/test_strategies.py
+	PYTHONPATH=src python -m repro.cli serve --tenants 6 --rounds 3 \
+		--pool-size 2 --payload-kib 256
 
 # Concurrency-invariant static analysis: per-file rules PC001-PC008
 # plus the whole-program pass (PC009 lock-order cycles, PC010

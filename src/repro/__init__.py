@@ -27,29 +27,60 @@ All keyword knobs of :func:`repro.open_checkpointer` — ``backend=``
 ("ssd"/"pmem"/"faults") and ``observability=`` ("off"/"metrics"/"full")
 among them — are documented on the function.  ``CheckpointerHandle`` is
 the deprecated pre-redesign name of :class:`Checkpointer`.
+
+Multi-tenant checkpointing lives in :mod:`repro.service`: an explicit
+:class:`~repro.service.EnginePool` (the one place engine stacks are
+assembled — ``open_checkpointer`` is a one-tenant view over it) and a
+:class:`~repro.service.CheckpointService` with per-tenant quotas,
+admission control, and cross-tenant group commit::
+
+    from repro import CheckpointService, EngineSpec, TenantSpec
+    svc = CheckpointService.create(
+        EngineSpec(capacity_bytes=1 << 20, backend="pmem"), pool_size=2)
+    svc.register(TenantSpec(name="job-a", capacity_bytes=1 << 20, slots=2))
+    svc.checkpoint("job-a", b"model state", step=1)
+    svc.close()
 """
 
 from repro._api import Checkpointer, CheckpointerHandle, open_checkpointer
 from repro.errors import (
+    AdmissionRejected,
     ConfigError,
     CorruptCheckpointError,
     EngineError,
     NoCheckpointError,
     PCcheckError,
+    ServiceError,
+    ServiceSaturated,
     StorageError,
+)
+from repro.service import (
+    CheckpointService,
+    EngineLease,
+    EnginePool,
+    EngineSpec,
+    TenantSpec,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionRejected",
     "Checkpointer",
     "CheckpointerHandle",
+    "CheckpointService",
     "ConfigError",
     "CorruptCheckpointError",
     "EngineError",
+    "EngineLease",
+    "EnginePool",
+    "EngineSpec",
     "NoCheckpointError",
     "PCcheckError",
+    "ServiceError",
+    "ServiceSaturated",
     "StorageError",
+    "TenantSpec",
     "__version__",
     "open_checkpointer",
 ]

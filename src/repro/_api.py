@@ -5,6 +5,14 @@ point it at a file (or pick an in-memory backend), say how big your
 checkpoints are and how many may run concurrently, and get back a ready
 :class:`Checkpointer` plus recovery of whatever the file already holds.
 
+Since the service redesign the actual device/layout/engine/orchestrator
+assembly lives in :mod:`repro.service.pool` — this module is a *thin
+one-tenant view*: ``open_checkpointer`` builds an
+:class:`~repro.service.pool.EngineSpec`, stands up (or borrows) an
+:class:`~repro.service.pool.EnginePool`, and leases one engine for the
+checkpointer's lifetime.  The CLI, the multi-tenant service, examples,
+and tests all construct engines through that same pool code path.
+
 The :class:`Checkpointer` delegates everything a user needs —
 ``checkpoint_async``/``wait``/``latest``/``metrics``/``trace`` — so
 application code never reaches into ``.orchestrator`` or ``.engine``
@@ -13,32 +21,28 @@ application code never reaches into ``.orchestrator`` or ``.engine``
 
 from __future__ import annotations
 
-import os
 import warnings
 from typing import List, Optional, Union
 
-from repro.core.config import PCcheckConfig
+from repro.core.config import PCcheckConfig, validate_choice
 from repro.core.engine import CheckpointEngine
-from repro.core.layout import DeviceLayout, Geometry
-from repro.core.meta import RECORD_SIZE, CheckMeta
+from repro.core.layout import DeviceLayout
+from repro.core.meta import CheckMeta
 from repro.core.orchestrator import CheckpointHandle, PCcheckOrchestrator
-from repro.core.recovery import RecoveredCheckpoint, try_recover
+from repro.core.recovery import RecoveredCheckpoint
 from repro.core.snapshot import BytesSource, SnapshotSource
-from repro.errors import ConfigError
-from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import NULL_TRACER, Tracer
+from repro.service.pool import (
+    BACKENDS,
+    OBSERVABILITY_LEVELS,
+    EngineLease,
+    EnginePool,
+    EngineSpec,
+)
 from repro.storage.device import PersistentDevice
-from repro.storage.dram import DRAMBufferPool
-from repro.storage.faults import CrashPointDevice
-from repro.storage.pmem import SimulatedPMEM
-from repro.storage.ssd import FileBackedSSD, InMemorySSD
 
-#: Valid ``backend=`` selectors for :func:`open_checkpointer`.
-BACKENDS = ("ssd", "pmem", "faults")
-#: Valid ``observability=`` levels: ``"off"`` (no device instrumentation,
-#: no tracing), ``"metrics"`` (shared registry incl. devices), ``"full"``
-#: (registry + lifecycle tracing).
-OBSERVABILITY_LEVELS = ("off", "metrics", "full")
+#: Release in which the deprecated ``CheckpointerHandle`` alias is
+#: scheduled for removal (stated in its DeprecationWarning).
+CHECKPOINTER_HANDLE_REMOVAL_VERSION = "2.0"
 
 
 class Checkpointer:
@@ -48,6 +52,12 @@ class Checkpointer:
     delegation methods; the assembled components stay reachable as
     attributes (``device``, ``layout``, ``engine``, ``orchestrator``,
     ``config``, ``recovered``) for tests and advanced use.
+
+    When the checkpointer sits on a pooled engine lease, :meth:`close`
+    is ownership-aware: it always releases the lease (draining in-flight
+    checkpoints), and tears the pool down only if this checkpointer
+    created it — an injected shared pool keeps its engines for the next
+    tenant.
     """
 
     def __init__(
@@ -60,6 +70,9 @@ class Checkpointer:
         config: PCcheckConfig,
         recovered: Optional[RecoveredCheckpoint] = None,
         observability: str = "metrics",
+        lease: Optional[EngineLease] = None,
+        pool: Optional[EnginePool] = None,
+        owns_pool: bool = False,
     ) -> None:
         self.device = device
         self.layout = layout
@@ -69,6 +82,10 @@ class Checkpointer:
         #: Checkpoint recovered from the region at open time, if any.
         self.recovered = recovered
         self.observability = observability
+        self._lease = lease
+        self._pool = pool
+        self._owns_pool = owns_pool
+        self._closed = False
 
     # ------------------------------------------------------------------
     # checkpointing
@@ -118,17 +135,15 @@ class Checkpointer:
     def metrics(self, format: str = "snapshot"):
         """The stack's telemetry: ``"snapshot"`` (dict), ``"json"`` or
         ``"prometheus"`` (text expositions)."""
+        validate_choice(
+            "metrics format", format, ("snapshot", "json", "prometheus")
+        )
         registry = self.engine.metrics
         if format == "snapshot":
             return registry.snapshot()
         if format == "json":
             return registry.to_json()
-        if format == "prometheus":
-            return registry.to_prometheus()
-        raise ConfigError(
-            f"unknown metrics format {format!r} "
-            "(expected snapshot, json, or prometheus)"
-        )
+        return registry.to_prometheus()
 
     def trace(self) -> dict:
         """The Chrome ``trace_event`` document of recorded lifecycle
@@ -139,7 +154,22 @@ class Checkpointer:
     # lifecycle
 
     def close(self) -> None:
-        """Drain in-flight checkpoints and release the device."""
+        """Drain in-flight checkpoints and give the engine back.
+
+        Owned (default) stacks are fully torn down — pool closed, device
+        released.  On an injected shared pool, the lease is released and
+        the engine stays warm for the pool's next tenant.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._lease is not None:
+            self._lease.release()
+            if self._owns_pool and self._pool is not None:
+                self._pool.close()
+            return
+        # Directly-assembled stacks (tests building Checkpointer from
+        # components) keep the original teardown.
         self.orchestrator.close()
         self.device.close()
 
@@ -156,45 +186,27 @@ class CheckpointerHandle(Checkpointer):
 
     def __init__(self, **kwargs) -> None:
         warnings.warn(
-            "CheckpointerHandle was renamed to Checkpointer; "
-            "the alias will be removed in a future release",
+            "CheckpointerHandle was renamed to Checkpointer; the alias "
+            "will be removed in release "
+            f"{CHECKPOINTER_HANDLE_REMOVAL_VERSION}",
             DeprecationWarning,
             stacklevel=2,
         )
         super().__init__(**kwargs)
 
 
-def _build_device(
-    backend: str, path: Optional[str], capacity: int
-) -> PersistentDevice:
-    if backend == "ssd":
-        if not path:
-            raise ConfigError("backend='ssd' requires a file path")
-        return FileBackedSSD(path, capacity=capacity)
-    if backend == "pmem":
-        return SimulatedPMEM(capacity, name="pmem")
-    if backend == "faults":
-        # An in-memory SSD behind a crash-point wrapper with op recording:
-        # callers inject crashes via ``ckpt.device`` and recovery tests
-        # sweep ``op_log``.
-        return CrashPointDevice(
-            InMemorySSD(capacity, name="mem-ssd"), record_ops=True
-        )
-    raise ConfigError(
-        f"unknown backend {backend!r} (expected one of {BACKENDS})"
-    )
-
-
 def open_checkpointer(
     path: Optional[str] = None,
     *,
-    capacity_bytes: int,
+    capacity_bytes: Optional[int] = None,
     num_concurrent: int = 2,
     writer_threads: int = 3,
     chunk_size: Optional[int] = None,
     num_chunks: int = 2,
     backend: str = "ssd",
     observability: str = "metrics",
+    pool: Optional[EnginePool] = None,
+    device: Optional[PersistentDevice] = None,
 ) -> Checkpointer:
     """Open (or create) a PCcheck region and return a :class:`Checkpointer`.
 
@@ -217,68 +229,74 @@ def open_checkpointer(
     (default) shares one registry across engine/orchestrator/device, and
     ``"full"`` additionally records per-checkpoint lifecycle spans
     (exported by :meth:`Checkpointer.trace`).
+
+    Dependency injection (keyword-only):
+
+    * ``pool=`` — lease an engine from an existing shared
+      :class:`~repro.service.pool.EnginePool` instead of building one;
+      the geometry/backend knobs are ignored (the pool's spec already
+      fixed them) and :meth:`Checkpointer.close` returns the engine to
+      the pool instead of tearing it down.
+    * ``device=`` — build the one-tenant stack over a caller-supplied
+      :class:`~repro.storage.device.PersistentDevice` (always formatted
+      fresh); ownership transfers, so close() closes the device.
     """
-    if capacity_bytes <= 0:
-        raise ConfigError(f"capacity must be positive, got {capacity_bytes}")
-    if observability not in OBSERVABILITY_LEVELS:
-        raise ConfigError(
-            f"unknown observability level {observability!r} "
-            f"(expected one of {OBSERVABILITY_LEVELS})"
+    if pool is not None:
+        if device is not None:
+            raise ValueError(
+                "pass either pool= or device=, not both — a pool builds "
+                "its own devices"
+            )
+        lease = pool.acquire(tag="open_checkpointer")
+        stack = lease.stack
+        return Checkpointer(
+            device=stack.device,
+            layout=stack.layout,
+            engine=stack.engine,
+            orchestrator=stack.orchestrator,
+            config=stack.config,
+            recovered=stack.recovered,
+            observability=stack.observability,
+            lease=lease,
+            pool=pool,
+            owns_pool=False,
         )
-    config = PCcheckConfig(
+    if capacity_bytes is None:
+        raise TypeError(
+            "open_checkpointer() missing required argument "
+            "'capacity_bytes' (only a pool= injection can omit it)"
+        )
+    spec = EngineSpec(
+        capacity_bytes=capacity_bytes,
         num_concurrent=num_concurrent,
         writer_threads=writer_threads,
         chunk_size=chunk_size,
         num_chunks=num_chunks,
-    )
-    slot_size = capacity_bytes + RECORD_SIZE
-    geometry = Geometry(num_slots=config.num_slots, slot_size=slot_size)
-    capacity = geometry.total_size
-    existing = (
-        backend == "ssd"
-        and path is not None
-        and os.path.exists(path)
-        and os.path.getsize(path) > 0
-    )
-    # An existing region keeps its own geometry; never size the device
-    # below the file (that would amputate slots).
-    if existing:
-        capacity = max(capacity, os.path.getsize(path))
-    device = _build_device(backend, path, capacity)
-
-    metrics = MetricsRegistry()
-    tracer = Tracer() if observability == "full" else NULL_TRACER
-    if observability != "off":
-        device.attach_metrics(metrics)
-
-    recovered: Optional[RecoveredCheckpoint] = None
-    recovered_meta: Optional[CheckMeta] = None
-    if existing:
-        layout = DeviceLayout.open(device)
-        recovered = try_recover(layout, metrics=metrics, tracer=tracer)
-        recovered_meta = recovered.meta if recovered else None
-    else:
-        layout = DeviceLayout.format(
-            device, num_slots=config.num_slots, slot_size=slot_size
-        )
-    engine = CheckpointEngine(
-        layout,
-        writer_threads=writer_threads,
-        recovered=recovered_meta,
-        metrics=metrics,
-        tracer=tracer,
-    )
-    pool = DRAMBufferPool(
-        num_chunks=num_chunks,
-        chunk_size=config.effective_chunk_size(capacity_bytes),
-    )
-    orchestrator = PCcheckOrchestrator(engine, pool, config)
-    return Checkpointer(
-        device=device,
-        layout=layout,
-        engine=engine,
-        orchestrator=orchestrator,
-        config=config,
-        recovered=recovered,
+        backend=backend,
+        path=path,
         observability=observability,
+    )
+    owned = EnginePool(
+        spec,
+        size=1,
+        name="open_checkpointer",
+        devices=None if device is None else (device,),
+    )
+    try:
+        lease = owned.acquire(tag="open_checkpointer")
+    except BaseException:
+        owned.close()
+        raise
+    stack = lease.stack
+    return Checkpointer(
+        device=stack.device,
+        layout=stack.layout,
+        engine=stack.engine,
+        orchestrator=stack.orchestrator,
+        config=stack.config,
+        recovered=stack.recovered,
+        observability=stack.observability,
+        lease=lease,
+        pool=owned,
+        owns_pool=True,
     )

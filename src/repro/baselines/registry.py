@@ -1,72 +1,40 @@
-"""Strategy registry: build any functional strategy by name.
+"""Functional-strategy registry — thin view over :mod:`repro.strategies`.
 
 Used by the examples and functional benchmarks to sweep strategies the
-way the paper's Figure 8 does.
+way the paper's Figure 8 does.  The canonical table lives in
+:mod:`repro.strategies`; this module keeps the historical import
+surface (``build_strategy``, ``required_capacity``,
+``available_strategies``, ``STRATEGY_CLASSES``) working.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List
 
-from repro.baselines.base import CheckpointStrategy
-from repro.baselines.checkfreq import CheckFreqStrategy
-from repro.baselines.gpm import GPMStrategy
-from repro.baselines.naive import NaiveStrategy
-from repro.baselines.pccheck import PCcheckStrategy
-from repro.core.config import PCcheckConfig
-from repro.core.layout import Geometry
-from repro.core.meta import RECORD_SIZE
-from repro.errors import ConfigError
-from repro.storage.device import PersistentDevice
+from repro.strategies import (
+    REGISTRY,
+    DeviceFactory,
+    build_strategy,
+    functional_strategies,
+    required_capacity,
+)
 
-#: A device factory receives the required capacity and returns a device.
-DeviceFactory = Callable[[int], PersistentDevice]
-
-
-def required_capacity(name: str, payload_capacity: int,
-                      config: Optional[PCcheckConfig] = None) -> int:
-    """Device bytes a strategy needs for checkpoints of ``payload_capacity``."""
-    slot_size = payload_capacity + RECORD_SIZE
-    if name == "pccheck":
-        slots = (config or PCcheckConfig()).num_slots
-    else:
-        slots = 2
-    return Geometry(num_slots=slots, slot_size=slot_size).total_size
-
-
-def build_strategy(
-    name: str,
-    device_factory: DeviceFactory,
-    payload_capacity: int,
-    config: Optional[PCcheckConfig] = None,
-    writer_threads: int = 1,
-) -> CheckpointStrategy:
-    """Construct a functional strategy with a right-sized device."""
-    capacity = required_capacity(name, payload_capacity, config)
-    device = device_factory(capacity)
-    if name == "naive":
-        return NaiveStrategy(device, payload_capacity, writer_threads=writer_threads)
-    if name == "checkfreq":
-        return CheckFreqStrategy(
-            device, payload_capacity, writer_threads=writer_threads
-        )
-    if name == "gpm":
-        return GPMStrategy(device, payload_capacity)
-    if name == "pccheck":
-        return PCcheckStrategy(device, payload_capacity, config=config)
-    raise ConfigError(
-        f"unknown strategy {name!r}; available: {available_strategies()}"
-    )
+__all__ = [
+    "DeviceFactory",
+    "STRATEGY_CLASSES",
+    "available_strategies",
+    "build_strategy",
+    "required_capacity",
+]
 
 
 def available_strategies() -> List[str]:
-    """Names accepted by :func:`build_strategy`."""
-    return ["naive", "checkfreq", "gpm", "pccheck"]
+    """Names accepted by :func:`repro.strategies.build_strategy`."""
+    return functional_strategies()
 
 
 STRATEGY_CLASSES: Dict[str, type] = {
-    "naive": NaiveStrategy,
-    "checkfreq": CheckFreqStrategy,
-    "gpm": GPMStrategy,
-    "pccheck": PCcheckStrategy,
+    name: entry.functional_class()
+    for name, entry in REGISTRY.items()
+    if entry.functional
 }

@@ -172,6 +172,33 @@ def build_parser() -> argparse.ArgumentParser:
                 "--format", choices=["prom", "json"], default="prom",
                 help="exposition format",
             )
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the multi-tenant checkpoint-service demo: a mixed "
+        "tenant fleet with per-tenant quotas, admission control, and "
+        "cross-tenant group commit over one engine pool",
+    )
+    serve_parser.add_argument(
+        "--tenants", type=int, default=8,
+        help="total tenants (half dedicated, half coalesced)",
+    )
+    serve_parser.add_argument(
+        "--rounds", type=int, default=6,
+        help="checkpoints each tenant submits",
+    )
+    serve_parser.add_argument(
+        "--pool-size", type=int, default=3,
+        help="engines in the shared pool",
+    )
+    serve_parser.add_argument(
+        "--payload-kib", type=int, default=1024,
+        help="dedicated-tenant checkpoint payload size in KiB",
+    )
+    serve_parser.add_argument("--seed", type=int, default=1234)
+    serve_parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format",
+    )
     sweep_parser = sub.add_parser(
         "crashsweep",
         help="sweep a crash across every device op of a workload and "
@@ -281,19 +308,17 @@ def _run_recover_consistent(args: argparse.Namespace) -> int:
     import json
 
     from repro.core.distributed import recover_consistent
-    from repro.core.layout import DeviceLayout
     from repro.errors import PCcheckError
-    from repro.storage.ssd import FileBackedSSD
+    from repro.service.pool import open_existing_region
 
     devices = []
     try:
         try:
             layouts = []
             for path in args.paths:
-                size = os.path.getsize(path)
-                device = FileBackedSSD(path, capacity=size)
+                device, layout = open_existing_region(path)
                 devices.append(device)
-                layouts.append(DeviceLayout.open(device))
+                layouts.append(layout)
             result = recover_consistent(layouts, world_size=args.world_size)
         except PCcheckError as exc:
             print(f"recover-consistent: {exc}", file=sys.stderr)
@@ -351,6 +376,26 @@ def _run_recover_consistent(args: argparse.Namespace) -> int:
     finally:
         for device in devices:
             device.close()
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.driver import render_report, run_service_demo
+
+    report = run_service_demo(
+        tenants=args.tenants,
+        rounds=args.rounds,
+        capacity_bytes=args.payload_kib * 1024,
+        pool_size=args.pool_size,
+        seed=args.seed,
+    )
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        print(render_report(report))
+    leaks = report["leak_report"]
+    return 0 if not leaks["leaked_slots"] and not leaks["leaked_buffers"] else 1
 
 
 def _run_obs(args: argparse.Namespace) -> int:
@@ -414,6 +459,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache=args.cache,
             warn_unused_suppressions=args.warn_unused_suppressions,
         )
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command in ("metrics", "trace"):
         return _run_obs(args)
     if args.command == "crashsweep":

@@ -49,6 +49,33 @@ def min_checkpoint_interval(
     return max(1, f_star)
 
 
+def slots_for_interval(
+    tw: float, interval: int, max_slowdown: float, iteration_time: float
+) -> int:
+    """Eq. 3 solved for N: the smallest concurrent-slot quota that lets a
+    tenant checkpoint every ``interval`` iterations within its overhead
+    budget.
+
+    :func:`min_checkpoint_interval` maps (Tw, N) to the minimum interval
+    f*; this is its inverse — the multi-tenant service uses it to turn a
+    tenant's requested cadence into the number of engine slots it must be
+    allotted (``N >= Tw / (f · (q-1) · t)``), so quotas come straight out
+    of the paper's model instead of being guessed.  The returned N always
+    satisfies ``min_checkpoint_interval(tw, N, q, t) <= interval``.
+    """
+    if tw < 0:
+        raise ConfigError(f"Tw must be >= 0, got {tw}")
+    if interval < 1:
+        raise ConfigError(f"interval f must be >= 1, got {interval}")
+    if max_slowdown < 1.0:
+        raise ConfigError(f"q must be >= 1, got {max_slowdown}")
+    if iteration_time <= 0:
+        raise ConfigError(f"t must be positive, got {iteration_time}")
+    overhead_budget = max(max_slowdown - 1.0, 1e-9)
+    slots = math.ceil(tw / (interval * overhead_budget * iteration_time))
+    return max(1, slots)
+
+
 @dataclass(frozen=True)
 class TuningResult:
     """Outcome of a tuning run."""

@@ -26,6 +26,25 @@ from typing import Dict, Optional
 from repro.errors import ConfigError
 
 
+def validate_choice(what: str, value: str, choices) -> str:
+    """Reject ``value`` unless it is one of ``choices``.
+
+    The ONE place enumerated-knob validation errors are worded, so the
+    CLI, :func:`repro.open_checkpointer`, the engine pool, and the
+    service all produce the same message shape::
+
+        unknown backend 'tape' (expected one of: faults, pmem, ssd)
+
+    Returns ``value`` unchanged so call sites can validate inline.
+    """
+    if value not in choices:
+        raise ConfigError(
+            f"unknown {what} {value!r} "
+            f"(expected one of: {', '.join(sorted(choices))})"
+        )
+    return value
+
+
 @dataclass(frozen=True)
 class UserConstraints:
     """User-facing resource and overhead limits (Table 2, right column)."""

@@ -179,6 +179,29 @@ class CheckpointTicket:
         self._crc = zlib.crc32(view, self._crc)
         self._written += len(view)
 
+    def write_chunks(self, chunks) -> None:
+        """Persist several consecutive pieces as ONE writer batch.
+
+        The pieces land back-to-back at the slot's next offsets, exactly
+        as repeated :meth:`write_chunk` calls would, but they are handed
+        to the writer pool together via
+        :meth:`~repro.core.writer.ParallelWriter.persist_many` — in
+        ``single`` fence mode the whole batch is covered by one fence
+        instead of one per piece.  This is the engine-side hook the
+        multi-tenant service's coalescing path uses to turn K small
+        checkpoints into a single fsync.
+        """
+        if self._done:
+            raise EngineError("ticket already committed or aborted")
+        views = [as_view(chunk) for chunk in chunks]
+        views = [view for view in views if len(view)]
+        if not views:
+            return
+        self._engine._persist_chunk_batch(self, views)
+        for view in views:
+            self._crc = zlib.crc32(view, self._crc)
+            self._written += len(view)
+
     def commit(self) -> CheckpointResult:
         """Finish the checkpoint: persist the header, run the CAS protocol."""
         if self._done:
@@ -502,6 +525,30 @@ class CheckpointEngine:
         offset = self._layout.payload_offset(ticket.slot) + ticket.bytes_written
         self._writer.persist(offset, chunk)
         self._metrics.inc(M.BYTES_PERSISTED, len(chunk))
+
+    def _persist_chunk_batch(
+        self, ticket: CheckpointTicket, views
+    ) -> None:
+        """Persist consecutive pieces through one ``persist_many`` batch.
+
+        Capacity is validated for the whole batch up front — either every
+        piece fits the slot or nothing is written — so a failed batch
+        aborts as cleanly as a failed single chunk.
+        """
+        total = sum(len(view) for view in views)
+        capacity = self._layout.payload_capacity
+        if ticket.bytes_written + total > capacity:
+            raise OutOfSpaceError(
+                f"batched checkpoint of >= {ticket.bytes_written + total} "
+                f"bytes exceeds slot payload capacity {capacity}"
+            )
+        offset = self._layout.payload_offset(ticket.slot) + ticket.bytes_written
+        pieces = []
+        for view in views:
+            pieces.append((offset, view))
+            offset += len(view)
+        self._writer.persist_many(pieces)
+        self._metrics.inc(M.BYTES_PERSISTED, total)
 
     def _commit(self, ticket: CheckpointTicket, crc: int) -> CheckpointResult:
         span = self._tracer.begin(

@@ -81,6 +81,17 @@ class CheckpointHandle:
         """True once the commit protocol finished."""
         return self._future.done()
 
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(handle)`` once this checkpoint settles — committed,
+        superseded, or failed.  Fires immediately when already settled.
+        Callbacks run on the pipeline thread that settled the handle (or
+        the caller's, when already done), so keep them short and never
+        block in them; exceptions they raise are swallowed by the
+        underlying future machinery, as with
+        :meth:`concurrent.futures.Future.add_done_callback`.
+        """
+        self._future.add_done_callback(lambda _future: fn(self))
+
 
 #: Sentinel the capture stage sends when it failed mid-checkpoint, so the
 #: persist stage aborts the ticket instead of committing a truncated payload.
@@ -196,6 +207,16 @@ class PCcheckOrchestrator:
     def config(self) -> PCcheckConfig:
         """Active configuration."""
         return self._config
+
+    @property
+    def fatal_error(self) -> Optional[BaseException]:
+        """The unrecoverable pipeline failure, if one happened.
+
+        Non-``None`` means a persist stage died on a crashed device; the
+        orchestrator refuses new checkpoints and the engine pool must not
+        hand this stack to another tenant.
+        """
+        return self._fatal
 
     def checkpoint_async(self, source: SnapshotSource, step: int) -> CheckpointHandle:
         """Start a concurrent checkpoint of ``source``.

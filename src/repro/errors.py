@@ -84,6 +84,37 @@ class ConfigError(PCcheckError):
     """Invalid PCcheck configuration (Table 2 parameter constraints)."""
 
 
+class ServiceError(PCcheckError):
+    """The multi-tenant checkpoint service failed or was misused."""
+
+
+class AdmissionRejected(ServiceError):
+    """Admission control refused a request outright.
+
+    The tenant exceeded one of its budgets — concurrent-slot quota with a
+    full queue, DRAM staging budget, or payload capacity — and the request
+    was dropped *before* touching any engine, so the engine's invariants
+    and every other tenant's traffic are unaffected.  The ``tenant`` and
+    ``reason`` attributes identify which budget fired.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "", reason: str = "") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+
+
+class ServiceSaturated(AdmissionRejected):
+    """The *shared* capacity is exhausted, not a per-tenant budget.
+
+    Raised when storage bandwidth is saturated end to end: every pooled
+    engine is leased (or the coalescing batch region is full) and the
+    bounded queue is at its limit, so backpressure reaches the caller.
+    Distinct from its :class:`AdmissionRejected` base so tenants can tell
+    "slow down, the fleet is busy" apart from "you exceeded your quota".
+    """
+
+
 class SimulationError(PCcheckError):
     """The discrete-event simulator reached an inconsistent state."""
 

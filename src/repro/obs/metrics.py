@@ -76,6 +76,21 @@ class M:
     RECOVERY_SECONDS = "pccheck_recovery_seconds"
     RECOVERY_BYTES = "pccheck_recovery_bytes_total"
     RECOVERY_ATTEMPTS = "pccheck_recovery_attempts_total"
+    # -- multi-tenant service / engine pool ----------------------------
+    TENANT_REQUESTS = "pccheck_tenant_requests_total"  # label: tenant=
+    TENANT_COMMITS = "pccheck_tenant_commits_total"  # label: tenant=
+    TENANT_SUPERSEDED = "pccheck_tenant_superseded_total"  # label: tenant=
+    TENANT_REJECTED = "pccheck_tenant_rejected_total"  # labels: tenant=, reason=
+    TENANT_QUEUED = "pccheck_tenant_queued_total"  # label: tenant=
+    TENANT_BYTES = "pccheck_tenant_bytes_total"  # label: tenant=
+    TENANT_QUEUE_SECONDS = "pccheck_tenant_queue_seconds"  # label: tenant=
+    TENANT_INFLIGHT = "pccheck_tenant_inflight"  # label: tenant=
+    SERVICE_BATCHES = "pccheck_service_batches_total"
+    SERVICE_BATCH_ENTRIES = "pccheck_service_batch_entries"
+    SERVICE_TENANTS = "pccheck_service_tenants"
+    POOL_ENGINES_BUILT = "pccheck_pool_engines_built"
+    POOL_ENGINES_LEASED = "pccheck_pool_engines_leased"
+    POOL_ACQUIRE_WAIT_SECONDS = "pccheck_pool_acquire_wait_seconds_total"
     # -- training loop / monitor --------------------------------------
     TRAIN_STEPS = "pccheck_train_steps_total"
     TRAIN_ITERATION_SECONDS = "pccheck_train_iteration_seconds"

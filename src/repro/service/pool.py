@@ -1,0 +1,690 @@
+"""Explicit engine-pool assembly — the ONE place a PCcheck stack is built.
+
+Historically :func:`repro.open_checkpointer` inlined the whole
+device/layout/engine/orchestrator assembly, which meant every other
+consumer (the CLI, benchmarks, the multi-tenant service) either went
+through the one-tenant convenience function or grew its own copy of the
+wiring.  This module inverts that: :class:`EngineSpec` describes how one
+engine stack is assembled, :func:`build_stack` performs the assembly, and
+:class:`EnginePool` owns a fixed fleet of such stacks with explicit
+``acquire``/``release`` leasing, capacity accounting, and leak-checked
+``close``.  ``open_checkpointer`` is now a thin one-tenant view over a
+size-1 pool, and :class:`repro.service.CheckpointService` multiplexes
+many tenants over a shared pool — both through this single code path.
+
+Pool semantics:
+
+* Stacks are built lazily on first acquire (member ``i`` of an ``ssd``
+  pool lives at ``{path}.e{i}`` when the pool has more than one engine,
+  at ``path`` itself for the size-1 ``open_checkpointer`` case, so
+  single-tenant region reopen/recovery behaviour is unchanged).
+* A lease is exclusive: one tenant drives one engine at a time, so the
+  engine's N-concurrent-slot bound is the tenant's to spend.
+* ``release`` drains the orchestrator and returns the stack to the idle
+  list; a stack whose pipelines died on a crashed device is *retired*
+  instead (closed, its pool seat freed for a rebuild) so a poisoned
+  engine is never handed to the next tenant.
+* ``close`` refuses while leases are outstanding, then closes every
+  stack and returns a leak report — free-slot and DRAM-chunk accounting
+  per engine — that the tests (and the service's own shutdown) assert
+  is clean.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import PCcheckConfig, validate_choice
+from repro.core.engine import CheckpointEngine
+from repro.core.layout import DeviceLayout, Geometry
+from repro.core.meta import RECORD_SIZE
+from repro.core.orchestrator import PCcheckOrchestrator
+from repro.core.recovery import RecoveredCheckpoint, try_recover
+from repro.errors import ConfigError, EngineClosedError, ServiceError, ServiceSaturated
+from repro.obs.metrics import M, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.storage.device import PersistentDevice
+from repro.storage.dram import DRAMBufferPool
+from repro.storage.faults import CrashPointDevice
+from repro.storage.pmem import SimulatedPMEM
+from repro.storage.ssd import FileBackedSSD, InMemorySSD
+
+#: Valid ``backend=`` selectors for :class:`EngineSpec` (and therefore
+#: :func:`repro.open_checkpointer` and the service CLI).
+BACKENDS = ("ssd", "pmem", "faults")
+#: Valid ``observability=`` levels: ``"off"`` (no device instrumentation,
+#: no tracing), ``"metrics"`` (shared registry incl. devices), ``"full"``
+#: (registry + lifecycle tracing).
+OBSERVABILITY_LEVELS = ("off", "metrics", "full")
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything needed to assemble one checkpoint engine stack.
+
+    ``capacity_bytes`` is the largest checkpoint payload a tenant of this
+    engine intends to write; the region is sized to ``(N + 1)`` slots of
+    that payload plus metadata (Table 1's storage footprint).
+
+    ``persist_bandwidth`` (bytes/second) throttles the simulated
+    backends' durability barriers — the service tests use it to model a
+    saturated or slow device; it is rejected for the real-file ``ssd``
+    backend, whose speed is whatever the filesystem delivers.
+    """
+
+    capacity_bytes: int
+    num_concurrent: int = 2
+    writer_threads: int = 3
+    chunk_size: Optional[int] = None
+    num_chunks: int = 2
+    backend: str = "ssd"
+    path: Optional[str] = None
+    observability: str = "metrics"
+    persist_bandwidth: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError(
+                f"capacity must be positive, got {self.capacity_bytes}"
+            )
+        validate_choice("backend", self.backend, BACKENDS)
+        validate_choice(
+            "observability level", self.observability, OBSERVABILITY_LEVELS
+        )
+        if self.persist_bandwidth is not None:
+            if self.backend == "ssd":
+                raise ConfigError(
+                    "persist_bandwidth only throttles the simulated "
+                    "backends (pmem, faults), not backend='ssd'"
+                )
+            if self.persist_bandwidth <= 0:
+                raise ConfigError(
+                    f"persist bandwidth must be positive, "
+                    f"got {self.persist_bandwidth}"
+                )
+        # Validate the Table 2 knobs eagerly (PCcheckConfig re-checks at
+        # assembly time; failing here keeps errors at spec construction).
+        self.pccheck_config()
+
+    def pccheck_config(self) -> PCcheckConfig:
+        """The validated engine configuration this spec describes."""
+        return PCcheckConfig(
+            num_concurrent=self.num_concurrent,
+            writer_threads=self.writer_threads,
+            chunk_size=self.chunk_size,
+            num_chunks=self.num_chunks,
+        )
+
+    def validate_buildable(self) -> None:
+        """Check the spec can build devices (no injected device given)."""
+        if self.backend == "ssd" and not self.path:
+            raise ConfigError("backend='ssd' requires a file path")
+
+    def member_path(self, index: int, pool_size: int) -> Optional[str]:
+        """On-disk path of pool member ``index``.
+
+        A size-1 pool uses ``path`` verbatim so ``open_checkpointer``'s
+        reopen-and-recover behaviour is byte-identical to the
+        pre-pool API; larger pools suffix each member.
+        """
+        if self.path is None:
+            return None
+        if pool_size <= 1:
+            return self.path
+        return f"{self.path}.e{index}"
+
+    def member_name(self, base: str, index: int, pool_size: int) -> str:
+        """Distinct device name per pool member (metric label isolation)."""
+        if pool_size <= 1:
+            return base
+        return f"{base}.e{index}"
+
+
+def build_device(
+    spec: EngineSpec, capacity: int, index: int = 0, pool_size: int = 1
+) -> PersistentDevice:
+    """Construct the storage substrate one pool member runs on."""
+    if spec.backend == "ssd":
+        path = spec.member_path(index, pool_size)
+        if not path:
+            raise ConfigError("backend='ssd' requires a file path")
+        return FileBackedSSD(path, capacity=capacity)
+    if spec.backend == "pmem":
+        return SimulatedPMEM(
+            capacity,
+            name=spec.member_name("pmem", index, pool_size),
+            persist_bandwidth=spec.persist_bandwidth,
+        )
+    # "faults": an in-memory SSD behind a crash-point wrapper with op
+    # recording — callers inject crashes via the device and tests sweep
+    # the op log.  (The spec validated the backend choice already.)
+    return CrashPointDevice(
+        InMemorySSD(
+            capacity,
+            name=spec.member_name("mem-ssd", index, pool_size),
+            persist_bandwidth=spec.persist_bandwidth,
+        ),
+        record_ops=True,
+    )
+
+
+def open_existing_region(path: str) -> Tuple[PersistentDevice, DeviceLayout]:
+    """Open a formatted on-disk region: ``(device, layout)``.
+
+    The shared read path for recovery tooling (``pccheck-repro
+    recover-consistent`` and friends) so the CLI carries no private copy
+    of device/layout wiring.  The caller owns (and must close) the
+    returned device.
+    """
+    size = os.path.getsize(path)
+    device = FileBackedSSD(path, capacity=size)
+    try:
+        layout = DeviceLayout.open(device)
+    except BaseException:
+        device.close()
+        raise
+    return device, layout
+
+
+class EngineStack:
+    """One assembled engine: device + layout + engine + orchestrator +
+    staging DRAM pool, plus whatever the region held at open time."""
+
+    def __init__(
+        self,
+        *,
+        device: PersistentDevice,
+        layout: DeviceLayout,
+        engine: CheckpointEngine,
+        orchestrator: PCcheckOrchestrator,
+        config: PCcheckConfig,
+        dram: DRAMBufferPool,
+        recovered: Optional[RecoveredCheckpoint] = None,
+        observability: str = "metrics",
+        index: int = 0,
+    ) -> None:
+        self.device = device
+        self.layout = layout
+        self.engine = engine
+        self.orchestrator = orchestrator
+        self.config = config
+        self.dram = dram
+        #: Checkpoint recovered from the region at open time, if any.
+        self.recovered = recovered
+        self.observability = observability
+        #: Seat of this stack within its pool (0 for standalone stacks).
+        self.index = index
+        #: Error swallowed on the release path (diagnostics only — the
+        #: tenant already observed it through its checkpoint handles).
+        self.release_error: Optional[BaseException] = None
+
+    @property
+    def defunct(self) -> bool:
+        """True when the stack must not serve another tenant (the
+        pipelines died on a crashed device)."""
+        return self.orchestrator.fatal_error is not None
+
+    def expected_free_slots(self) -> int:
+        """Free-queue length at quiescence: every slot except the one the
+        committed checkpoint occupies (invariant 4)."""
+        committed = self.engine.committed() is not None
+        return self.layout.num_slots - (1 if committed else 0)
+
+    def leak_report(self) -> Dict[str, int]:
+        """Slot/buffer accounting for this stack (exact at quiescence)."""
+        expected = self.expected_free_slots()
+        free = self.engine.free_slots
+        held = len(self.engine.held_slots)
+        return {
+            "index": self.index,
+            "free_slots": free,
+            "expected_free_slots": expected,
+            "held_slots": held,
+            "leaked_slots": max(0, expected - free - held),
+            "dram_total": self.dram.total_chunks,
+            "dram_free": self.dram.free_chunks,
+            "leaked_buffers": self.dram.total_chunks - self.dram.free_chunks,
+        }
+
+    def close(self) -> None:
+        """Tear the stack down: drain pipelines, stop the writer pool,
+        release the device."""
+        self.orchestrator.close()
+        self.device.close()
+
+
+def build_stack(
+    spec: EngineSpec,
+    *,
+    device: Optional[PersistentDevice] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer=None,
+    index: int = 0,
+    pool_size: int = 1,
+) -> EngineStack:
+    """Assemble one engine stack from ``spec``.
+
+    This is the device/layout/engine/orchestrator wiring that used to
+    live inside ``open_checkpointer`` — the CLI, the service, the pool,
+    and the one-tenant API all funnel through here now.
+
+    With an injected ``device`` the region is always formatted fresh
+    (the pool cannot know the device's history); without one, an
+    existing ``ssd`` region is reopened with its on-disk geometry and
+    its newest valid checkpoint recovered, exactly as before.
+    """
+    config = spec.pccheck_config()
+    slot_size = spec.capacity_bytes + RECORD_SIZE
+    geometry = Geometry(num_slots=config.num_slots, slot_size=slot_size)
+    capacity = geometry.total_size
+    member_path = spec.member_path(index, pool_size)
+    existing = (
+        device is None
+        and spec.backend == "ssd"
+        and member_path is not None
+        and os.path.exists(member_path)
+        and os.path.getsize(member_path) > 0
+    )
+    # An existing region keeps its own geometry; never size the device
+    # below the file (that would amputate slots).
+    if existing:
+        capacity = max(capacity, os.path.getsize(member_path))
+    if device is None:
+        device = build_device(spec, capacity, index=index, pool_size=pool_size)
+
+    if metrics is None:
+        metrics = MetricsRegistry()
+    if tracer is None:
+        tracer = Tracer() if spec.observability == "full" else NULL_TRACER
+    if spec.observability != "off":
+        device.attach_metrics(metrics)
+
+    recovered: Optional[RecoveredCheckpoint] = None
+    recovered_meta = None
+    if existing:
+        layout = DeviceLayout.open(device)
+        recovered = try_recover(layout, metrics=metrics, tracer=tracer)
+        recovered_meta = recovered.meta if recovered else None
+    else:
+        layout = DeviceLayout.format(
+            device, num_slots=config.num_slots, slot_size=slot_size
+        )
+    engine = CheckpointEngine(
+        layout,
+        writer_threads=spec.writer_threads,
+        recovered=recovered_meta,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    dram = DRAMBufferPool(
+        num_chunks=spec.num_chunks,
+        chunk_size=config.effective_chunk_size(spec.capacity_bytes),
+    )
+    orchestrator = PCcheckOrchestrator(engine, dram, config)
+    return EngineStack(
+        device=device,
+        layout=layout,
+        engine=engine,
+        orchestrator=orchestrator,
+        config=config,
+        dram=dram,
+        recovered=recovered,
+        observability=spec.observability,
+        index=index,
+    )
+
+
+class EngineLease:
+    """Exclusive custody of one pooled engine stack.
+
+    Obtained from :meth:`EnginePool.acquire`; hand it back with
+    :meth:`release` (idempotent) or use it as a context manager.  The
+    stack's components are reachable as attributes for the lease's
+    lifetime; after release they belong to the next tenant.
+    """
+
+    def __init__(self, pool: "EnginePool", stack: EngineStack, tag: str) -> None:
+        self._pool = pool
+        self.stack = stack
+        #: Diagnostic owner label ("tenant:alice", "open_checkpointer").
+        self.tag = tag
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    # Component delegation, for symmetry with the old Checkpointer attrs.
+    @property
+    def device(self) -> PersistentDevice:
+        return self.stack.device
+
+    @property
+    def layout(self) -> DeviceLayout:
+        return self.stack.layout
+
+    @property
+    def engine(self) -> CheckpointEngine:
+        return self.stack.engine
+
+    @property
+    def orchestrator(self) -> PCcheckOrchestrator:
+        return self.stack.orchestrator
+
+    @property
+    def config(self) -> PCcheckConfig:
+        return self.stack.config
+
+    @property
+    def dram(self) -> DRAMBufferPool:
+        return self.stack.dram
+
+    @property
+    def recovered(self) -> Optional[RecoveredCheckpoint]:
+        return self.stack.recovered
+
+    def release(self) -> None:
+        """Drain in-flight checkpoints and return the engine to the pool."""
+        self._pool.release(self)
+
+    def __enter__(self) -> "EngineLease":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+class EnginePool:
+    """A shareable, leak-accounted pool of assembled checkpoint engines.
+
+    One pool = one :class:`EngineSpec` times ``size`` seats.  All member
+    stacks report into ONE metrics registry (``pool.metrics``) with
+    per-device labels, so a single snapshot shows the whole fleet; the
+    multi-tenant service layers tenant-labelled series on top.
+    """
+
+    def __init__(
+        self,
+        spec: EngineSpec,
+        size: int = 1,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+        name: str = "engine-pool",
+        devices: Optional[Sequence[PersistentDevice]] = None,
+    ) -> None:
+        """``devices`` injects pre-built storage for the first
+        ``len(devices)`` seats (the ``open_checkpointer(device=...)``
+        path and device-fault tests); remaining seats build from the
+        spec as usual."""
+        if size < 1:
+            raise ConfigError(f"engine pool needs at least one seat, got {size}")
+        if devices is not None and len(devices) > size:
+            raise ConfigError(
+                f"{len(devices)} injected devices exceed pool size {size}"
+            )
+        self._spec = spec
+        self._size = size
+        self._name = name
+        self._injected: Dict[int, PersistentDevice] = dict(
+            enumerate(devices or ())
+        )
+        if len(self._injected) < size:
+            # At least one seat must build its own device.
+            spec.validate_buildable()
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        if tracer is None:
+            tracer = Tracer() if spec.observability == "full" else NULL_TRACER
+        self._tracer = tracer
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        # Seats yet to be built; pop() hands out 0 first so size-1 pools
+        # and path suffixes stay deterministic.
+        self._unbuilt: List[int] = list(range(size))[::-1]
+        self._idle: List[EngineStack] = []
+        self._active: Dict[int, EngineLease] = {}
+        self._closed = False
+        self._last_leak_report: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def spec(self) -> EngineSpec:
+        return self._spec
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def size(self) -> int:
+        """Total seats (engines this pool can hold at once)."""
+        return self._size
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry every member stack reports into."""
+        return self._metrics
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @property
+    def built(self) -> int:
+        """Stacks currently assembled (idle + leased)."""
+        with self._lock:
+            return len(self._idle) + len(self._active)
+
+    @property
+    def in_use(self) -> int:
+        """Leases currently outstanding."""
+        with self._lock:
+            return len(self._active)
+
+    @property
+    def available(self) -> int:
+        """Seats a new acquire could take without waiting."""
+        with self._lock:
+            return len(self._idle) + len(self._unbuilt)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def last_leak_report(self) -> Optional[dict]:
+        """The accounting report computed by :meth:`close` (or ``None``
+        while the pool is still open)."""
+        return self._last_leak_report
+
+    def active_tags(self) -> List[str]:
+        """Owner labels of outstanding leases (diagnostics)."""
+        with self._lock:
+            return sorted(lease.tag for lease in self._active.values())
+
+    # ------------------------------------------------------------------
+    # leasing
+
+    def acquire(
+        self, *, timeout: Optional[float] = None, tag: str = "anonymous"
+    ) -> EngineLease:
+        """Lease an engine, building one if a seat is free.
+
+        Blocks while every seat is leased; with a ``timeout``, raises
+        :class:`~repro.errors.ServiceSaturated` once it expires — the
+        pool-level backpressure signal admission control forwards to
+        tenants.
+        """
+        start = time.monotonic()
+        build_index: Optional[int] = None
+        stack: Optional[EngineStack] = None
+        with self._available:
+            while True:
+                if self._closed:
+                    raise EngineClosedError(
+                        f"engine pool {self._name!r} is closed"
+                    )
+                if self._idle:
+                    stack = self._idle.pop(0)
+                    break
+                if self._unbuilt:
+                    build_index = self._unbuilt.pop()
+                    break
+                remaining = None
+                if timeout is not None:
+                    remaining = timeout - (time.monotonic() - start)
+                    if remaining <= 0:
+                        holders = ", ".join(
+                            sorted(l.tag for l in self._active.values())
+                        )
+                        raise ServiceSaturated(
+                            f"engine pool {self._name!r} saturated: all "
+                            f"{self._size} engines leased "
+                            f"(waited {timeout:g}s; holders: "
+                            f"{holders or 'unknown'})",
+                            reason="pool_exhausted",
+                        )
+                self._available.wait(remaining)
+        if stack is None:
+            # Build outside the lock: assembly does real I/O and two
+            # concurrent acquires hold distinct seat indices anyway.
+            try:
+                stack = build_stack(
+                    self._spec,
+                    device=self._injected.get(build_index),
+                    metrics=self._metrics,
+                    tracer=self._tracer,
+                    index=build_index,
+                    pool_size=self._size,
+                )
+            except BaseException:
+                with self._available:
+                    self._unbuilt.append(build_index)
+                    self._available.notify()
+                raise
+        lease = EngineLease(self, stack, tag)
+        with self._available:
+            self._active[stack.index] = lease
+            leased = len(self._active)
+            built = leased + len(self._idle)
+        self._metrics.inc(
+            M.POOL_ACQUIRE_WAIT_SECONDS, time.monotonic() - start
+        )
+        self._metrics.set_gauge(M.POOL_ENGINES_LEASED, leased)
+        self._metrics.set_gauge(M.POOL_ENGINES_BUILT, built)
+        return lease
+
+    def release(self, lease: EngineLease) -> None:
+        """Return a leased engine to the pool (idempotent).
+
+        Drains the stack's in-flight checkpoints first so the next
+        tenant inherits a quiescent engine.  A defunct stack (crashed
+        device) is retired — closed, with its seat freed so a later
+        acquire rebuilds a fresh engine over the same spec — instead of
+        being recycled.
+        """
+        if lease._released:  # noqa: SLF001 - pool owns the lease lifecycle
+            return
+        lease._released = True  # noqa: SLF001
+        stack = lease.stack
+        # Failures were deliverable through the tenant's handles; a
+        # release must never refuse to take the engine back.
+        try:
+            stack.orchestrator.drain(return_exceptions=True)
+        except BaseException as exc:  # noqa: BLE001 - release is unconditional
+            stack.release_error = exc
+        # A drain that raises even in return_exceptions mode means the
+        # stack cannot be quiesced — retire it like a defunct one.
+        retire = stack.defunct or stack.release_error is not None
+        with self._available:
+            self._active.pop(stack.index, None)
+            if retire:
+                self._unbuilt.append(stack.index)
+                self._injected.pop(stack.index, None)
+            else:
+                self._idle.append(stack)
+            leased = len(self._active)
+            built = leased + len(self._idle)
+            self._available.notify()
+        if retire:
+            try:
+                stack.close()
+            except BaseException as exc:  # noqa: BLE001 - already-dead device
+                stack.release_error = exc
+        self._metrics.set_gauge(M.POOL_ENGINES_LEASED, leased)
+        self._metrics.set_gauge(M.POOL_ENGINES_BUILT, built)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def leak_report(self) -> dict:
+        """Accounting across built stacks: slots and DRAM buffers that
+        should be free but are not.  Exact at quiescence."""
+        with self._lock:
+            stacks = list(self._idle) + [
+                lease.stack for lease in self._active.values()
+            ]
+            leased = len(self._active)
+        engines = [stack.leak_report() for stack in stacks]
+        return {
+            "engines": engines,
+            "leased": leased,
+            "leaked_slots": sum(e["leaked_slots"] for e in engines),
+            "leaked_buffers": sum(e["leaked_buffers"] for e in engines),
+        }
+
+    def close(self) -> dict:
+        """Close every stack and return the final leak report.
+
+        Refuses (``ServiceError``) while leases are outstanding — a
+        forced close would yank engines from under live tenants; release
+        them first.  Idempotent: later calls return the same report.
+        """
+        with self._available:
+            if self._closed:
+                return self._last_leak_report or {
+                    "engines": [], "leased": 0,
+                    "leaked_slots": 0, "leaked_buffers": 0,
+                }
+            if self._active:
+                tags = ", ".join(
+                    sorted(lease.tag for lease in self._active.values())
+                )
+                raise ServiceError(
+                    f"cannot close engine pool {self._name!r}: "
+                    f"{len(self._active)} leases outstanding ({tags})"
+                )
+            self._closed = True
+            stacks = list(self._idle)
+            self._idle = []
+            self._available.notify_all()
+        engines = []
+        for stack in stacks:
+            # Quiesce first (joins the writer pool), then account, then
+            # release the device — accounting on a live stack would race
+            # in-flight buffer releases.
+            stack.orchestrator.close()
+            engines.append(stack.leak_report())
+            stack.device.close()
+        report = {
+            "engines": engines,
+            "leased": 0,
+            "leaked_slots": sum(e["leaked_slots"] for e in engines),
+            "leaked_buffers": sum(e["leaked_buffers"] for e in engines),
+        }
+        self._last_leak_report = report
+        self._metrics.set_gauge(M.POOL_ENGINES_LEASED, 0)
+        self._metrics.set_gauge(M.POOL_ENGINES_BUILT, 0)
+        return report
+
+    def __enter__(self) -> "EnginePool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

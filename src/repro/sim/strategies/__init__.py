@@ -1,33 +1,24 @@
-"""Simulated strategy process models for the performance experiments."""
+"""Simulated strategy process models for the performance experiments.
+
+The name-to-class table is derived from the shared registry in
+:mod:`repro.strategies`; this package keeps the historical import
+surface (``STRATEGY_SIMS``, ``get_strategy_sim``, and the concrete sim
+classes) working.
+"""
 
 from typing import Dict, Type
 
-from repro.errors import ConfigError
 from repro.sim.strategies.base import SimContext, StrategySim, StrategyStats
 from repro.sim.strategies.checkfreq import CheckFreqSim, GeminiSim
 from repro.sim.strategies.pccheck import PCcheckSim
 from repro.sim.strategies.simple import GPMSim, IdealSim, TraditionalSim
+from repro.strategies import REGISTRY, get_strategy_sim
 
 STRATEGY_SIMS: Dict[str, Type[StrategySim]] = {
-    "ideal": IdealSim,
-    "traditional": TraditionalSim,
-    "gpm": GPMSim,
-    "checkfreq": CheckFreqSim,
-    "gemini": GeminiSim,
-    "pccheck": PCcheckSim,
+    name: entry.simulated_class()
+    for name, entry in REGISTRY.items()
+    if entry.simulated
 }
-
-
-def get_strategy_sim(name: str) -> Type[StrategySim]:
-    """Look up a simulated strategy class by name."""
-    try:
-        return STRATEGY_SIMS[name]
-    except KeyError:
-        raise ConfigError(
-            f"unknown simulated strategy {name!r}; "
-            f"available: {sorted(STRATEGY_SIMS)}"
-        ) from None
-
 
 __all__ = [
     "STRATEGY_SIMS",

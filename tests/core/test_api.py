@@ -196,3 +196,62 @@ class TestDeprecatedAlias:
             with open_checkpointer(str(tmp_path / "w2.pc"),
                                    capacity_bytes=4096):
                 pass
+
+
+class TestInjection:
+    """Satellite: open_checkpointer over an injected pool or device."""
+
+    def test_injected_pool_is_shared_and_left_open(self, tmp_path):
+        from repro import EnginePool, EngineSpec
+
+        spec = EngineSpec(capacity_bytes=4096, backend="pmem")
+        with EnginePool(spec, size=2, name="shared") as pool:
+            with open_checkpointer(pool=pool) as ckpt:
+                assert pool.in_use == 1
+                assert ckpt.checkpoint(b"via-pool", step=1).committed
+            # Closing the view releases the lease, not the pool.
+            assert pool.in_use == 0
+            assert not pool.closed
+            # Two views can coexist on a size-2 pool.
+            with open_checkpointer(pool=pool), open_checkpointer(pool=pool):
+                assert pool.in_use == 2
+
+    def test_injected_device_is_used(self):
+        from repro.storage.pmem import SimulatedPMEM
+
+        device = SimulatedPMEM(capacity=1 << 20)
+        with open_checkpointer(backend="pmem", capacity_bytes=4096,
+                               device=device) as ckpt:
+            assert ckpt.device is device
+            assert ckpt.checkpoint(b"direct", step=1).committed
+
+    def test_pool_and_device_are_mutually_exclusive(self):
+        from repro import EnginePool, EngineSpec
+        from repro.storage.pmem import SimulatedPMEM
+
+        spec = EngineSpec(capacity_bytes=4096, backend="pmem")
+        with EnginePool(spec) as pool:
+            with pytest.raises(ValueError):
+                open_checkpointer(pool=pool,
+                                  device=SimulatedPMEM(capacity=1 << 20))
+
+    def test_capacity_required_without_pool(self, tmp_path):
+        with pytest.raises(TypeError):
+            open_checkpointer(str(tmp_path / "x.pc"))
+
+
+class TestDeprecationSchedule:
+    def test_alias_warning_names_removal_version(self, tmp_path):
+        from repro._api import CHECKPOINTER_HANDLE_REMOVAL_VERSION
+
+        with open_checkpointer(str(tmp_path / "v.pc"),
+                               capacity_bytes=4096) as ckpt:
+            with pytest.warns(DeprecationWarning,
+                              match=CHECKPOINTER_HANDLE_REMOVAL_VERSION):
+                CheckpointerHandle(
+                    device=ckpt.device,
+                    layout=ckpt.layout,
+                    engine=ckpt.engine,
+                    orchestrator=ckpt.orchestrator,
+                    config=ckpt.config,
+                )

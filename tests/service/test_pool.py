@@ -1,0 +1,174 @@
+"""EnginePool unit tests: lease lifecycle, saturation, retirement, leaks."""
+
+import pytest
+
+from repro.core.snapshot import BytesSource
+from repro.errors import (
+    ConfigError,
+    EngineClosedError,
+    ServiceError,
+    ServiceSaturated,
+)
+from repro.service.pool import (
+    EnginePool,
+    EngineSpec,
+    build_device,
+    open_existing_region,
+)
+from repro.storage.pmem import SimulatedPMEM
+
+
+def pmem_spec(**overrides):
+    defaults = dict(capacity_bytes=4096, backend="pmem")
+    defaults.update(overrides)
+    return EngineSpec(**defaults)
+
+
+class TestEngineSpec:
+    def test_bad_backend_message_is_consistent(self):
+        with pytest.raises(ConfigError, match="unknown backend 'tape'"):
+            EngineSpec(capacity_bytes=4096, backend="tape")
+
+    def test_bad_observability_rejected(self):
+        with pytest.raises(ConfigError, match="unknown observability level"):
+            EngineSpec(capacity_bytes=4096, backend="pmem",
+                       observability="loud")
+
+    def test_invalid_engine_config_rejected_eagerly(self):
+        with pytest.raises(ConfigError):
+            EngineSpec(capacity_bytes=0, backend="pmem")
+
+    def test_persist_bandwidth_rejected_for_ssd(self, tmp_path):
+        with pytest.raises(ConfigError):
+            EngineSpec(capacity_bytes=4096, backend="ssd",
+                       path=str(tmp_path / "r.pc"),
+                       persist_bandwidth=1e9)
+
+    def test_ssd_requires_path(self):
+        spec = EngineSpec(capacity_bytes=4096, backend="ssd")
+        with pytest.raises(ConfigError):
+            spec.validate_buildable()
+
+    def test_member_path_suffixing(self, tmp_path):
+        spec = EngineSpec(capacity_bytes=4096, backend="ssd",
+                          path=str(tmp_path / "r.pc"))
+        # A one-engine pool must keep the user's path verbatim so the
+        # region can be reopened by the recovery CLI.
+        assert spec.member_path(0, 1) == str(tmp_path / "r.pc")
+        assert spec.member_path(1, 3).endswith("r.pc.e1")
+
+
+class TestEnginePool:
+    def test_engines_build_lazily(self):
+        with EnginePool(pmem_spec(), size=3) as pool:
+            assert pool.built == 0
+            lease = pool.acquire(tag="t0")
+            assert pool.built == 1
+            assert pool.in_use == 1
+            lease.release()
+            assert pool.in_use == 0
+            # Released engine is recycled, not rebuilt.
+            again = pool.acquire(tag="t1")
+            assert pool.built == 1
+            again.release()
+
+    def test_lease_is_usable_checkpointer_stack(self):
+        with EnginePool(pmem_spec()) as pool:
+            with pool.acquire(tag="writer") as lease:
+                result = lease.orchestrator.checkpoint_sync(
+                    BytesSource(b"hello"), step=7
+                )
+                assert result.committed
+
+    def test_saturation_raises_typed_backpressure(self):
+        with EnginePool(pmem_spec(), size=1) as pool:
+            lease = pool.acquire(tag="holder")
+            with pytest.raises(ServiceSaturated) as excinfo:
+                pool.acquire(timeout=0.01, tag="late")
+            assert excinfo.value.reason == "pool_exhausted"
+            assert "holder" in str(excinfo.value)
+            lease.release()
+            pool.acquire(tag="late").release()
+
+    def test_release_is_idempotent(self):
+        with EnginePool(pmem_spec()) as pool:
+            lease = pool.acquire(tag="t")
+            lease.release()
+            lease.release()
+            assert pool.in_use == 0
+
+    def test_close_refuses_with_active_leases(self):
+        pool = EnginePool(pmem_spec())
+        lease = pool.acquire(tag="busy")
+        with pytest.raises(ServiceError, match="busy"):
+            pool.close()
+        lease.release()
+        report = pool.close()
+        assert report["leaked_slots"] == 0
+        assert report["leaked_buffers"] == 0
+
+    def test_acquire_after_close_raises(self):
+        pool = EnginePool(pmem_spec())
+        pool.close()
+        with pytest.raises(EngineClosedError):
+            pool.acquire()
+
+    def test_close_is_idempotent(self):
+        pool = EnginePool(pmem_spec())
+        pool.acquire(tag="t").release()
+        first = pool.close()
+        assert pool.close() == first
+
+    def test_committed_slot_is_not_a_leak(self):
+        """A committed checkpoint pins one slot by design (N+1 scheme);
+        the leak report must not count it."""
+        pool = EnginePool(pmem_spec())
+        with pool.acquire(tag="t") as lease:
+            lease.orchestrator.checkpoint_sync(BytesSource(b"v"), step=1)
+        report = pool.close()
+        assert report["leaked_slots"] == 0
+
+    def test_defunct_stack_is_retired_not_recycled(self):
+        with EnginePool(pmem_spec(), size=1) as pool:
+            lease = pool.acquire(tag="t")
+            first_orch = lease.orchestrator
+            lease.orchestrator._fatal = RuntimeError("simulated device death")
+            lease.release()
+            # The poisoned stack was closed and its seat freed; the next
+            # acquire builds a fresh one instead of handing back the corpse.
+            fresh = pool.acquire(tag="t2")
+            assert fresh.orchestrator is not first_orch
+            assert fresh.orchestrator.fatal_error is None
+            fresh.release()
+
+    def test_injected_device_is_used(self):
+        device = SimulatedPMEM(capacity=1 << 20)
+        spec = pmem_spec(capacity_bytes=4096)
+        with EnginePool(spec, size=1, devices=(device,)) as pool:
+            with pool.acquire(tag="t") as lease:
+                assert lease.device is device
+
+
+class TestOpenExistingRegion:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "r.pc")
+        spec = EngineSpec(capacity_bytes=4096, backend="ssd", path=path)
+        with EnginePool(spec, size=1) as pool:
+            with pool.acquire(tag="t") as lease:
+                lease.orchestrator.checkpoint_sync(BytesSource(b"abc"), step=3)
+        device, layout = open_existing_region(path)
+        try:
+            assert layout.num_slots >= 2
+        finally:
+            device.close()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            open_existing_region(str(tmp_path / "nope.pc"))
+
+
+class TestBuildDevice:
+    def test_backend_dispatch(self, tmp_path):
+        pmem = build_device(pmem_spec(), 8192, 0, 1)
+        assert isinstance(pmem, SimulatedPMEM)
+        pmem.close()
