@@ -65,10 +65,14 @@ lint-baseline:
 
 # Crash-consistency sweep: inject power loss (with torn writes) at every
 # device op of a pipelined orchestrator run and verify the §4.1 recovery
-# guarantee at each point. Exits non-zero on any violation.
+# guarantee at each point, then repeat for a 3-member striped stripe set
+# (torn stripes, crashes between stripe fences). Exits non-zero on any
+# violation.
 crashsweep:
 	PYTHONPATH=src python -m repro.cli crashsweep --workload orchestrator \
 		--steps 4 --slots 4 --torn --seed 7
+	PYTHONPATH=src python -m repro.cli crashsweep --workload striped \
+		--steps 3 --torn --seed 7
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -80,11 +84,14 @@ bench:
 bench-obs:
 	PYTHONPATH=src python -m repro.obs.bench --out BENCH_pipeline.json
 
-# Persist-path benchmark: pooled zero-copy writers vs. the legacy
-# spawn-per-persist copying path for p=1/2/4 on simulated SSD and PMEM,
-# plus the pipeline's copies-per-checkpoint budget. Writes
-# BENCH_persist.json; exits non-zero if pooled < 1.25x legacy at p=4 on
-# SSD or the hot path copies more than 1x the payload per checkpoint.
+# Persist-path benchmark: batched-submission pooled writers vs. the
+# legacy spawn-per-persist copying path for p=1/2/4 on simulated SSD and
+# PMEM (best-of-N rounds), the parallel-persist scaling block at
+# p=1/2/4/8, a 2-member striped-vs-single comparison, and the pipeline's
+# copies-per-checkpoint + CRC/persist overlap numbers. Writes
+# BENCH_persist.json; exits non-zero if pooled < 2x legacy at p=4 on
+# SSD, p=4 scaling < 1.3x p=1, striped < 1.2x single-device, or the hot
+# path copies more than 1x the payload per checkpoint.
 bench-persist:
 	PYTHONPATH=src python -m repro.obs.persist_bench --out BENCH_persist.json
 

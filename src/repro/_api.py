@@ -205,6 +205,9 @@ def open_checkpointer(
     num_chunks: int = 2,
     backend: str = "ssd",
     observability: str = "metrics",
+    stripe_devices: int = 1,
+    stripe_size: int = 1 << 20,
+    unbuffered: bool = False,
     pool: Optional[EnginePool] = None,
     device: Optional[PersistentDevice] = None,
 ) -> Checkpointer:
@@ -223,6 +226,15 @@ def open_checkpointer(
       fresh each open);
     * ``"faults"`` — an in-memory SSD behind a crash-injection wrapper
       with op recording, for durability testing.
+
+    ``stripe_devices``/``stripe_size`` (``ssd`` only) shard the region
+    across N member files (``{path}.s0`` … ``.s{N-1}``) so one
+    checkpoint's persist bandwidth aggregates across devices; point the
+    members at different spindles for real parallelism.  ``unbuffered``
+    (``ssd`` only) opens the file(s) with an O_DIRECT-style unbuffered
+    write path — sector-aligned writes bypass the page cache and
+    durability barriers drop cached pages (see ``docs/PERFORMANCE.md``
+    for the alignment caveats).
 
     ``observability`` selects the telemetry level: ``"off"`` keeps the
     engine's private registry but instruments nothing else, ``"metrics"``
@@ -275,6 +287,9 @@ def open_checkpointer(
         backend=backend,
         path=path,
         observability=observability,
+        stripe_devices=stripe_devices,
+        stripe_size=stripe_size,
+        unbuffered=unbuffered,
     )
     owned = EnginePool(
         spec,

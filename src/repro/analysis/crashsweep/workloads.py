@@ -16,15 +16,19 @@ durable image and asserts the §4.1 guarantee:
   again after the pipelines died, and a completed run returns every slot
   but the committed one to the free queue (engine invariant 4).
 
-Five workloads cover the stack bottom-up: ``engine`` (one-shot
+Six workloads cover the stack bottom-up: ``engine`` (one-shot
 ``checkpoint()`` calls), ``streaming`` (interleaved ticket sessions,
 exercising the superseded path deterministically), ``orchestrator``
 (the full capture/persist pipeline with ≥3 concurrent checkpoints),
 ``distributed`` (multi-rank engines behind the rank-0 barrier, crashing
-one rank's device), and ``elastic`` (the distributed workload writing
+one rank's device), ``elastic`` (the distributed workload writing
 *shards of one global state*, whose recovery is additionally
 re-partitioned onto smaller and larger worlds and must reassemble
-bit-identically — ROADMAP item 4's acceptance bar).
+bit-identically — ROADMAP item 4's acceptance bar), and ``striped``
+(one-shot checkpoints through a 3-member ``StripedDevice`` with the
+fault-injecting device as member 0, so torn stripes, crashes between
+stripe fences, and torn stripe manifests are all swept — recovery must
+be bit-identical or a typed error, never a silently short payload).
 """
 
 from __future__ import annotations
@@ -54,6 +58,7 @@ from repro.core.recovery import try_recover
 from repro.core.sharding import shard_payload, reassemble
 from repro.core.snapshot import BytesSource
 from repro.errors import (
+    CorruptCheckpointError,
     CrashedDeviceError,
     DistributedError,
     EngineClosedError,
@@ -64,6 +69,7 @@ from repro.errors import (
 from repro.storage.dram import DRAMBufferPool
 from repro.storage.faults import CrashPointDevice
 from repro.storage.ssd import InMemorySSD
+from repro.storage.striped import StripedDevice
 
 #: Upper bound on waiting for a checkpoint handle after a crash; a hit
 #: means the failure paths stopped terminating and is itself a violation.
@@ -168,6 +174,17 @@ class Workload:
                     f"steps {journal.acked_steps} were acknowledged"
                 )
             return RecoveryOutcome(None, "none", violations)
+        return self._recovery_from_layout(layout, spec, journal, violations)
+
+    def _recovery_from_layout(
+        self,
+        layout: DeviceLayout,
+        spec: WorkloadSpec,
+        journal: RunJournal,
+        violations: List[str],
+    ) -> RecoveryOutcome:
+        """Shared tail of §4.1 validation once a layout opened: recover,
+        check ack/counter monotonicity, check the payload byte-exactly."""
         recovered = try_recover(layout)
         if journal.acked_steps:
             newest = max(journal.acked_steps)
@@ -599,6 +616,101 @@ class ElasticShardedWorkload(DistributedWorkload):
                                violations)
 
 
+class StripedEngineWorkload(Workload):
+    """One-shot checkpoints on a striped device; member 0 takes the crash.
+
+    The engine writes through a :class:`~repro.storage.striped.StripedDevice`
+    whose member 0 is the sweep's fault-injecting device and whose peers
+    are healthy in-memory SSDs — so every stripe-manifest write, every
+    sharded payload write, and every per-member fence of member 0 is a
+    crash point.  Validation models whole-node power loss (all members
+    crash and restart), reassembles the stripe set, and demands the usual
+    §4.1 guarantees *plus* the stripe-specific one: a torn or unpersisted
+    manifest surfaces as the typed
+    :class:`~repro.errors.CorruptCheckpointError`, never as a silently
+    short or scrambled payload.
+    """
+
+    name = "striped"
+    description = (
+        "one-shot checkpoints striped over 3 members; member 0 crashes"
+    )
+
+    #: Stripe geometry: small enough that a 576-byte slot write shards
+    #: across members (so torn stripes are reachable), large enough that
+    #: the sweep stays fast.
+    stripe_members = 3
+    stripe_size = 512
+
+    def run(self, device: CrashPointDevice, spec: WorkloadSpec) -> RunJournal:
+        journal = RunJournal()
+        peers = [
+            InMemorySSD(spec.geometry().total_size, name=f"stripe-peer-{i}")
+            for i in range(1, self.stripe_members)
+        ]
+        journal.aux["peer_devices"] = peers
+        try:
+            striped = StripedDevice.create(
+                [device, *peers], stripe_size=self.stripe_size
+            )
+            layout = DeviceLayout.format(
+                striped, num_slots=spec.num_slots, slot_size=spec.slot_size
+            )
+            engine = CheckpointEngine(
+                layout,
+                writer_threads=spec.writer_threads,
+                sanitize=spec.sanitize,
+            )
+            for step in range(1, spec.steps + 1):
+                result = engine.checkpoint(
+                    self.expected_payload(spec, step), step=step
+                )
+                if result.committed:
+                    journal.ack(step, result.counter)
+        except CrashedDeviceError as exc:
+            journal.crashed = True
+            journal.crash_error = str(exc)
+            return journal
+        self._check_slot_conservation(engine, spec, journal)
+        return journal
+
+    def validate_recovery(
+        self, device: CrashPointDevice, spec: WorkloadSpec, journal: RunJournal
+    ) -> RecoveryOutcome:
+        violations = list(journal.violations)
+        # Whole-node power loss: every member loses its unpersisted
+        # bytes, then the node restarts and reassembles the stripe set.
+        if not device.inner.crashed:
+            device.inner.crash()
+        device.inner.recover()
+        peers = journal.aux.get("peer_devices", [])
+        for peer in peers:
+            peer.crash()
+            peer.recover()
+        try:
+            striped = StripedDevice.open([device.inner, *peers])
+        except CorruptCheckpointError as exc:
+            # Legitimate only while nothing was acknowledged (the crash
+            # landed inside stripe-set creation); the error is typed and
+            # names the member — never a short read.
+            if journal.acked_steps:
+                violations.append(
+                    "stripe set unopenable after crash although steps "
+                    f"{journal.acked_steps} were acknowledged: {exc}"
+                )
+            return RecoveryOutcome(None, "none", violations)
+        try:
+            layout = DeviceLayout.open(striped)
+        except LayoutError:
+            if journal.acked_steps:
+                violations.append(
+                    "striped region unopenable after crash although "
+                    f"steps {journal.acked_steps} were acknowledged"
+                )
+            return RecoveryOutcome(None, "none", violations)
+        return self._recovery_from_layout(layout, spec, journal, violations)
+
+
 WORKLOADS: Dict[str, Workload] = {
     workload.name: workload
     for workload in (
@@ -607,6 +719,7 @@ WORKLOADS: Dict[str, Workload] = {
         OrchestratorWorkload(),
         DistributedWorkload(),
         ElasticShardedWorkload(),
+        StripedEngineWorkload(),
     )
 }
 
@@ -618,6 +731,7 @@ DEFAULT_SLOTS: Dict[str, int] = {
     "orchestrator": 4,
     "distributed": 3,
     "elastic": 3,
+    "striped": 3,
 }
 
 #: Per-workload default world sizes: the elastic scenario shards a

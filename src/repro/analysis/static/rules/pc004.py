@@ -40,6 +40,13 @@ from repro.analysis.static.rulebase import FileContext, Rule, register
 #: Calls that act as a durability fence.
 FENCE_CALLS = {"persist", "fsync", "fdatasync", "msync", "sfence", "sync"}
 
+#: Batch APIs that persist every queued piece behind one covering fence:
+#: ``persist_many`` (the pooled writer's batched submit+reap) and
+#: ``persist_striped`` (the same barrier over a striped device, which
+#: fences every stripe member).  PC010 treats a call to either as a
+#: fence on the interprocedural path.
+BATCHED_FENCE_CALLS = {"persist_many", "persist_striped"}
+
 #: Markers identifying a write as targeting the commit record.
 _COMMIT_MARKERS = ("encode_commit_record", "commit_offset")
 

@@ -31,13 +31,15 @@ from repro.analysis.static.diagnostics import Diagnostic
 from repro.analysis.static.projectindex import FunctionInfo
 from repro.analysis.static.rulebase import ProjectRule, register
 from repro.analysis.static.rules.pc004 import (
+    BATCHED_FENCE_CALLS,
     FENCE_CALLS,
     _is_write,
     _targets_commit_record,
 )
 
-#: Interprocedural fences: PC004's set plus the single-fence batch API.
-INTER_FENCE_CALLS = FENCE_CALLS | {"persist_many"}
+#: Interprocedural fences: PC004's set plus the single-fence batch APIs
+#: (``persist_many``, ``persist_striped``).
+INTER_FENCE_CALLS = FENCE_CALLS | BATCHED_FENCE_CALLS
 
 #: How many caller levels may supply the covering fence.
 MAX_CALLER_DEPTH = 4

@@ -207,7 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--workload", default="engine",
         choices=["engine", "streaming", "orchestrator", "distributed",
-                 "elastic"],
+                 "elastic", "striped"],
         help="which checkpointing workload to crash",
     )
     sweep_parser.add_argument(

@@ -50,12 +50,34 @@ class ChunkPlan:
         return list(self)
 
 
-def plan_chunks(total: int, chunk_size: Optional[int]) -> ChunkPlan:
+def aligned_chunk_size(chunk_size: int, align: int) -> int:
+    """Round ``chunk_size`` up to a multiple of ``align``.
+
+    Devices with sector or stripe granularity
+    (:attr:`repro.storage.device.PersistentDevice.preferred_align` > 1)
+    want chunk boundaries — and therefore persist offsets — on that
+    grid; the service pool rounds its pipeline chunk size through this
+    before building DRAM staging buffers.
+    """
+    if chunk_size <= 0:
+        raise ConfigError(f"chunk size must be positive, got {chunk_size}")
+    if align <= 1:
+        return chunk_size
+    return -(-chunk_size // align) * align
+
+
+def plan_chunks(
+    total: int, chunk_size: Optional[int], align: int = 1
+) -> ChunkPlan:
     """Build a plan; ``chunk_size=None`` means a single whole-payload chunk
-    (the non-pipelined variant of Figure 6)."""
+    (the non-pipelined variant of Figure 6).  ``align`` rounds the chunk
+    size up so every interior chunk boundary lands on the device's
+    preferred alignment."""
     if chunk_size is None:
         return ChunkPlan(total=total, chunk_size=max(total, 1))
-    return ChunkPlan(total=total, chunk_size=chunk_size)
+    return ChunkPlan(
+        total=total, chunk_size=aligned_chunk_size(chunk_size, align)
+    )
 
 
 def iter_chunk_views(

@@ -56,7 +56,7 @@ from repro.core.sanitize import (
     SanitizedSlotQueue,
     sanitize_requested,
 )
-from repro.core.writer import FenceMode, ParallelWriter
+from repro.core.writer import FenceMode, ParallelWriter, PersistSubmission
 from repro.errors import (
     CrashedDeviceError,
     EngineClosedError,
@@ -157,11 +157,24 @@ class CheckpointTicket:
         self._written = 0
         self._crc = 0
         self._done = False
+        #: Submissions handed to the writer pool but not yet reaped —
+        #: their chunk buffers must stay stable, and :meth:`commit`
+        #: settles them before the header can claim durability.
+        self._unreaped: list = []
+        #: First error swallowed while settling submissions during
+        #: :meth:`abort` (diagnostics only — the checkpoint is already
+        #: being discarded when abort runs).
+        self.abort_error: Optional[BaseException] = None
 
     @property
     def bytes_written(self) -> int:
-        """Payload bytes persisted so far."""
+        """Payload bytes submitted so far (durable once reaped)."""
         return self._written
+
+    @property
+    def pending_submissions(self) -> int:
+        """Chunk submissions in flight (submitted, not yet reaped)."""
+        return len(self._unreaped)
 
     def write_chunk(self, chunk: Buffer) -> None:
         """Persist the next consecutive piece of the payload.
@@ -171,25 +184,65 @@ class CheckpointTicket:
         written to consecutive addresses on persistent storage").  Any
         C-contiguous buffer is accepted and never re-materialized as
         ``bytes`` — the writer threads slice a memoryview of it.
+
+        Internally the chunk is *submitted* to the pool first and its CRC
+        computed while the writes are in flight (``zlib.crc32`` drops the
+        GIL on large buffers), then reaped — so even the blocking call
+        overlaps checksum compute with device time.
+        """
+        self.reap(self.submit_chunk(chunk))
+
+    def submit_chunk(self, chunk: Buffer) -> "PersistSubmission":
+        """Queue the next consecutive piece and CRC it while it writes.
+
+        The pipelined half of :meth:`write_chunk`: the chunk's shares go
+        to the writer pool in one batched submission, the running payload
+        CRC is folded in *while* the pool writes, and the submission
+        comes back unreaped — no fence yet, durability pending.  The
+        caller must keep ``chunk``'s buffer stable until it calls
+        :meth:`reap` (the orchestrator holds the staging buffer of chunk
+        *k−1* exactly this long, so its CRC of chunk *k* overlaps the
+        persist of chunk *k−1*).  :meth:`commit` reaps anything still
+        outstanding.
         """
         if self._done:
             raise EngineError("ticket already committed or aborted")
         view = as_view(chunk)
-        self._engine._persist_chunk(self, view)
-        self._crc = zlib.crc32(view, self._crc)
-        self._written += len(view)
+        return self._submit_views([view])
+
+    def reap(self, submission: "PersistSubmission") -> None:
+        """Settle a :meth:`submit_chunk`: one wait + one covering fence.
+
+        Re-raises the first share failure; afterwards the chunk's buffer
+        may be recycled.  Idempotent per submission.
+        """
+        self._unreaped = [
+            pending for pending in self._unreaped if pending is not submission
+        ]
+        self._engine._reap_chunk(submission)
+
+    def _submit_views(self, views) -> "PersistSubmission":
+        submission = self._engine._submit_chunk_batch(self, views)
+        self._unreaped.append(submission)
+        crc_start = time.monotonic()
+        for view in views:
+            self._crc = zlib.crc32(view, self._crc)
+            self._written += len(view)
+        self._engine._record_overlap(submission, crc_start, time.monotonic())
+        return submission
 
     def write_chunks(self, chunks) -> None:
         """Persist several consecutive pieces as ONE writer batch.
 
         The pieces land back-to-back at the slot's next offsets, exactly
         as repeated :meth:`write_chunk` calls would, but they are handed
-        to the writer pool together via
-        :meth:`~repro.core.writer.ParallelWriter.persist_many` — in
-        ``single`` fence mode the whole batch is covered by one fence
-        instead of one per piece.  This is the engine-side hook the
-        multi-tenant service's coalescing path uses to turn K small
-        checkpoints into a single fsync.
+        to the writer pool together via one batched
+        :meth:`~repro.core.writer.ParallelWriter.submit` — in ``single``
+        fence mode the whole batch is covered by one fence instead of
+        one per piece, and the batch CRC is computed while the pool
+        writes.  This is the engine-side hook the multi-tenant service's
+        coalescing path uses to turn K small checkpoints into a single
+        fsync.
         """
         if self._done:
             raise EngineError("ticket already committed or aborted")
@@ -197,15 +250,19 @@ class CheckpointTicket:
         views = [view for view in views if len(view)]
         if not views:
             return
-        self._engine._persist_chunk_batch(self, views)
-        for view in views:
-            self._crc = zlib.crc32(view, self._crc)
-            self._written += len(view)
+        self.reap(self._submit_views(views))
 
     def commit(self) -> CheckpointResult:
-        """Finish the checkpoint: persist the header, run the CAS protocol."""
+        """Finish the checkpoint: persist the header, run the CAS protocol.
+
+        Any chunk submissions still in flight are reaped first — the
+        commit record must never claim a payload whose covering fences
+        have not been issued.
+        """
         if self._done:
             raise EngineError("ticket already committed or aborted")
+        while self._unreaped:
+            self.reap(self._unreaped[0])
         self._done = True
         return self._engine._commit(self, self._crc)
 
@@ -214,6 +271,17 @@ class CheckpointTicket:
         if self._done:
             return
         self._done = True
+        # Settle in-flight submissions so no pool worker still references
+        # the chunk buffers after the slot is recycled; their errors are
+        # moot — the checkpoint is being thrown away — but the first one
+        # stays visible on the ticket for diagnostics.
+        for submission in self._unreaped:
+            try:
+                self._engine._reap_chunk(submission)
+            except Exception as exc:
+                if self.abort_error is None:
+                    self.abort_error = exc
+        self._unreaped = []
         self._engine._abort_ticket(self)
 
 
@@ -515,25 +583,15 @@ class CheckpointEngine:
         if self._closed:
             raise EngineClosedError("checkpoint engine is closed")
 
-    def _persist_chunk(self, ticket: CheckpointTicket, chunk: memoryview) -> None:
-        capacity = self._layout.payload_capacity
-        if ticket.bytes_written + len(chunk) > capacity:
-            raise OutOfSpaceError(
-                f"checkpoint of >= {ticket.bytes_written + len(chunk)} bytes "
-                f"exceeds slot payload capacity {capacity}"
-            )
-        offset = self._layout.payload_offset(ticket.slot) + ticket.bytes_written
-        self._writer.persist(offset, chunk)
-        self._metrics.inc(M.BYTES_PERSISTED, len(chunk))
-
-    def _persist_chunk_batch(
+    def _submit_chunk_batch(
         self, ticket: CheckpointTicket, views
-    ) -> None:
-        """Persist consecutive pieces through one ``persist_many`` batch.
+    ) -> PersistSubmission:
+        """Queue consecutive pieces to the pool as ONE batched submission.
 
         Capacity is validated for the whole batch up front — either every
-        piece fits the slot or nothing is written — so a failed batch
-        aborts as cleanly as a failed single chunk.
+        piece fits the slot or nothing is queued — so a failed batch
+        aborts as cleanly as a failed single chunk.  Nothing is durable
+        (and write errors are not observable) until :meth:`_reap_chunk`.
         """
         total = sum(len(view) for view in views)
         capacity = self._layout.payload_capacity
@@ -547,8 +605,34 @@ class CheckpointEngine:
         for view in views:
             pieces.append((offset, view))
             offset += len(view)
-        self._writer.persist_many(pieces)
-        self._metrics.inc(M.BYTES_PERSISTED, total)
+        return self._writer.submit(pieces)
+
+    def _reap_chunk(self, submission: PersistSubmission) -> None:
+        """Settle a chunk submission: one wait, one covering fence."""
+        if submission.reaped:
+            return
+        self._writer.reap(submission)
+        self._metrics.inc(M.BYTES_PERSISTED, submission.total)
+
+    def _record_overlap(
+        self, submission: PersistSubmission, crc_start: float, crc_end: float
+    ) -> None:
+        """Credit CRC time that ran while the submission's writes were in
+        flight to M.PIPELINE_OVERLAP_SECONDS.
+
+        The overlap window is the intersection of the CRC interval with
+        the submission's device-write interval: writes still pending at
+        ``crc_end`` mean the whole CRC ran under them; writes that
+        settled at ``done_at`` cap the credit there.  Inline submissions
+        (closed pool) overlap nothing.
+        """
+        if submission.batch is None:
+            return
+        done_at = submission.done_at
+        end = crc_end if done_at is None else min(crc_end, done_at)
+        overlap = end - crc_start
+        if overlap > 0:
+            self._metrics.inc(M.PIPELINE_OVERLAP_SECONDS, overlap)
 
     def _commit(self, ticket: CheckpointTicket, crc: int) -> CheckpointResult:
         span = self._tracer.begin(

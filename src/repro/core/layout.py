@@ -100,6 +100,14 @@ class DeviceLayout:
                 f"slot size {slot_size} leaves no room for payload "
                 f"(header is {RECORD_SIZE} bytes)"
             )
+        # Devices with sector/stripe granularity want slots to span a
+        # whole number of sectors/stripes; round the slot size up before
+        # it is pinned in the superblock, so a reopen (whatever device
+        # wraps the bytes then) sees the same geometry it was formatted
+        # with.
+        align = device.preferred_align
+        if align > 1:
+            slot_size = -(-slot_size // align) * align
         geometry = Geometry(num_slots=num_slots, slot_size=slot_size)
         if geometry.total_size > device.capacity:
             raise LayoutError(

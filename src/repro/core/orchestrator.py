@@ -449,15 +449,42 @@ class PCcheckOrchestrator:
         stage_span = tracer.begin("persist", parent=handle.span,
                                   step=handle.step, slot=ticket.slot)
         stage_start = time.monotonic()
+        # Deferred-reap pipeline: chunk k's submission (and its staging
+        # buffer) stays in flight while chunk k+1 is dequeued, submitted
+        # and CRC'd, so the CRC of chunk k+1 overlaps the device writes
+        # of chunk k on the double pinned buffers.  `held` is the queue
+        # of (submission, buffer) pairs whose reap is deferred; entries
+        # are popped BEFORE settling so no failure path can see (and
+        # release) the same buffer twice.
+        held = []
         try:
             index = 0
             while True:
-                buffer = hand_off.get()
+                if held:
+                    # Bounded wait while a deferred reap holds a staging
+                    # buffer: the capture stage may be starving on that
+                    # very buffer (a pool with fewer buffers than the
+                    # pipeline depth), so a stalled hand-off settles the
+                    # backlog — refilling the pool — before blocking for
+                    # real.  Chunks arriving back-to-back never hit the
+                    # timeout, so the CRC/persist overlap is preserved on
+                    # the hot path.
+                    try:
+                        buffer = hand_off.get(timeout=_STAGE_POLL_SECONDS)
+                    except queue.Empty:
+                        while held:
+                            self._settle_inflight(ticket, held.pop(0))
+                        continue
+                else:
+                    buffer = hand_off.get()
                 if buffer is None:
                     sentinel_seen = True
                     break
                 if buffer is _CAPTURE_FAILED:
                     sentinel_seen = True
+                    while held:
+                        self._settle_inflight(ticket, held.pop(0),
+                                              swallow=True)
                     ticket.abort()
                     tracer.end(stage_span, error="capture_failed")
                     self._finish_root(handle, STATUS_ABORTED)
@@ -466,10 +493,16 @@ class PCcheckOrchestrator:
                     staged = buffer.view()
                     with tracer.span("persist_chunk", parent=stage_span,
                                      chunk=index, length=len(staged)):
-                        ticket.write_chunk(staged)
-                finally:
+                        submission = ticket.submit_chunk(staged)
+                except BaseException:
                     self._pool.release(buffer)
+                    raise
+                held.append((submission, buffer))
+                while len(held) > 1:
+                    self._settle_inflight(ticket, held.pop(0))
                 index += 1
+            while held:
+                self._settle_inflight(ticket, held.pop(0))
             self._metrics.observe(
                 M.STAGE_SECONDS, time.monotonic() - stage_start,
                 stage="persist",
@@ -487,8 +520,12 @@ class PCcheckOrchestrator:
             # Poison the capture stage first so it stops acquiring
             # buffers, then drain the hand-off queue: captured-but-not-
             # persisted buffers must return to the pool or its permanent
-            # shrinkage deadlocks every later capture.
+            # shrinkage deadlocks every later capture.  The deferred
+            # chunk (if any) is settled the same way — its buffer must
+            # not leak, and no pool worker may keep referencing it.
             persist_dead.set()
+            while held:
+                self._settle_inflight(ticket, held.pop(0), swallow=True)
             tracer.end(stage_span, error=type(exc).__name__)
             if isinstance(exc, CrashedDeviceError):
                 # Power loss: the ticket dangles (recovery reclaims the
@@ -510,6 +547,26 @@ class PCcheckOrchestrator:
             if not handle._future.done():  # noqa: SLF001
                 handle._future.set_exception(exc)  # noqa: SLF001
             raise
+
+    def _settle_inflight(self, ticket, inflight, swallow: bool = False) -> None:
+        """Reap a deferred chunk submission and release its buffer.
+
+        ``swallow=True`` is the failure path: the checkpoint is already
+        dead, so reap errors are moot — what matters is that no pool
+        worker still references the staging buffer when it returns to
+        the DRAM pool.  Callers must drop their own reference *before*
+        calling, so a reap failure cannot lead to a double release.
+        """
+        if inflight is None:
+            return
+        submission, buffer = inflight
+        try:
+            ticket.reap(submission)
+        except Exception:
+            if not swallow:
+                raise
+        finally:
+            self._pool.release(buffer)
 
     def _finish_root(self, handle: CheckpointHandle, status: str) -> None:
         """Close the handle's root ``checkpoint`` span with its outcome and

@@ -29,7 +29,7 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.core.layout import DeviceLayout
 from repro.core.meta import RECORD_SIZE, CheckMeta, decode_commit_record, payload_crc
-from repro.errors import NoCheckpointError
+from repro.errors import CorruptCheckpointError, CrashedDeviceError, NoCheckpointError
 from repro.obs.metrics import M, MetricsRegistry
 from repro.obs.trace import NULL_TRACER
 
@@ -182,6 +182,40 @@ def recover(
         f"checkpoint on {layout.device.name} kept changing under the "
         f"reader ({max_attempts} attempts)"
     )
+
+
+def recover_striped(
+    members,
+    chunk_size: int = DEFAULT_READ_CHUNK,
+    max_attempts: int = 8,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer=None,
+) -> RecoveredCheckpoint:
+    """Reassemble and recover a checkpoint striped across ``members``.
+
+    Opens the stripe set (validating every member's CRC-protected
+    manifest), attaches to the region's layout, and runs :func:`recover`
+    — the striped device's reads gather each payload chunk through the
+    reshard machinery, so the recovered payload is bit-identical to what
+    was persisted.  A member that dies mid-recovery surfaces as the same
+    typed :class:`~repro.errors.CorruptCheckpointError` (naming the
+    device) that :meth:`~repro.storage.striped.StripedDevice.open`
+    raises for a member that is already unreadable — callers see ONE
+    failure mode for a degraded stripe set, never a short payload.
+    """
+    # Imported here: repro.storage.striped pulls in the reshard gather
+    # kernel from repro.core, and a module-level import would cycle.
+    from repro.storage.striped import StripedDevice
+
+    device = StripedDevice.open(members)
+    try:
+        layout = DeviceLayout.open(device)
+        return recover(layout, chunk_size, max_attempts=max_attempts,
+                       metrics=metrics, tracer=tracer)
+    except CrashedDeviceError as exc:
+        raise CorruptCheckpointError(
+            f"stripe member failed during striped recovery: {exc}"
+        ) from exc
 
 
 def try_recover(

@@ -153,6 +153,28 @@ def plan_reshard(manifest: ShardManifest, target_world: int) -> ReshardPlan:
     )
 
 
+def gather_slices(
+    length: int,
+    slices: Sequence[SourceSlice],
+    views: Dict[int, memoryview],
+) -> bytearray:
+    """Gather ``slices`` out of per-writer ``views`` into one buffer.
+
+    The single-copy kernel both elastic recovery and striped-device
+    reads share: each output byte is written exactly once, each source
+    is read through a zero-copy view.  ``views`` maps
+    :attr:`SourceSlice.writer_rank` (for a striped device: the member
+    index) to that source's payload view.
+    """
+    out = bytearray(length)
+    for piece in slices:
+        source = views[piece.writer_rank]
+        out[piece.target_start : piece.target_start + piece.length] = (
+            source[piece.source_start : piece.source_start + piece.length]
+        )
+    return out
+
+
 def execute_reshard(
     plan: ReshardPlan, shard_payloads: Sequence
 ) -> List[bytes]:
@@ -189,16 +211,10 @@ def execute_reshard(
         raise CorruptCheckpointError(
             f"missing shard payloads for writer ranks {missing}"
         )
-    outputs: List[bytes] = []
-    for rank_plan in plan.ranks:
-        out = bytearray(rank_plan.length)
-        for piece in rank_plan.slices:
-            source = views[piece.writer_rank]
-            out[piece.target_start : piece.target_start + piece.length] = (
-                source[piece.source_start : piece.source_start + piece.length]
-            )
-        outputs.append(bytes(out))
-    return outputs
+    return [
+        bytes(gather_slices(rank_plan.length, rank_plan.slices, views))
+        for rank_plan in plan.ranks
+    ]
 
 
 def reshard_shards(shards: Sequence, target_world: int) -> List[bytes]:

@@ -38,11 +38,19 @@ died).
 with ONE fence per batch in ``single`` mode (the orchestrator's
 consecutive-chunk layout makes the covering range tight), instead of the
 fence-per-piece amplification the naive loop pays.
+
+Submission is split io_uring-style into :meth:`ParallelWriter.submit`
+(queue ALL shares of a batch to the pool under one lock acquisition,
+return immediately) and :meth:`ParallelWriter.reap` (one wait for the
+whole batch, then one covering fence).  ``persist``/``persist_many`` are
+submit+reap back to back; the engine uses the split form to overlap CRC
+compute of chunk *k* with the device writes of chunk *k−1*.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Deque, List, Literal, Optional, Sequence, Tuple
 
@@ -60,16 +68,33 @@ def default_fence_mode(device: PersistentDevice) -> FenceMode:
     return "single"
 
 
-def split_range(length: int, parts: int) -> List[Tuple[int, int]]:
+def split_range(
+    length: int, parts: int, align: int = 1
+) -> List[Tuple[int, int]]:
     """Split ``[0, length)`` into up to ``parts`` contiguous shares.
 
-    Shares differ in size by at most one byte; zero-length shares are
-    dropped, so fewer than ``parts`` tuples come back for tiny payloads.
+    Shares differ in size by at most one byte (one ``align`` unit when an
+    alignment is given); zero-length shares are dropped, so fewer than
+    ``parts`` tuples come back for tiny payloads.
+
+    ``align > 1`` rounds every interior share boundary down to a multiple
+    of ``align`` (the final share still ends at ``length``), so devices
+    with sector or stripe granularity — unbuffered files, striped
+    composites — never see one sector split between two writer threads.
     """
     if parts <= 0:
         raise EngineError(f"need at least one writer, got {parts}")
     if length < 0:
         raise EngineError(f"negative length {length}")
+    if align <= 0:
+        raise EngineError(f"share alignment must be positive, got {align}")
+    if align > 1:
+        # Split whole align-units; the tail unit may be short.
+        units = -(-length // align)
+        unit_shares = split_range(units, parts)
+        return [
+            (lo * align, min(hi * align, length)) for lo, hi in unit_shares
+        ]
     base, extra = divmod(length, parts)
     shares: List[Tuple[int, int]] = []
     start = 0
@@ -90,13 +115,17 @@ class _PersistBatch:
     it was with per-call thread spawning.
     """
 
-    __slots__ = ("_lock", "_pending", "done", "errors")
+    __slots__ = ("_lock", "_pending", "done", "errors", "done_at")
 
     def __init__(self, pending: int) -> None:
         self._lock = threading.Lock()
         self._pending = pending
         self.done = threading.Event()
         self.errors: List[BaseException] = []
+        #: ``time.monotonic()`` at which the last share settled — lets the
+        #: engine measure how much CRC compute genuinely overlapped the
+        #: device writes (M.PIPELINE_OVERLAP_SECONDS).
+        self.done_at: Optional[float] = None
 
     def share_finished(self, error: Optional[BaseException]) -> None:
         with self._lock:
@@ -104,6 +133,7 @@ class _PersistBatch:
                 self.errors.append(error)
             self._pending -= 1
             if self._pending == 0:
+                self.done_at = time.monotonic()
                 self.done.set()
 
 
@@ -129,6 +159,44 @@ class _ShareTask:
         self.batch = batch
 
 
+class PersistSubmission:
+    """Ticket for one in-flight :meth:`ParallelWriter.submit` batch.
+
+    Durability is *pending* until :meth:`ParallelWriter.reap` returns:
+    the pool may still be writing, no covering fence has been issued, and
+    the payload views must stay stable.  The caller is free to do CPU
+    work (CRC, staging the next chunk) in between — that window is
+    exactly the pipeline overlap the engine measures.
+    """
+
+    __slots__ = ("batch", "shares", "span", "total", "reaped")
+
+    def __init__(
+        self,
+        batch: Optional[_PersistBatch],
+        shares: Sequence[Tuple[int, memoryview, int, int]],
+        span: Optional[Tuple[int, int]],
+        total: int,
+    ) -> None:
+        #: Completion tracker; ``None`` when the pool was closed (shares
+        #: run inline at reap time) or the batch was empty.
+        self.batch = batch
+        self.shares = shares
+        self.span = span
+        self.total = total
+        self.reaped = False
+
+    @property
+    def writes_done(self) -> bool:
+        """True once every queued share settled (fence still pending)."""
+        return self.batch is None or self.batch.done.is_set()
+
+    @property
+    def done_at(self) -> Optional[float]:
+        """Monotonic time the last device write settled, if known."""
+        return None if self.batch is None else self.batch.done_at
+
+
 class ParallelWriter:
     """Persist payloads through a pinned pool of ``p`` writer threads."""
 
@@ -143,6 +211,7 @@ class ParallelWriter:
         self._device = device
         self._num_threads = num_threads
         self._fence_mode: FenceMode = fence_mode or default_fence_mode(device)
+        self._share_align = max(1, device.preferred_align)
         self._work = threading.Condition(threading.Lock())
         self._queue: Deque[_ShareTask] = deque()
         self._workers: List[threading.Thread] = []
@@ -188,53 +257,101 @@ class ParallelWriter:
         """
         view = as_view(payload)
         length = len(view)
-        shares = split_range(length, self._num_threads)
+        shares = split_range(length, self._num_threads, self._share_align)
         if not shares:
             return
         per_thread = self._fence_mode == "per-thread"
         if len(shares) == 1:
             # Single share: no hand-off overhead, same semantics.
             self._write_share(offset, view, shares[0], fence=per_thread)
-        else:
-            self._run_shares(
-                [(offset, view, lo, hi) for lo, hi in shares], fence=per_thread
-            )
-        if self._fence_mode == "single":
-            self._device.persist(offset, length)
-        self._count(length)
+            if self._fence_mode == "single":
+                self._device.persist(offset, length)
+            self._count(length)
+            return
+        self.reap(self.submit([(offset, view)]))
 
     def persist_many(self, pieces: Sequence[Tuple[int, Buffer]]) -> None:
         """Persist several ``(offset, payload)`` pieces as one batch.
 
-        All pieces' shares go to the pool together; in ``single`` fence
-        mode the batch is covered by ONE fence spanning the pieces (they
-        land at consecutive device offsets in the orchestrator's layout,
-        §3.1), instead of one fence per piece.  ``per-thread`` mode is
+        All pieces' shares go to the pool together under ONE lock
+        acquisition (:meth:`submit`); in ``single`` fence mode the batch
+        is covered by ONE fence spanning the pieces (they land at
+        consecutive device offsets in the orchestrator's layout, §3.1),
+        instead of one fence per piece.  ``per-thread`` mode is
         unchanged: every share fences its own range, as PMEM requires.
+        """
+        self.reap(self.submit(pieces))
+
+    def submit(
+        self, pieces: Sequence[Tuple[int, Buffer]]
+    ) -> PersistSubmission:
+        """Queue a batch of ``(offset, payload)`` pieces to the pool.
+
+        Every share of every piece is enqueued under a single lock
+        acquisition with a single ``notify_all`` — io_uring-style batched
+        submission instead of one wakeup per piece.  Returns immediately
+        with a :class:`PersistSubmission`; nothing is durable (and errors
+        are not observable) until :meth:`reap`.
         """
         views = [(piece_offset, as_view(data)) for piece_offset, data in pieces]
         views = [(piece_offset, v) for piece_offset, v in views if len(v)]
         if not views:
-            return
+            return PersistSubmission(None, (), None, 0)
         per_thread = self._fence_mode == "per-thread"
         shares = [
             (piece_offset, view, lo, hi)
             for piece_offset, view in views
-            for lo, hi in split_range(len(view), self._num_threads)
-        ]
-        if len(shares) == 1:
-            piece_offset, view, lo, hi = shares[0]
-            self._write_share(piece_offset, view, (lo, hi), fence=per_thread)
-        else:
-            self._run_shares(shares, fence=per_thread)
-        total = sum(len(v) for _, v in views)
-        if self._fence_mode == "single":
-            span_lo = min(piece_offset for piece_offset, _ in views)
-            span_hi = max(
-                piece_offset + len(view) for piece_offset, view in views
+            for lo, hi in split_range(
+                len(view), self._num_threads, self._share_align
             )
+        ]
+        total = sum(len(v) for _, v in views)
+        span_lo = min(piece_offset for piece_offset, _ in views)
+        span_hi = max(
+            piece_offset + len(view) for piece_offset, view in views
+        )
+        with self._work:
+            if self._closed:
+                # Pool is gone (engine closed): defer to reap, which runs
+                # the shares inline in the caller's thread.
+                return PersistSubmission(
+                    None, shares, (span_lo, span_hi), total
+                )
+            batch = _PersistBatch(len(shares))
+            self._ensure_workers()
+            for piece_offset, view, lo, hi in shares:
+                self._queue.append(
+                    _ShareTask(piece_offset, view, lo, hi, per_thread, batch)
+                )
+            self._work.notify_all()
+        return PersistSubmission(batch, shares, (span_lo, span_hi), total)
+
+    def reap(self, submission: PersistSubmission) -> None:
+        """Complete a :meth:`submit` batch: one wait, one covering fence.
+
+        Blocks until every share settled, re-raises the first share
+        failure, then (in ``single`` fence mode) issues ONE fence over
+        the batch's covering span.  Idempotent — reaping twice is a
+        no-op, so error-path cleanup can reap defensively.
+        """
+        if submission.reaped:
+            return
+        submission.reaped = True
+        if submission.total == 0:
+            return
+        per_thread = self._fence_mode == "per-thread"
+        if submission.batch is None:
+            # Submitted after close: same semantics, caller's thread.
+            for piece_offset, view, lo, hi in submission.shares:
+                self._write_share(piece_offset, view, (lo, hi), fence=per_thread)
+        else:
+            submission.batch.done.wait()
+            if submission.batch.errors:
+                raise submission.batch.errors[0]
+        if self._fence_mode == "single":
+            span_lo, span_hi = submission.span
             self._device.persist(span_lo, span_hi - span_lo)
-        self._count(total)
+        self._count(submission.total)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -267,34 +384,6 @@ class ParallelWriter:
 
     # ------------------------------------------------------------------
     # pool internals
-
-    def _run_shares(
-        self,
-        shares: Sequence[Tuple[int, memoryview, int, int]],
-        fence: bool,
-    ) -> None:
-        """Execute shares on the pool (or inline after close) and re-raise
-        the first failure once every share settled."""
-        batch = _PersistBatch(len(shares))
-        with self._work:
-            if self._closed:
-                pooled = False
-            else:
-                pooled = True
-                self._ensure_workers()
-                for piece_offset, view, lo, hi in shares:
-                    self._queue.append(
-                        _ShareTask(piece_offset, view, lo, hi, fence, batch)
-                    )
-                self._work.notify_all()
-        if not pooled:
-            # Pool is gone (engine closed): same semantics, caller's thread.
-            for piece_offset, view, lo, hi in shares:
-                self._write_share(piece_offset, view, (lo, hi), fence=fence)
-            return
-        batch.done.wait()
-        if batch.errors:
-            raise batch.errors[0]
 
     def _ensure_workers(self) -> None:
         # Caller holds self._work.  Spawned once, reused forever after.

@@ -66,6 +66,11 @@ class M:
     # -- pipeline stage latency (③ capture / ④ persist / commit) -------
     STAGE_SECONDS = "pccheck_stage_seconds"  # label: stage=
     CHECKPOINT_SECONDS = "pccheck_checkpoint_seconds"  # request → ack
+    # Seconds of per-chunk CRC compute that genuinely ran WHILE the
+    # writer pool was persisting the same chunk's bytes — the proof the
+    # submit/CRC/reap pipeline overlaps CPU work with device writes
+    # instead of serializing them.
+    PIPELINE_OVERLAP_SECONDS = "pccheck_pipeline_overlap_seconds_total"
     # -- storage devices ----------------------------------------------
     DEVICE_OPS = "pccheck_device_ops_total"  # labels: device=, op=
     DEVICE_OP_BYTES = "pccheck_device_op_bytes_total"

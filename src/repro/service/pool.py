@@ -44,14 +44,22 @@ from repro.core.layout import DeviceLayout, Geometry
 from repro.core.meta import RECORD_SIZE
 from repro.core.orchestrator import PCcheckOrchestrator
 from repro.core.recovery import RecoveredCheckpoint, try_recover
-from repro.errors import ConfigError, EngineClosedError, ServiceError, ServiceSaturated
+from repro.errors import (
+    ConfigError,
+    CorruptCheckpointError,
+    EngineClosedError,
+    ServiceError,
+    ServiceSaturated,
+)
 from repro.obs.metrics import M, MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.core.chunking import aligned_chunk_size
 from repro.storage.device import PersistentDevice
 from repro.storage.dram import DRAMBufferPool
 from repro.storage.faults import CrashPointDevice
 from repro.storage.pmem import SimulatedPMEM
-from repro.storage.ssd import FileBackedSSD, InMemorySSD
+from repro.storage.ssd import SECTOR_SIZE, FileBackedSSD, InMemorySSD
+from repro.storage.striped import STRIPE_HEADER_SIZE, StripedDevice
 
 #: Valid ``backend=`` selectors for :class:`EngineSpec` (and therefore
 #: :func:`repro.open_checkpointer` and the service CLI).
@@ -74,6 +82,15 @@ class EngineSpec:
     backends' durability barriers — the service tests use it to model a
     saturated or slow device; it is rejected for the real-file ``ssd``
     backend, whose speed is whatever the filesystem delivers.
+
+    ``stripe_devices``/``stripe_size`` shard the region across N member
+    files (``{path}.s0`` … ``.s{N-1}``) behind a
+    :class:`~repro.storage.striped.StripedDevice`, so one checkpoint's
+    persist bandwidth aggregates across devices; ``unbuffered`` opens
+    the file(s) in the O_DIRECT-style unbuffered mode of
+    :class:`~repro.storage.ssd.FileBackedSSD`.  Both are ``ssd``-only:
+    the simulated backends have no page cache or second spindle to
+    escape to.
     """
 
     capacity_bytes: int
@@ -85,6 +102,9 @@ class EngineSpec:
     path: Optional[str] = None
     observability: str = "metrics"
     persist_bandwidth: Optional[float] = None
+    stripe_devices: int = 1
+    stripe_size: int = 1 << 20
+    unbuffered: bool = False
 
     def __post_init__(self) -> None:
         if self.capacity_bytes <= 0:
@@ -106,6 +126,25 @@ class EngineSpec:
                     f"persist bandwidth must be positive, "
                     f"got {self.persist_bandwidth}"
                 )
+        if self.stripe_devices < 1:
+            raise ConfigError(
+                f"stripe_devices must be >= 1, got {self.stripe_devices}"
+            )
+        if self.stripe_devices > 1 and self.backend != "ssd":
+            raise ConfigError(
+                "striping shards one region across real files; only "
+                "backend='ssd' has files to stripe over"
+            )
+        if self.stripe_size <= 0 or self.stripe_size % SECTOR_SIZE:
+            raise ConfigError(
+                f"stripe_size must be a positive multiple of {SECTOR_SIZE}, "
+                f"got {self.stripe_size}"
+            )
+        if self.unbuffered and self.backend != "ssd":
+            raise ConfigError(
+                "unbuffered I/O is a property of the real-file ssd "
+                "backend; the simulated backends have no page cache"
+            )
         # Validate the Table 2 knobs eagerly (PCcheckConfig re-checks at
         # assembly time; failing here keeps errors at spec construction).
         self.pccheck_config()
@@ -143,6 +182,76 @@ class EngineSpec:
             return base
         return f"{base}.e{index}"
 
+    def region_probe_path(self, index: int, pool_size: int) -> Optional[str]:
+        """File whose existence marks an already-formatted region.
+
+        The member path itself for a plain file, stripe member 0 for a
+        striped region (``{path}.s0`` — the base path never exists in a
+        striped layout).
+        """
+        base = self.member_path(index, pool_size)
+        if base is None:
+            return None
+        if self.stripe_devices > 1:
+            return f"{base}.s0"
+        return base
+
+    def write_align(self) -> int:
+        """Alignment the built device will ask of write boundaries."""
+        align = 1
+        if self.backend == "ssd":
+            if self.stripe_devices > 1:
+                align = self.stripe_size
+            elif self.unbuffered:
+                align = SECTOR_SIZE
+        return align
+
+
+def _build_striped_ssd(spec: EngineSpec, capacity: int, base: str) -> StripedDevice:
+    """Assemble a stripe set of ``spec.stripe_devices`` member files.
+
+    Fresh sets are sized so the stripe's *logical* capacity covers
+    ``capacity``: each member gets a manifest header page plus a
+    stripe-aligned share of the payload.  An existing set (member 0 on
+    disk) is reopened at its recorded geometry — ``StripedDevice.open``
+    validates every member's manifest and raises the typed
+    :class:`~repro.errors.CorruptCheckpointError` for a missing, torn,
+    or reordered member.
+    """
+    paths = [f"{base}.s{j}" for j in range(spec.stripe_devices)]
+    existing = os.path.exists(paths[0]) and os.path.getsize(paths[0]) > 0
+    members: List[FileBackedSSD] = []
+    try:
+        if existing:
+            for path in paths:
+                size = os.path.getsize(path) if os.path.exists(path) else 0
+                if size <= 0:
+                    raise CorruptCheckpointError(
+                        f"stripe member {path} is missing or empty; the "
+                        f"set was created with {len(paths)} members"
+                    )
+                members.append(
+                    FileBackedSSD(path, capacity=size, unbuffered=spec.unbuffered)
+                )
+            return StripedDevice.open(members)
+        share = -(-capacity // len(paths))
+        share = -(-share // spec.stripe_size) * spec.stripe_size
+        member_capacity = STRIPE_HEADER_SIZE + share
+        for path in paths:
+            members.append(
+                FileBackedSSD(
+                    path, capacity=member_capacity, unbuffered=spec.unbuffered
+                )
+            )
+        return StripedDevice.create(members, stripe_size=spec.stripe_size)
+    except BaseException:
+        for member in members:
+            try:
+                member.close()
+            except OSError:
+                pass  # already tearing down; the original error propagates
+        raise
+
 
 def build_device(
     spec: EngineSpec, capacity: int, index: int = 0, pool_size: int = 1
@@ -152,7 +261,9 @@ def build_device(
         path = spec.member_path(index, pool_size)
         if not path:
             raise ConfigError("backend='ssd' requires a file path")
-        return FileBackedSSD(path, capacity=capacity)
+        if spec.stripe_devices > 1:
+            return _build_striped_ssd(spec, capacity, path)
+        return FileBackedSSD(path, capacity=capacity, unbuffered=spec.unbuffered)
     if spec.backend == "pmem":
         return SimulatedPMEM(
             capacity,
@@ -279,20 +390,27 @@ def build_stack(
     """
     config = spec.pccheck_config()
     slot_size = spec.capacity_bytes + RECORD_SIZE
+    # DeviceLayout.format rounds slot_size up to the device's preferred
+    # alignment (stripe size, sector size); size the device for the
+    # rounded geometry so formatting never outgrows the file.
+    align = spec.write_align()
+    if align > 1:
+        slot_size = aligned_chunk_size(slot_size, align)
     geometry = Geometry(num_slots=config.num_slots, slot_size=slot_size)
     capacity = geometry.total_size
-    member_path = spec.member_path(index, pool_size)
+    probe_path = spec.region_probe_path(index, pool_size)
     existing = (
         device is None
         and spec.backend == "ssd"
-        and member_path is not None
-        and os.path.exists(member_path)
-        and os.path.getsize(member_path) > 0
+        and probe_path is not None
+        and os.path.exists(probe_path)
+        and os.path.getsize(probe_path) > 0
     )
     # An existing region keeps its own geometry; never size the device
-    # below the file (that would amputate slots).
-    if existing:
-        capacity = max(capacity, os.path.getsize(member_path))
+    # below the file (that would amputate slots).  A striped region's
+    # capacity comes from its members' manifests instead.
+    if existing and spec.stripe_devices == 1:
+        capacity = max(capacity, os.path.getsize(probe_path))
     if device is None:
         device = build_device(spec, capacity, index=index, pool_size=pool_size)
 

@@ -18,8 +18,15 @@ from repro.storage.pmem import CLWB_BANDWIDTH, NT_STORE_BANDWIDTH, SimulatedPMEM
 from repro.storage.ssd import (
     PDSSD_NAIVE_BANDWIDTH,
     PDSSD_SATURATED_BANDWIDTH,
+    SECTOR_SIZE,
     FileBackedSSD,
     InMemorySSD,
+)
+from repro.storage.striped import (
+    STRIPE_HEADER_SIZE,
+    StripedDevice,
+    StripeManifest,
+    persist_striped,
 )
 
 __all__ = [
@@ -30,6 +37,8 @@ __all__ = [
     "PCIE3_X16_BANDWIDTH",
     "PDSSD_NAIVE_BANDWIDTH",
     "PDSSD_SATURATED_BANDWIDTH",
+    "SECTOR_SIZE",
+    "STRIPE_HEADER_SIZE",
     "CrashBudgetExhausted",
     "CrashPointDevice",
     "DRAMBufferPool",
@@ -42,4 +51,7 @@ __all__ = [
     "PinnedBuffer",
     "SimulatedGPU",
     "SimulatedPMEM",
+    "StripeManifest",
+    "StripedDevice",
+    "persist_striped",
 ]

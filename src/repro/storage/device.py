@@ -180,6 +180,18 @@ class PersistentDevice(ABC):
         """True after :meth:`close`."""
         return self._closed
 
+    @property
+    def preferred_align(self) -> int:
+        """Alignment (bytes) the device wants write boundaries to honor.
+
+        ``1`` for ordinary devices.  Unbuffered (O_DIRECT-style) files
+        report their sector size and striped devices their stripe size;
+        :func:`repro.core.writer.split_range` rounds share boundaries to
+        this so parallel writers never split a sector or stripe between
+        two threads.
+        """
+        return 1
+
     def attach_metrics(
         self, metrics: MetricsRegistry, label: Optional[str] = None
     ) -> None:

@@ -205,8 +205,11 @@ class CrashPointDevice(PersistentDevice):
                         # "blocking" persist cannot actually block.
                         self._inner.persist(offset, cut)  # pclint: disable=PC001
                     self._inner.crash(self._rng)
-                if self._obs_metrics is not None:
-                    self._obs_metrics.inc(M.CRASHES_INJECTED)
+                    # One crash, one count: later ops refused by the
+                    # already-dead device (pipelined shares in flight on
+                    # other threads) are consequences, not new injections.
+                    if self._obs_metrics is not None:
+                        self._obs_metrics.inc(M.CRASHES_INJECTED)
                 raise CrashBudgetExhausted(
                     f"injected crash at op {op.index} "
                     f"({op.kind} {op.offset}+{op.length}) on {self.name}"

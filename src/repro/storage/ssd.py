@@ -45,6 +45,11 @@ PDSSD_NAIVE_BANDWIDTH: float = 16.2e9 / 37.0
 PDSSD_SATURATED_BANDWIDTH: float = 0.8e9
 
 
+#: Sector granularity unbuffered (O_DIRECT-style) writes are aligned to.
+#: 4096 covers every modern block device's logical sector size.
+SECTOR_SIZE: int = 4096
+
+
 class FileBackedSSD(PersistentDevice):
     """A persistent device over a real file.
 
@@ -52,9 +57,29 @@ class FileBackedSSD(PersistentDevice):
     store to an mmapped region); ``persist`` issues ``os.fsync`` (the
     ``msync`` analogue).  The file is pre-allocated to ``capacity`` so
     offsets are stable.
+
+    ``unbuffered=True`` opts into FastPersist-style unbuffered I/O so
+    persists stop paying the page cache twice (one copy into the cache,
+    one flush to the device).  A second ``O_DIRECT`` descriptor is opened
+    when the platform and filesystem allow it; writes whose offset,
+    length AND user-buffer address are all sector-aligned go through it,
+    bypassing the cache entirely, and everything else (plus any
+    filesystem that rejects ``O_DIRECT``) degrades gracefully to the
+    buffered descriptor followed by a ``posix_fadvise(DONTNEED)`` on
+    persist, which drops the double-cached pages after the fsync.  The
+    device then reports ``preferred_align == SECTOR_SIZE`` so
+    :func:`repro.core.writer.split_range` keeps writer shares
+    sector-aligned and the direct path actually triggers.
     """
 
-    def __init__(self, path: str, capacity: int, name: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        path: str,
+        capacity: int,
+        name: Optional[str] = None,
+        *,
+        unbuffered: bool = False,
+    ) -> None:
         super().__init__(capacity, name or f"ssd:{path}")
         self._path = path
         self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
@@ -69,11 +94,50 @@ class FileBackedSSD(PersistentDevice):
             raise StorageError(f"cannot allocate {capacity} bytes at {path}") from exc
         self._lock = threading.Lock()
         self.stats = DeviceStats()
+        self._unbuffered = bool(unbuffered)
+        self._direct_fd: Optional[int] = None
+        #: Writes that went through the O_DIRECT descriptor.
+        self.direct_write_ops = 0
+        #: Writes that wanted the direct path but fell back (misaligned,
+        #: O_DIRECT unsupported, or a mid-write EINVAL).
+        self.fallback_write_ops = 0
+        #: posix_fadvise(DONTNEED) cache drops issued by persist.
+        self.cache_drop_ops = 0
+        if self._unbuffered:
+            direct_flag = getattr(os, "O_DIRECT", 0)
+            if direct_flag:
+                try:
+                    self._direct_fd = os.open(path, os.O_RDWR | direct_flag)
+                except OSError:
+                    self._direct_fd = None
 
     @property
     def path(self) -> str:
         """Filesystem path backing the device."""
         return self._path
+
+    @property
+    def unbuffered(self) -> bool:
+        """True when opened in unbuffered (O_DIRECT-style) mode."""
+        return self._unbuffered
+
+    @property
+    def direct_io(self) -> bool:
+        """True when a real ``O_DIRECT`` descriptor is live (unbuffered
+        mode can still be active without one — see the fadvise fallback)."""
+        return self._direct_fd is not None
+
+    @property
+    def preferred_align(self) -> int:
+        return SECTOR_SIZE if self._unbuffered else 1
+
+    @staticmethod
+    def _sector_aligned(offset: int, view: memoryview) -> bool:
+        if offset % SECTOR_SIZE or len(view) % SECTOR_SIZE:
+            return False
+        # O_DIRECT also constrains the *user buffer* address.
+        address = np.frombuffer(view, dtype=np.uint8).ctypes.data
+        return address % SECTOR_SIZE == 0
 
     def write(self, offset: int, data: Buffer) -> None:
         self._check_open()
@@ -81,13 +145,26 @@ class FileBackedSSD(PersistentDevice):
         length = len(view)
         self._check_range(offset, length)
         start = self._obs_start()
-        written = 0
+        direct = False
+        if self._direct_fd is not None and self._sector_aligned(offset, view):
+            try:
+                # One shot: a short direct write would leave the retry
+                # position misaligned, so anything partial falls back.
+                if os.pwrite(self._direct_fd, view, offset) == length:
+                    direct = True
+            except OSError:
+                pass
+        written = length if direct else 0
         while written < length:
             # Slicing the view for a short-write retry is zero-copy.
             written += os.pwrite(self._fd, view[written:], offset + written)
         with self._lock:
             self.stats.bytes_written += length
             self.stats.write_ops += 1
+            if direct:
+                self.direct_write_ops += 1
+            elif self._unbuffered:
+                self.fallback_write_ops += 1
         self._obs_op("write", length, start)
 
     def read(self, offset: int, length: int) -> bytes:
@@ -114,12 +191,25 @@ class FileBackedSSD(PersistentDevice):
         """``fsync`` the file — durability for every outstanding write.
 
         ``fsync`` is coarser than ``msync(range)`` but strictly stronger,
-        so the engine's correctness argument is unaffected.
+        so the engine's correctness argument is unaffected.  In
+        unbuffered mode the covered pages are additionally dropped from
+        the page cache (``posix_fadvise(DONTNEED)``) once durable, so
+        writes that had to take the buffered fallback stop occupying DRAM
+        a second time.
         """
         self._check_open()
         self._check_range(offset, length)
         start = self._obs_start()
         os.fsync(self._fd)
+        if self._unbuffered and hasattr(os, "posix_fadvise"):
+            try:
+                os.posix_fadvise(
+                    self._fd, offset, length, os.POSIX_FADV_DONTNEED
+                )
+                with self._lock:
+                    self.cache_drop_ops += 1
+            except OSError:
+                pass
         with self._lock:
             self.stats.bytes_persisted += length
             self.stats.persist_ops += 1
@@ -128,6 +218,9 @@ class FileBackedSSD(PersistentDevice):
     def close(self) -> None:
         if not self.closed:
             os.close(self._fd)
+            if self._direct_fd is not None:
+                os.close(self._direct_fd)
+                self._direct_fd = None
         super().close()
 
 
@@ -145,14 +238,20 @@ class InMemorySSD(PersistentDevice):
         capacity: int,
         name: str = "mem-ssd",
         persist_bandwidth: Optional[float] = None,
+        write_bandwidth: Optional[float] = None,
     ) -> None:
         super().__init__(capacity, name)
+        if write_bandwidth is not None and write_bandwidth <= 0:
+            raise StorageError(
+                f"write bandwidth must be positive, got {write_bandwidth}"
+            )
         self._visible = bytearray(capacity)
         self._durable = bytearray(capacity)
         self._dirty = IntervalSet()
         self._lock = threading.RLock()
         self._crashed = False
         self._persist_bandwidth = persist_bandwidth
+        self._write_bandwidth = write_bandwidth
         self.stats = DeviceStats()
 
     def _check_alive(self) -> None:
@@ -182,6 +281,13 @@ class InMemorySSD(PersistentDevice):
             self._dirty.add(offset, offset + length)
             self.stats.bytes_written += length
             self.stats.write_ops += 1
+        if self._write_bandwidth and length > 0:
+            # Model per-write device channel time OUTSIDE the lock:
+            # concurrent writer shares (or stripe members) overlap their
+            # channel time exactly like independent flash channels, which
+            # is what makes parallel-persist scaling measurable on any
+            # host, single-core CI included.
+            time.sleep(length / self._write_bandwidth)
         self._obs_op("write", length, start)
 
     def read(self, offset: int, length: int) -> bytes:

@@ -124,6 +124,46 @@ class TestOtherWorkloads:
         with pytest.raises(EngineError, match="unknown workload"):
             CrashSweepConfig(workload="nonsense").spec()
 
+    def test_striped_sweep_every_point(self):
+        """Torn stripes, crashes between stripe fences, crashes inside
+        the stripe-manifest write: bit-identical recovery or a typed
+        error at every point, never a silently short payload."""
+        config = CrashSweepConfig(workload="striped", steps=3)
+        report = sweep(config)
+        assert report.ok, render_text(report)
+        assert any(o.acked_steps for o in report.outcomes)
+
+    def test_striped_sweep_with_torn_writes(self):
+        config = CrashSweepConfig(
+            workload="striped", steps=3, torn_writes=True, seed=5
+        )
+        report = sweep(config)
+        assert report.ok, render_text(report)
+
+    def test_striped_dead_member_surfaces_typed_error(self):
+        """A stripe member that dies and is NOT recovered must raise the
+        typed CorruptCheckpointError naming the device on reassembly."""
+        from repro.analysis.crashsweep.workloads import (
+            StripedEngineWorkload,
+            WorkloadSpec,
+        )
+        from repro.errors import CorruptCheckpointError
+        from repro.storage.faults import CrashPointDevice
+        from repro.storage.ssd import InMemorySSD
+        from repro.storage.striped import StripedDevice
+
+        workload = StripedEngineWorkload()
+        spec = WorkloadSpec()
+        device = CrashPointDevice(
+            InMemorySSD(spec.geometry().total_size, name="member0")
+        )
+        journal = workload.run(device, spec)
+        assert journal.acked_steps
+        peers = journal.aux["peer_devices"]
+        peers[0].crash()  # dead, never recovered
+        with pytest.raises(CorruptCheckpointError, match="stripe-peer-1"):
+            StripedDevice.open([device.inner, *peers])
+
 
 class _OverpromisingWorkload(EngineOneShotWorkload):
     """Acks a step it never wrote — every sweep point must catch it."""

@@ -227,6 +227,25 @@ class TestPC010InterproceduralFences:
         diags, _ = lint_paths([root], select={"PC010"})
         assert diags == []
 
+    def test_persist_striped_batch_counts_as_fence(self, tmp_path):
+        code = """
+            def encode_commit_record(meta):
+                return bytes(meta)
+
+
+            def stage_commit(device, layout, meta):
+                device.write(layout.commit_offset, encode_commit_record(meta))
+
+
+            def flush_stripes(device, layout, writer, pending):
+                for meta in pending:
+                    stage_commit(device, layout, meta)
+                persist_striped(writer, pending)
+        """
+        root = write_tree(tmp_path, {"stripes.py": code})
+        diags, _ = lint_paths([root], select={"PC010"})
+        assert diags == []
+
     def test_branch_missing_fence_detected(self, tmp_path):
         code = """
             def encode_commit_record(meta):

@@ -1,0 +1,76 @@
+"""Structure tests for the persist-path benchmark report.
+
+The CI gates live in `make bench-persist` with a realistic payload;
+here a tiny payload proves the report *shape* — every block CI and the
+docs reference must exist with the right fields — without re-litigating
+the performance numbers on a contended test host.
+"""
+
+import pytest
+
+from repro.obs.persist_bench import (
+    MIN_ROUNDS,
+    report_passed,
+    run_benchmark,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_benchmark(
+        payload_mib=1, persists=2, rounds=3, checkpoints=2, seed=3, pieces=4
+    )
+
+
+class TestReportStructure:
+    def test_workload_block_records_best_of_n(self, report):
+        workload = report["workload"]
+        assert workload["rounds"] >= MIN_ROUNDS
+        assert workload["payload_bytes"] == 1 << 20
+        assert workload["pieces_per_batch"] == 4
+
+    def test_matrix_covers_both_devices_at_three_thread_counts(self, report):
+        cells = {(row["device"], row["threads"]) for row in report["matrix"]}
+        assert cells == {
+            (dev, p) for dev in ("ssd", "pmem") for p in (1, 2, 4)
+        }
+        for row in report["matrix"]:
+            assert row["speedup"] > 0
+            assert row["legacy_gb_per_sec"] > 0
+            assert row["pooled_gb_per_sec"] > 0
+
+    def test_scaling_block_ladders_one_through_eight(self, report):
+        scaling = report["scaling"]
+        assert [row["threads"] for row in scaling["rows"]] == [1, 2, 4, 8]
+        for row in scaling["rows"]:
+            assert row["gb_per_sec"] > 0
+        assert scaling["p4_over_p1"] > 0
+        assert scaling["target"] == 1.3
+        assert isinstance(scaling["meets_target"], bool)
+
+    def test_striped_block_compares_two_members_to_one(self, report):
+        striped = report["striped"]
+        assert striped["members"] == 2
+        assert striped["striped_over_single"] > 0
+        assert striped["target"] == 1.2
+        assert isinstance(striped["meets_target"], bool)
+
+    def test_copies_block_reports_overlap_counter(self, report):
+        copies = report["copies"]
+        assert copies["copies_per_checkpoint"] <= 1.0
+        assert "pipeline_overlap_seconds" in copies
+        assert copies["pipeline_overlap_seconds"] >= 0.0
+
+    def test_fence_counts_show_coalescing(self, report):
+        fences = report["scattered_fences"]
+        assert fences["pooled"] == 1
+        assert fences["legacy"] == fences["pieces"]
+
+    def test_report_passed_is_the_conjunction_of_the_gates(self, report):
+        expected = (
+            report["speedup"]["meets_target"]
+            and report["copies"]["meets_budget"]
+            and report["scaling"]["meets_target"]
+            and report["striped"]["meets_target"]
+        )
+        assert report_passed(report) == expected

@@ -172,3 +172,60 @@ class TestBuildDevice:
         pmem = build_device(pmem_spec(), 8192, 0, 1)
         assert isinstance(pmem, SimulatedPMEM)
         pmem.close()
+
+
+class TestStripedAndUnbufferedSpec:
+    def test_striping_requires_ssd_backend(self):
+        with pytest.raises(ConfigError, match="backend='ssd'"):
+            EngineSpec(capacity_bytes=4096, backend="pmem",
+                       stripe_devices=2)
+
+    def test_unbuffered_requires_ssd_backend(self):
+        with pytest.raises(ConfigError, match="ssd"):
+            EngineSpec(capacity_bytes=4096, backend="pmem",
+                       unbuffered=True)
+
+    def test_stripe_size_must_be_sector_multiple(self, tmp_path):
+        with pytest.raises(ConfigError, match="stripe"):
+            EngineSpec(capacity_bytes=65536, backend="ssd",
+                       path=str(tmp_path / "r.pc"),
+                       stripe_devices=2, stripe_size=1000)
+
+    def test_stripe_devices_must_be_positive(self, tmp_path):
+        with pytest.raises(ConfigError):
+            EngineSpec(capacity_bytes=65536, backend="ssd",
+                       path=str(tmp_path / "r.pc"), stripe_devices=0)
+
+    def test_probe_path_and_align(self, tmp_path):
+        base = str(tmp_path / "r.pc")
+        plain = EngineSpec(capacity_bytes=65536, backend="ssd", path=base)
+        assert plain.region_probe_path(0, 1) == base
+        assert plain.write_align() == 1
+        striped = EngineSpec(capacity_bytes=65536, backend="ssd",
+                             path=base, stripe_devices=2, stripe_size=4096)
+        assert striped.region_probe_path(0, 1) == base + ".s0"
+        assert striped.write_align() == 4096
+        direct = EngineSpec(capacity_bytes=65536, backend="ssd",
+                            path=base, unbuffered=True)
+        assert direct.write_align() == 4096  # SECTOR_SIZE
+
+    def test_striped_pool_roundtrip_and_reopen(self, tmp_path):
+        import os
+
+        base = str(tmp_path / "r.pc")
+        spec = EngineSpec(capacity_bytes=256 * 1024, backend="ssd",
+                          path=base, stripe_devices=2, stripe_size=4096)
+        with EnginePool(spec, size=1) as pool:
+            with pool.acquire(tag="t") as lease:
+                result = lease.orchestrator.checkpoint_sync(
+                    BytesSource(b"striped!" * 64), step=5
+                )
+                assert result.committed
+        assert os.path.exists(base + ".s0")
+        assert os.path.exists(base + ".s1")
+        assert not os.path.exists(base)
+        # Reopen: the pool must reassemble the stripe set, not reformat.
+        with EnginePool(spec, size=1) as pool:
+            with pool.acquire(tag="t2") as lease:
+                assert lease.recovered is not None
+                assert lease.recovered.payload == b"striped!" * 64

@@ -1,10 +1,13 @@
 """Tests for the file-backed and in-memory SSD devices."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.errors import CrashedDeviceError, DeviceClosedError, OutOfSpaceError
-from repro.storage.ssd import FileBackedSSD, InMemorySSD
+from repro.storage.ssd import SECTOR_SIZE, FileBackedSSD, InMemorySSD
 
 
 class TestFileBackedSSD:
@@ -107,3 +110,107 @@ class TestInMemorySSD:
         dev.crash()
         dev.recover()
         assert dev.read(0, 4) == b"old!"
+
+
+def _sector_aligned_buffer(length, fill=0x5A):
+    """A numpy byte view whose base address is 4096-aligned."""
+    raw = np.full(length + SECTOR_SIZE, fill, dtype=np.uint8)
+    shift = (-raw.ctypes.data) % SECTOR_SIZE
+    return raw[shift : shift + length]
+
+
+class TestUnbufferedFileBackedSSD:
+    def test_default_is_buffered(self, tmp_path):
+        with FileBackedSSD(str(tmp_path / "d.bin"), capacity=8192) as dev:
+            assert not dev.unbuffered
+            assert dev.preferred_align == 1
+
+    def test_unbuffered_reports_sector_align(self, tmp_path):
+        with FileBackedSSD(
+            str(tmp_path / "d.bin"), capacity=8192, unbuffered=True
+        ) as dev:
+            assert dev.unbuffered
+            assert dev.preferred_align == SECTOR_SIZE
+
+    def test_aligned_write_takes_direct_path(self, tmp_path):
+        with FileBackedSSD(
+            str(tmp_path / "d.bin"), capacity=64 * 1024, unbuffered=True
+        ) as dev:
+            if not dev.direct_io:
+                pytest.skip("filesystem does not support O_DIRECT")
+            buf = _sector_aligned_buffer(2 * SECTOR_SIZE)
+            dev.write(SECTOR_SIZE, buf)
+            assert dev.direct_write_ops == 1
+            assert dev.fallback_write_ops == 0
+            assert dev.read(SECTOR_SIZE, len(buf)) == bytes(buf)
+
+    def test_misaligned_write_falls_back(self, tmp_path):
+        with FileBackedSSD(
+            str(tmp_path / "d.bin"), capacity=64 * 1024, unbuffered=True
+        ) as dev:
+            dev.write(3, b"not aligned at all")
+            assert dev.direct_write_ops == 0
+            assert dev.fallback_write_ops == 1
+            assert dev.read(3, 18) == b"not aligned at all"
+
+    def test_persist_drops_cached_pages(self, tmp_path):
+        with FileBackedSSD(
+            str(tmp_path / "d.bin"), capacity=64 * 1024, unbuffered=True
+        ) as dev:
+            dev.write(5, b"payload")
+            dev.persist(0, 4096)
+            assert dev.cache_drop_ops == 1
+
+    def test_contents_survive_reopen_unbuffered(self, tmp_path):
+        path = str(tmp_path / "d.bin")
+        with FileBackedSSD(path, capacity=64 * 1024, unbuffered=True) as dev:
+            if dev.direct_io:
+                buf = _sector_aligned_buffer(SECTOR_SIZE, fill=0x42)
+                dev.write(0, buf)
+            dev.write(8192, b"tail bytes")
+            dev.persist_all()
+        with FileBackedSSD(path, capacity=64 * 1024) as dev:
+            assert dev.read(8192, 10) == b"tail bytes"
+
+    def test_mixed_direct_and_fallback_roundtrip(self, tmp_path):
+        with FileBackedSSD(
+            str(tmp_path / "d.bin"), capacity=64 * 1024, unbuffered=True
+        ) as dev:
+            aligned = _sector_aligned_buffer(SECTOR_SIZE, fill=0x11)
+            dev.write(0, aligned)
+            dev.write(SECTOR_SIZE, b"odd-sized trailer")
+            assert dev.read(0, SECTOR_SIZE) == bytes(aligned)
+            assert dev.read(SECTOR_SIZE, 17) == b"odd-sized trailer"
+
+
+class TestInMemorySSDBandwidthModel:
+    def test_write_bandwidth_delays_writes(self):
+        slow = InMemorySSD(1 << 20, write_bandwidth=1e6)  # 1 MB/s model
+        start = time.perf_counter()
+        slow.write(0, b"x" * 100_000)  # 0.1 s modelled channel time
+        elapsed = time.perf_counter() - start
+        assert elapsed >= 0.09
+        assert slow.read(0, 5) == b"xxxxx"
+
+    def test_concurrent_writes_overlap_channel_time(self):
+        slow = InMemorySSD(1 << 20, write_bandwidth=1e6)
+        chunk = b"y" * 50_000  # 0.05 s each
+
+        def one(off):
+            slow.write(off, chunk)
+
+        threads = [
+            threading.Thread(target=one, args=(i * 50_000,)) for i in range(4)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        # Serialized would be >= 0.2 s; the channel model overlaps them.
+        assert elapsed < 0.15
+
+    def test_bandwidth_must_be_positive(self):
+        with pytest.raises(Exception):
+            InMemorySSD(1024, write_bandwidth=0)
