@@ -1,6 +1,6 @@
 # Convenience targets for the PCcheck reproduction.
 
-.PHONY: install test test-sanitize test-distributed test-service lint lint-sarif lint-baseline crashsweep bench bench-obs bench-persist figures examples clean
+.PHONY: install test test-sanitize test-distributed test-service test-tiered lint lint-sarif lint-baseline crashsweep bench bench-obs bench-persist figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -41,6 +41,19 @@ test-service:
 	PYTHONPATH=src python -m pytest -x -q tests/service tests/test_strategies.py
 	PYTHONPATH=src python -m repro.cli serve --tenants 6 --rounds 3 \
 		--pool-size 2 --payload-kib 256
+
+# Tiered + remote storage suite (docs/STORAGE.md): the remote object
+# store's visibility/failure model, the demotion policy and tier-walk
+# recovery fall-through, the Checkmate replication baseline, and the
+# tiered crashsweep — power loss mid-demotion at every crash point must
+# leave the hot tier alone satisfying §4.1.
+test-tiered:
+	PYTHONPATH=src python -m pytest -x -q \
+		tests/storage/test_remote.py \
+		tests/storage/test_tiering.py \
+		tests/baselines/test_checkmate.py
+	PYTHONPATH=src python -m repro.cli crashsweep --workload tiered \
+		--torn --seed 11
 
 # Concurrency-invariant static analysis: per-file rules PC001-PC008
 # plus the whole-program pass (PC009 lock-order cycles, PC010

@@ -50,6 +50,7 @@ from repro.errors import (
     EngineError,
     NoCheckpointError,
     PCcheckError,
+    RemoteUnavailableError,
     ServiceError,
     ServiceSaturated,
     StorageError,
@@ -61,6 +62,8 @@ from repro.service import (
     EngineSpec,
     TenantSpec,
 )
+from repro.storage.remote import RemoteStore
+from repro.storage.tiering import TieredDevice, TierPlan, TierPolicy
 
 __version__ = "1.0.0"
 
@@ -77,10 +80,15 @@ __all__ = [
     "EngineSpec",
     "NoCheckpointError",
     "PCcheckError",
+    "RemoteStore",
+    "RemoteUnavailableError",
     "ServiceError",
     "ServiceSaturated",
     "StorageError",
     "TenantSpec",
+    "TieredDevice",
+    "TierPlan",
+    "TierPolicy",
     "__version__",
     "open_checkpointer",
 ]

@@ -208,6 +208,7 @@ def open_checkpointer(
     stripe_devices: int = 1,
     stripe_size: int = 1 << 20,
     unbuffered: bool = False,
+    tiers=None,
     pool: Optional[EnginePool] = None,
     device: Optional[PersistentDevice] = None,
 ) -> Checkpointer:
@@ -235,6 +236,13 @@ def open_checkpointer(
     write path — sector-aligned writes bypass the page cache and
     durability barriers drop cached pages (see ``docs/PERFORMANCE.md``
     for the alignment caveats).
+
+    ``tiers=`` (a :class:`~repro.storage.tiering.TierPlan`, or ``True``
+    for the defaults) enables tiered storage: the backend device becomes
+    the hot tier, committed checkpoints are asynchronously demoted to a
+    warm device (``{path}.warm`` for ``ssd``) and a remote object store,
+    and :func:`repro.core.recovery.recover_tiered` can walk the tiers
+    fastest-first at restart (see ``docs/STORAGE.md``).
 
     ``observability`` selects the telemetry level: ``"off"`` keeps the
     engine's private registry but instruments nothing else, ``"metrics"``
@@ -278,6 +286,10 @@ def open_checkpointer(
             "open_checkpointer() missing required argument "
             "'capacity_bytes' (only a pool= injection can omit it)"
         )
+    if tiers is True:
+        from repro.storage.tiering import TierPlan
+
+        tiers = TierPlan()
     spec = EngineSpec(
         capacity_bytes=capacity_bytes,
         num_concurrent=num_concurrent,
@@ -290,6 +302,7 @@ def open_checkpointer(
         stripe_devices=stripe_devices,
         stripe_size=stripe_size,
         unbuffered=unbuffered,
+        tiers=tiers,
     )
     owned = EnginePool(
         spec,

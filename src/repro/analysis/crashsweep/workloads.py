@@ -16,7 +16,7 @@ durable image and asserts the §4.1 guarantee:
   again after the pipelines died, and a completed run returns every slot
   but the committed one to the free queue (engine invariant 4).
 
-Six workloads cover the stack bottom-up: ``engine`` (one-shot
+Seven workloads cover the stack bottom-up: ``engine`` (one-shot
 ``checkpoint()`` calls), ``streaming`` (interleaved ticket sessions,
 exercising the superseded path deterministically), ``orchestrator``
 (the full capture/persist pipeline with ≥3 concurrent checkpoints),
@@ -24,11 +24,16 @@ exercising the superseded path deterministically), ``orchestrator``
 one rank's device), ``elastic`` (the distributed workload writing
 *shards of one global state*, whose recovery is additionally
 re-partitioned onto smaller and larger worlds and must reassemble
-bit-identically — ROADMAP item 4's acceptance bar), and ``striped``
+bit-identically — ROADMAP item 4's acceptance bar), ``striped``
 (one-shot checkpoints through a 3-member ``StripedDevice`` with the
 fault-injecting device as member 0, so torn stripes, crashes between
 stripe fences, and torn stripe manifests are all swept — recovery must
-be bit-identical or a typed error, never a silently short payload).
+be bit-identical or a typed error, never a silently short payload),
+and ``tiered`` (one-shot checkpoints on a hot device with an async
+demotion policy copying committed checkpoints to a warm SSD and a
+remote object store — power failing mid-demotion at every crash point
+and proving the commit record never depends on anything but the hot
+tier).
 """
 
 from __future__ import annotations
@@ -54,7 +59,7 @@ from repro.core.engine import CheckpointEngine
 from repro.core.layout import DeviceLayout, Geometry
 from repro.core.meta import RECORD_SIZE
 from repro.core.orchestrator import PCcheckOrchestrator
-from repro.core.recovery import try_recover
+from repro.core.recovery import recover_tiered, try_recover
 from repro.core.sharding import shard_payload, reassemble
 from repro.core.snapshot import BytesSource
 from repro.errors import (
@@ -68,8 +73,10 @@ from repro.errors import (
 )
 from repro.storage.dram import DRAMBufferPool
 from repro.storage.faults import CrashPointDevice
+from repro.storage.remote import RemoteStore
 from repro.storage.ssd import InMemorySSD
 from repro.storage.striped import StripedDevice
+from repro.storage.tiering import TieredDevice, TierPlan, TierPolicy
 
 #: Upper bound on waiting for a checkpoint handle after a crash; a hit
 #: means the failure paths stopped terminating and is itself a violation.
@@ -711,6 +718,154 @@ class StripedEngineWorkload(Workload):
         return self._recovery_from_layout(layout, spec, journal, violations)
 
 
+class TieredEngineWorkload(Workload):
+    """One-shot checkpoints with the tier-demotion hook live; the hot
+    device takes the crash while demotions are in flight.
+
+    The engine writes through a :class:`~repro.storage.tiering.TieredDevice`
+    whose hot member is the sweep's fault-injecting device; a
+    :class:`~repro.storage.tiering.TierPolicy` asynchronously copies each
+    committed checkpoint to a warm in-memory SSD and a
+    :class:`~repro.storage.remote.RemoteStore`.  Crash points land only
+    on hot-tier writes/persists — demotion traffic goes to the warm and
+    remote devices, so the schedule is deterministic regardless of
+    demotion timing.  Validation models whole-node power loss (hot and
+    warm lose unpersisted bytes, the remote store drops
+    acked-but-invisible blobs) and then proves the §4.1 guarantee twice:
+
+    * the hot tier **alone** satisfies the inherited journal check — the
+      commit record never depends on the warm or remote tier, even when
+      the crash landed mid-demotion;
+    * :func:`~repro.core.recovery.recover_tiered` agrees byte-exactly,
+      picks the hot copy while it is valid, and keeps working with the
+      remote tier completely unavailable.
+    """
+
+    name = "tiered"
+    description = (
+        "one-shot checkpoints with async warm/remote demotion; hot crashes"
+    )
+
+    def run(self, device: CrashPointDevice, spec: WorkloadSpec) -> RunJournal:
+        journal = RunJournal()
+        warm = InMemorySSD(spec.geometry().total_size, name="tier-warm")
+        remote = RemoteStore(name="tier-remote")
+        journal.aux["warm_device"] = warm
+        journal.aux["remote_store"] = remote
+        policy = None
+        engine = None
+        try:
+            tiered = TieredDevice(device, warm, remote)
+            layout = DeviceLayout.format(
+                tiered, num_slots=spec.num_slots, slot_size=spec.slot_size
+            )
+            policy = TierPolicy(
+                layout, warm, remote, plan=TierPlan(demote_threads=1)
+            )
+            engine = CheckpointEngine(
+                layout,
+                writer_threads=spec.writer_threads,
+                sanitize=spec.sanitize,
+                post_cas_hook=policy.on_commit,
+            )
+            for step in range(1, spec.steps + 1):
+                result = engine.checkpoint(
+                    self.expected_payload(spec, step), step=step
+                )
+                if result.committed:
+                    journal.ack(step, result.counter)
+        except CrashedDeviceError as exc:
+            journal.crashed = True
+            journal.crash_error = str(exc)
+            return journal
+        finally:
+            # The demoter keeps its own writer threads; settle the queue
+            # (failed demotions against a crashed hot tier drain fast) and
+            # join the worker before recovery looks at the tiers.
+            if policy is not None:
+                policy.drain(timeout=5.0)
+                policy.stop()
+        self._check_slot_conservation(engine, spec, journal)
+        return journal
+
+    def validate_recovery(
+        self, device: CrashPointDevice, spec: WorkloadSpec, journal: RunJournal
+    ) -> RecoveryOutcome:
+        violations = list(journal.violations)
+        # Whole-node power loss: hot and warm lose unpersisted bytes, the
+        # remote store drops blobs that were acked but not yet visible.
+        if not device.inner.crashed:
+            device.inner.crash()
+        device.inner.recover()
+        warm = journal.aux.get("warm_device")
+        remote = journal.aux.get("remote_store")
+        if warm is not None:
+            warm.crash()
+            warm.recover()
+        if remote is not None:
+            remote.power_fail()
+        try:
+            layout = DeviceLayout.open(device.inner)
+        except LayoutError:
+            if journal.acked_steps:
+                violations.append(
+                    "hot region unopenable after crash although steps "
+                    f"{journal.acked_steps} were acknowledged"
+                )
+            return RecoveryOutcome(None, "none", violations)
+        # The hot tier alone must satisfy §4.1 — the commit record never
+        # depends on the (asynchronous, lossy) warm or remote copies.
+        outcome = self._recovery_from_layout(layout, spec, journal, violations)
+        violations = outcome.violations
+        # The tier walk must agree byte-exactly, with and without the
+        # remote tier reachable.
+        for label, remote_dark in (("remote dark", True), ("all tiers", False)):
+            if remote is not None and remote_dark:
+                remote.fail()
+            try:
+                walked = recover_tiered(
+                    device.inner, warm=warm, remote=remote
+                )
+            except NoCheckpointError:
+                walked = None
+            finally:
+                if remote is not None and remote_dark:
+                    remote.restore()
+            if walked is None:
+                if outcome.recovered_step is not None:
+                    violations.append(
+                        f"tier walk ({label}) found nothing although the "
+                        f"hot tier recovered step {outcome.recovered_step}"
+                    )
+                continue
+            if (
+                outcome.recovered_step is not None
+                and walked.meta.step < outcome.recovered_step
+            ):
+                violations.append(
+                    f"tier walk ({label}) regressed to step "
+                    f"{walked.meta.step} < hot-tier {outcome.recovered_step}"
+                )
+            if walked.payload != self.expected_payload(
+                spec, walked.meta.step
+            ):
+                violations.append(
+                    f"tier walk ({label}) payload corrupt at step "
+                    f"{walked.meta.step}"
+                )
+            if (
+                outcome.recovered_step is not None
+                and not walked.source.startswith("hot:")
+            ):
+                violations.append(
+                    f"tier walk ({label}) recovered from {walked.source} "
+                    "although the hot tier holds a valid checkpoint"
+                )
+        return RecoveryOutcome(
+            outcome.recovered_step, outcome.source, violations
+        )
+
+
 WORKLOADS: Dict[str, Workload] = {
     workload.name: workload
     for workload in (
@@ -720,6 +875,7 @@ WORKLOADS: Dict[str, Workload] = {
         DistributedWorkload(),
         ElasticShardedWorkload(),
         StripedEngineWorkload(),
+        TieredEngineWorkload(),
     )
 }
 
@@ -732,6 +888,7 @@ DEFAULT_SLOTS: Dict[str, int] = {
     "distributed": 3,
     "elastic": 3,
     "striped": 3,
+    "tiered": 3,
 }
 
 #: Per-workload default world sizes: the elastic scenario shards a

@@ -207,7 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--workload", default="engine",
         choices=["engine", "streaming", "orchestrator", "distributed",
-                 "elastic", "striped"],
+                 "elastic", "striped", "tiered"],
         help="which checkpointing workload to crash",
     )
     sweep_parser.add_argument(
@@ -259,6 +259,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-sanitize", action="store_true",
         help="disable the runtime invariant sanitizer during the sweep",
     )
+    sim_parser = sub.add_parser(
+        "sim",
+        help="run the calibrated throughput simulator for one workload "
+        "and print every strategy's slowdown at the given interval",
+    )
+    sim_parser.add_argument(
+        "--workload", default="opt_1_3b",
+        help="simulated training workload (see repro.sim.workloads)",
+    )
+    sim_parser.add_argument(
+        "--interval", type=int, default=10,
+        help="checkpoint every N iterations",
+    )
+    sim_parser.add_argument(
+        "--strategy", default=None,
+        help="run only this strategy (default: all simulated strategies)",
+    )
+    sim_parser.add_argument(
+        "--iterations", type=int, default=None,
+        help="simulated iterations (default: enough for steady state)",
+    )
+    sim_parser.add_argument("--out", default=None,
+                            help="CSV output directory")
     return parser
 
 
@@ -302,6 +325,45 @@ def _run_crashsweep(args: argparse.Namespace) -> int:
     else:
         print(render_text(report))
     return 0 if report.ok else 1
+
+
+def _run_sim(args: argparse.Namespace) -> int:
+    from repro.errors import PCcheckError
+    from repro.sim.runner import run_throughput
+    from repro.strategies import simulated_strategies
+
+    names = [args.strategy] if args.strategy else simulated_strategies()
+    columns = ["strategy", "interval", "throughput_it_s", "slowdown",
+               "mean_tw_s", "checkpoints"]
+    rows = []
+    for name in names:
+        try:
+            result = run_throughput(
+                args.workload, name, args.interval,
+                num_iterations=args.iterations,
+            )
+        except PCcheckError as exc:
+            print(f"sim: {exc}", file=sys.stderr)
+            return 1
+        rows.append([
+            name,
+            args.interval,
+            f"{result.throughput:.3f}",
+            f"{result.slowdown:.4f}",
+            f"{result.mean_tw:.4f}",
+            result.checkpoints,
+        ])
+    print(render_table(
+        columns, rows,
+        title=f"simulated throughput — {args.workload}",
+    ))
+    if args.out:
+        path = write_csv(
+            os.path.join(args.out, f"sim_{args.workload}.csv"),
+            columns, rows,
+        )
+        print(f"\nwrote {path}")
+    return 0
 
 
 def _run_recover_consistent(args: argparse.Namespace) -> int:
@@ -465,6 +527,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_obs(args)
     if args.command == "crashsweep":
         return _run_crashsweep(args)
+    if args.command == "sim":
+        return _run_sim(args)
     if args.command == "all":
         for name in sorted(FIGURES):
             _run_figure(name, args.out)

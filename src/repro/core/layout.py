@@ -37,9 +37,29 @@ SUPERBLOCK_SIZE: int = 4096
 SLOT_ALIGN: int = 4096
 
 _SB_MAGIC = b"PCCHKSB1"
-# magic(8s) version(I) num_slots(I) slot_size(Q) crc(I)
-_SB_STRUCT = struct.Struct("<8sIIQ")
-_SB_VERSION = 1
+# v1 body: magic(8s) version(I) num_slots(I) slot_size(Q), then crc(I)
+_SB_STRUCT_V1 = struct.Struct("<8sIIQ")
+# v2 body adds header_size(I) so payload offsets survive a reopen by a
+# device with a different (or no) alignment hint.
+_SB_STRUCT = struct.Struct("<8sIIQI")
+_SB_VERSION = 2
+
+
+def header_size_for_align(align: int) -> int:
+    """On-device slot-header size for a device alignment hint.
+
+    The slot header is :data:`RECORD_SIZE` bytes of content, but on a
+    device with sector granularity the *payload* must start on a sector
+    boundary or every payload write lands on the buffered fallback
+    instead of O_DIRECT.  Pad the header to the alignment, capped at
+    :data:`SLOT_ALIGN` — a page keeps any sane sector size aligned, and
+    huge stripe sizes (megabytes) must not inflate every slot by a
+    stripe.
+    """
+    if align <= 1:
+        return RECORD_SIZE
+    a = min(align, SLOT_ALIGN)
+    return -(-RECORD_SIZE // a) * a
 
 
 @dataclass(frozen=True)
@@ -48,11 +68,15 @@ class Geometry:
 
     num_slots: int
     slot_size: int
+    #: On-device bytes reserved per slot for the header.  RECORD_SIZE on
+    #: align-1 devices; padded to the sector size on aligned devices so
+    #: payload offsets stay sector-aligned (ROADMAP item 3).
+    header_size: int = RECORD_SIZE
 
     @property
     def payload_capacity(self) -> int:
         """Largest checkpoint payload a slot can hold."""
-        return self.slot_size - RECORD_SIZE
+        return self.slot_size - self.header_size
 
     @property
     def data_offset(self) -> int:
@@ -101,21 +125,30 @@ class DeviceLayout:
                 f"(header is {RECORD_SIZE} bytes)"
             )
         # Devices with sector/stripe granularity want slots to span a
-        # whole number of sectors/stripes; round the slot size up before
-        # it is pinned in the superblock, so a reopen (whatever device
-        # wraps the bytes then) sees the same geometry it was formatted
-        # with.
+        # whole number of sectors/stripes AND payloads to start on a
+        # sector boundary (else O_DIRECT engines fall back to buffered
+        # I/O for every payload write).  Pad the header to the alignment
+        # and round the slot size up before the geometry is pinned in
+        # the superblock, so a reopen (whatever device wraps the bytes
+        # then) sees the same geometry it was formatted with.
         align = device.preferred_align
+        header = header_size_for_align(align)
         if align > 1:
+            implied_payload = slot_size - RECORD_SIZE
+            slot_size = implied_payload + header
             slot_size = -(-slot_size // align) * align
-        geometry = Geometry(num_slots=num_slots, slot_size=slot_size)
+        geometry = Geometry(
+            num_slots=num_slots, slot_size=slot_size, header_size=header
+        )
         if geometry.total_size > device.capacity:
             raise LayoutError(
                 f"geometry needs {geometry.total_size} bytes but device "
                 f"{device.name} has {device.capacity}"
             )
         layout = cls(device, geometry)
-        body = _SB_STRUCT.pack(_SB_MAGIC, _SB_VERSION, num_slots, slot_size)
+        body = _SB_STRUCT.pack(
+            _SB_MAGIC, _SB_VERSION, num_slots, slot_size, header
+        )
         superblock = body + struct.pack("<I", zlib.crc32(body))
         device.write(0, superblock)
         device.write(layout.commit_offset, bytes(RECORD_SIZE))
@@ -126,19 +159,42 @@ class DeviceLayout:
 
     @classmethod
     def open(cls, device: PersistentDevice) -> "DeviceLayout":
-        """Attach to an already formatted device, validating the superblock."""
-        raw = device.read(0, _SB_STRUCT.size + 4)
-        body, (crc,) = raw[: _SB_STRUCT.size], struct.unpack(
-            "<I", raw[_SB_STRUCT.size :]
+        """Attach to an already formatted device, validating the superblock.
+
+        Accepts both the current (v2) superblock and legacy v1 regions,
+        which had no ``header_size`` field (headers were always
+        :data:`RECORD_SIZE`).  The version is read from the (fixed-offset)
+        prefix first so each version's CRC covers its own body length.
+        """
+        prefix = device.read(0, 12)  # magic(8) + version(4)
+        magic, version = struct.unpack("<8sI", prefix)
+        if magic != _SB_MAGIC:
+            raise LayoutError(f"{device.name} is not a PCcheck region")
+        if version == 1:
+            sb_struct = _SB_STRUCT_V1
+        elif version == _SB_VERSION:
+            sb_struct = _SB_STRUCT
+        else:
+            raise LayoutError(f"unsupported layout version {version}")
+        raw = device.read(0, sb_struct.size + 4)
+        body, (crc,) = raw[: sb_struct.size], struct.unpack(
+            "<I", raw[sb_struct.size :]
         )
         if zlib.crc32(body) != crc:
             raise LayoutError(f"superblock CRC mismatch on {device.name}")
-        magic, version, num_slots, slot_size = _SB_STRUCT.unpack(body)
-        if magic != _SB_MAGIC:
-            raise LayoutError(f"{device.name} is not a PCcheck region")
-        if version != _SB_VERSION:
-            raise LayoutError(f"unsupported layout version {version}")
-        geometry = Geometry(num_slots=num_slots, slot_size=slot_size)
+        if version == 1:
+            _, _, num_slots, slot_size = sb_struct.unpack(body)
+            header = RECORD_SIZE
+        else:
+            _, _, num_slots, slot_size, header = sb_struct.unpack(body)
+        if not RECORD_SIZE <= header < slot_size:
+            raise LayoutError(
+                f"superblock on {device.name} has invalid header size "
+                f"{header} for slot size {slot_size}"
+            )
+        geometry = Geometry(
+            num_slots=num_slots, slot_size=slot_size, header_size=header
+        )
         if geometry.total_size > device.capacity:
             raise LayoutError(
                 f"superblock on {device.name} describes {geometry.total_size} "
@@ -180,8 +236,13 @@ class DeviceLayout:
         return self._geometry.data_offset + slot * self._geometry.slot_size
 
     def payload_offset(self, slot: int) -> int:
-        """Device offset where ``slot``'s payload begins."""
-        return self.slot_offset(slot) + RECORD_SIZE
+        """Device offset where ``slot``'s payload begins.
+
+        ``header_size`` (not ``RECORD_SIZE``) past the slot header: on
+        aligned devices the header is padded so payloads start on a
+        sector boundary and O_DIRECT engines avoid the buffered fallback.
+        """
+        return self.slot_offset(slot) + self._geometry.header_size
 
     def _check_slot(self, slot: int) -> None:
         if not 0 <= slot < self._geometry.num_slots:

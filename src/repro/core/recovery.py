@@ -28,8 +28,21 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
 from repro.core.layout import DeviceLayout
-from repro.core.meta import RECORD_SIZE, CheckMeta, decode_commit_record, payload_crc
-from repro.errors import CorruptCheckpointError, CrashedDeviceError, NoCheckpointError
+from repro.core.meta import (
+    RECORD_SIZE,
+    CheckMeta,
+    decode_commit_record,
+    decode_slot_header,
+    payload_crc,
+)
+from repro.errors import (
+    CorruptCheckpointError,
+    CrashedDeviceError,
+    LayoutError,
+    NoCheckpointError,
+    RemoteUnavailableError,
+    StorageError,
+)
 from repro.obs.metrics import M, MetricsRegistry
 from repro.obs.trace import NULL_TRACER
 
@@ -216,6 +229,100 @@ def recover_striped(
         raise CorruptCheckpointError(
             f"stripe member failed during striped recovery: {exc}"
         ) from exc
+
+
+def recover_tiered(
+    hot,
+    warm=None,
+    remote=None,
+    chunk_size: int = DEFAULT_READ_CHUNK,
+    max_attempts: int = 8,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer=None,
+) -> RecoveredCheckpoint:
+    """Recover from a tiered stack, walking tiers fastest-first.
+
+    ``hot`` may be a :class:`~repro.storage.tiering.TieredDevice` (its
+    ``warm``/``remote`` members are used) or a plain device with the
+    colder tiers passed explicitly.  The walk order is the latency
+    order: **hot → warm → remote**.  Each local tier is opened and
+    recovered independently — a corrupt superblock, torn records, a
+    crashed device, or a mismatched payload CRC all *fall through* to
+    the next tier rather than failing recovery.  The remote tier is
+    scanned newest-blob-first, re-validating each blob's embedded header
+    and payload CRC (an eventually-visible PUT that has not settled is
+    simply not listed yet — the checkpoint is then served by a faster
+    tier or lost with the ingest pipeline, never half-read).
+
+    A warm/remote copy can legitimately be *older* than the hot commit
+    (demotion is asynchronous); the walk returns the first tier that
+    yields any valid checkpoint, because a faster tier holding data is
+    always at least as new as the tiers below it.
+
+    Raises :class:`~repro.errors.NoCheckpointError` whose message names
+    every tier's typed failure when no tier can serve a checkpoint.
+    """
+    # Imported here: repro.storage.tiering builds on core.writer, and a
+    # module-level import would cycle through the storage package.
+    from repro.storage.tiering import REMOTE_PREFIX
+
+    if warm is None and hasattr(hot, "warm"):
+        warm = hot.warm
+    if remote is None and hasattr(hot, "remote"):
+        remote = hot.remote
+    failures: List[Tuple[str, BaseException]] = []
+
+    def _note(tier: str, outcome: str) -> None:
+        if metrics is not None:
+            metrics.inc(M.TIER_RECOVERY_ATTEMPTS, tier=tier, outcome=outcome)
+
+    for tier, device in (("hot", hot), ("warm", warm)):
+        if device is None:
+            continue
+        try:
+            layout = DeviceLayout.open(device)
+            result = recover(layout, chunk_size, max_attempts=max_attempts,
+                             metrics=metrics, tracer=tracer)
+        except (LayoutError, NoCheckpointError, CorruptCheckpointError,
+                StorageError) as exc:
+            failures.append((tier, exc))
+            _note(tier, type(exc).__name__)
+            continue
+        _note(tier, "recovered")
+        result.source = f"{tier}:{result.source}"
+        return result
+
+    if remote is not None:
+        try:
+            keys = remote.list(REMOTE_PREFIX)
+            for key in reversed(keys):  # newest counter first
+                blob = remote.get(key)
+                meta = decode_slot_header(blob[:RECORD_SIZE])
+                if meta is None:
+                    continue
+                payload = blob[RECORD_SIZE:RECORD_SIZE + meta.payload_len]
+                if payload_crc(payload) != meta.payload_crc:
+                    continue
+                _note("remote", "recovered")
+                if metrics is not None:
+                    metrics.inc(M.RECOVERY_BYTES, len(payload))
+                return RecoveredCheckpoint(
+                    meta=meta, payload=payload, source="remote"
+                )
+            failures.append(("remote", NoCheckpointError(
+                f"no valid blob among {len(keys)} under {REMOTE_PREFIX!r}"
+            )))
+            _note("remote", "NoCheckpointError")
+        except (RemoteUnavailableError, KeyError) as exc:
+            failures.append(("remote", exc))
+            _note("remote", type(exc).__name__)
+
+    detail = "; ".join(
+        f"{tier}: {type(exc).__name__}({exc})" for tier, exc in failures
+    )
+    raise NoCheckpointError(
+        f"no tier holds a valid checkpoint ({detail or 'no tiers given'})"
+    )
 
 
 def try_recover(

@@ -38,6 +38,16 @@ class TransientIOError(StorageError):
     will eventually succeed (a flaky controller, not power loss)."""
 
 
+class RemoteUnavailableError(StorageError):
+    """The remote object store refused service (outage or partition).
+
+    Raised by :class:`~repro.storage.remote.RemoteStore` while it is
+    marked unavailable.  Distinct from :class:`CrashedDeviceError`: a
+    remote outage is a *liveness* failure of the cold tier — local tiers
+    keep committing, the demotion worker counts the failure and retries
+    later — whereas a crashed local device kills the commit path."""
+
+
 class LayoutError(PCcheckError):
     """The on-device region layout is malformed or incompatible."""
 

@@ -81,6 +81,22 @@ class M:
     RECOVERY_SECONDS = "pccheck_recovery_seconds"
     RECOVERY_BYTES = "pccheck_recovery_bytes_total"
     RECOVERY_ATTEMPTS = "pccheck_recovery_attempts_total"
+    # -- tiered / remote storage (TierCheck-style demotion) ------------
+    TIER_DEMOTIONS = "pccheck_tier_demotions_total"  # label: tier=
+    TIER_DEMOTION_BYTES = "pccheck_tier_demotion_bytes_total"  # label: tier=
+    TIER_DEMOTION_SECONDS = "pccheck_tier_demotion_seconds"
+    TIER_DEMOTION_FAILURES = (
+        "pccheck_tier_demotion_failures_total"  # labels: tier=, reason=
+    )
+    TIER_DEMOTION_QUEUE = "pccheck_tier_demotion_queue"
+    TIER_DEMOTION_SKIPPED = "pccheck_tier_demotion_skipped_total"
+    TIER_RECOVERY_ATTEMPTS = (
+        "pccheck_tier_recovery_attempts_total"  # labels: tier=, outcome=
+    )
+    REMOTE_PUTS = "pccheck_remote_puts_total"
+    REMOTE_PUT_BYTES = "pccheck_remote_put_bytes_total"
+    REMOTE_GETS = "pccheck_remote_gets_total"
+    REMOTE_FAILURES = "pccheck_remote_failures_total"
     # -- multi-tenant service / engine pool ----------------------------
     TENANT_REQUESTS = "pccheck_tenant_requests_total"  # label: tenant=
     TENANT_COMMITS = "pccheck_tenant_commits_total"  # label: tenant=

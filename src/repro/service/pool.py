@@ -40,7 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import PCcheckConfig, validate_choice
 from repro.core.engine import CheckpointEngine
-from repro.core.layout import DeviceLayout, Geometry
+from repro.core.layout import DeviceLayout, Geometry, header_size_for_align
 from repro.core.meta import RECORD_SIZE
 from repro.core.orchestrator import PCcheckOrchestrator
 from repro.core.recovery import RecoveredCheckpoint, try_recover
@@ -60,6 +60,7 @@ from repro.storage.faults import CrashPointDevice
 from repro.storage.pmem import SimulatedPMEM
 from repro.storage.ssd import SECTOR_SIZE, FileBackedSSD, InMemorySSD
 from repro.storage.striped import STRIPE_HEADER_SIZE, StripedDevice
+from repro.storage.tiering import TieredDevice, TierPlan, TierPolicy
 
 #: Valid ``backend=`` selectors for :class:`EngineSpec` (and therefore
 #: :func:`repro.open_checkpointer` and the service CLI).
@@ -105,6 +106,11 @@ class EngineSpec:
     stripe_devices: int = 1
     stripe_size: int = 1 << 20
     unbuffered: bool = False
+    #: Tiered storage: keep the commit path on the (hot) backend device
+    #: and asynchronously demote committed checkpoints to a warm device
+    #: (``{path}.warm`` for ``ssd``, an in-memory SSD otherwise) and a
+    #: remote object store, per this :class:`~repro.storage.tiering.TierPlan`.
+    tiers: Optional[TierPlan] = None
 
     def __post_init__(self) -> None:
         if self.capacity_bytes <= 0:
@@ -317,6 +323,7 @@ class EngineStack:
         recovered: Optional[RecoveredCheckpoint] = None,
         observability: str = "metrics",
         index: int = 0,
+        tiering: Optional[TierPolicy] = None,
     ) -> None:
         self.device = device
         self.layout = layout
@@ -329,6 +336,8 @@ class EngineStack:
         self.observability = observability
         #: Seat of this stack within its pool (0 for standalone stacks).
         self.index = index
+        #: Demotion policy when the spec asked for tiered storage.
+        self.tiering = tiering
         #: Error swallowed on the release path (diagnostics only — the
         #: tenant already observed it through its checkpoint handles).
         self.release_error: Optional[BaseException] = None
@@ -362,8 +371,10 @@ class EngineStack:
         }
 
     def close(self) -> None:
-        """Tear the stack down: drain pipelines, stop the writer pool,
-        release the device."""
+        """Tear the stack down: stop the demotion worker, drain
+        pipelines, stop the writer pool, release the device."""
+        if self.tiering is not None:
+            self.tiering.stop()
         self.orchestrator.close()
         self.device.close()
 
@@ -390,13 +401,19 @@ def build_stack(
     """
     config = spec.pccheck_config()
     slot_size = spec.capacity_bytes + RECORD_SIZE
-    # DeviceLayout.format rounds slot_size up to the device's preferred
-    # alignment (stripe size, sector size); size the device for the
-    # rounded geometry so formatting never outgrows the file.
+    # DeviceLayout.format pads the slot header and rounds slot_size up to
+    # the device's preferred alignment (stripe size, sector size) so
+    # payload offsets stay sector-aligned; mirror that here to size the
+    # device for the rounded geometry so formatting never outgrows the
+    # file.
     align = spec.write_align()
+    header = header_size_for_align(align)
+    padded_slot = spec.capacity_bytes + header
     if align > 1:
-        slot_size = aligned_chunk_size(slot_size, align)
-    geometry = Geometry(num_slots=config.num_slots, slot_size=slot_size)
+        padded_slot = aligned_chunk_size(padded_slot, align)
+    geometry = Geometry(
+        num_slots=config.num_slots, slot_size=padded_slot, header_size=header
+    )
     capacity = geometry.total_size
     probe_path = spec.region_probe_path(index, pool_size)
     existing = (
@@ -413,6 +430,25 @@ def build_stack(
         capacity = max(capacity, os.path.getsize(probe_path))
     if device is None:
         device = build_device(spec, capacity, index=index, pool_size=pool_size)
+    tier_warm: Optional[PersistentDevice] = None
+    tier_remote = None
+    if spec.tiers is not None:
+        # Hot tier is whatever the spec built; warm is a plain (buffered)
+        # file beside it for ssd, an in-memory SSD for the simulated
+        # backends; remote comes from the plan.  The hot capacity always
+        # covers the warm region (same slot count, headers no larger).
+        if spec.backend == "ssd":
+            base = spec.member_path(index, pool_size)
+            tier_warm = FileBackedSSD(f"{base}.warm", capacity=capacity)
+        else:
+            tier_warm = InMemorySSD(
+                capacity,
+                name=spec.member_name("warm-ssd", index, pool_size),
+            )
+        tier_remote = spec.tiers.build_remote(
+            spec.member_name("remote", index, pool_size)
+        )
+        device = TieredDevice(device, tier_warm, tier_remote)
 
     if metrics is None:
         metrics = MetricsRegistry()
@@ -431,12 +467,22 @@ def build_stack(
         layout = DeviceLayout.format(
             device, num_slots=config.num_slots, slot_size=slot_size
         )
+    tiering: Optional[TierPolicy] = None
+    if spec.tiers is not None:
+        tiering = TierPolicy(
+            layout,
+            tier_warm,
+            tier_remote,
+            plan=spec.tiers,
+            metrics=metrics if spec.observability != "off" else None,
+        )
     engine = CheckpointEngine(
         layout,
         writer_threads=spec.writer_threads,
         recovered=recovered_meta,
         metrics=metrics,
         tracer=tracer,
+        post_cas_hook=tiering.on_commit if tiering is not None else None,
     )
     dram = DRAMBufferPool(
         num_chunks=spec.num_chunks,
@@ -453,6 +499,7 @@ def build_stack(
         recovered=recovered,
         observability=spec.observability,
         index=index,
+        tiering=tiering,
     )
 
 
@@ -787,6 +834,8 @@ class EnginePool:
             # Quiesce first (joins the writer pool), then account, then
             # release the device — accounting on a live stack would race
             # in-flight buffer releases.
+            if stack.tiering is not None:
+                stack.tiering.stop()
             stack.orchestrator.close()
             engines.append(stack.leak_report())
             stack.device.close()

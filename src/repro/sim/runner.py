@@ -109,6 +109,12 @@ def persist_time(
         )
     if strategy_name == "gemini":
         return checkpoint_bytes / machine.network_bandwidth
+    if strategy_name == "checkmate":
+        # Only the update (gradient-sized) crosses the network per
+        # replication; peers receive in parallel off one NIC stream.
+        from repro.sim.strategies.checkmate import GRADIENT_FRACTION
+
+        return checkpoint_bytes * GRADIENT_FRACTION / machine.network_bandwidth
     if strategy_name == "pccheck":
         # Pipelined chunks: copy of chunk i overlaps persist of chunk i-1;
         # the persist stream (p writers) dominates, plus one chunk's copy

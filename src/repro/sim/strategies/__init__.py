@@ -10,6 +10,7 @@ from typing import Dict, Type
 
 from repro.sim.strategies.base import SimContext, StrategySim, StrategyStats
 from repro.sim.strategies.checkfreq import CheckFreqSim, GeminiSim
+from repro.sim.strategies.checkmate import CheckmateSim
 from repro.sim.strategies.pccheck import PCcheckSim
 from repro.sim.strategies.simple import GPMSim, IdealSim, TraditionalSim
 from repro.strategies import REGISTRY, get_strategy_sim
@@ -23,6 +24,7 @@ STRATEGY_SIMS: Dict[str, Type[StrategySim]] = {
 __all__ = [
     "STRATEGY_SIMS",
     "CheckFreqSim",
+    "CheckmateSim",
     "GPMSim",
     "GeminiSim",
     "IdealSim",

@@ -1,0 +1,79 @@
+"""Checkmate's process model: per-iteration gradient replication.
+
+Checkmate (PAPERS.md) never touches persistent storage.  Each iteration
+the freshly produced *update* — gradients/optimizer delta, not the full
+model + optimizer state — is replicated to peer accelerators over the
+network.  Two consequences for the process model:
+
+* like Gemini, the data path is the network and ``storage_slots = 0``;
+* unlike Gemini, only :data:`GRADIENT_FRACTION` of the checkpoint bytes
+  cross the wire per boundary (with Adam, parameters plus two moment
+  tensors make the full state ~3x the gradient volume), so at equal
+  intervals Checkmate's overhead is a fraction of Gemini's.
+
+Replicas receive concurrently, so R-way replication costs one gradient
+transfer of sender bandwidth (the NIC broadcast is the bottleneck,
+modelled as a single flow on the shared network resource).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim.core import Event
+from repro.sim.strategies.base import StrategySim
+
+#: Fraction of the full checkpoint state shipped per replication: with
+#: Adam, state = params + 2 moments, and only the update (~1 params-worth)
+#: moves.  The sim runner's ``persist_time`` uses the same constant.
+GRADIENT_FRACTION: float = 1.0 / 3.0
+
+
+class CheckmateSim(StrategySim):
+    """Replicate the update to peers every boundary; zero persist."""
+
+    name = "checkmate"
+    storage_slots = 0
+
+    def __init__(self, ctx, config=None) -> None:
+        super().__init__(ctx, config)
+        self._replicate_done: Optional[Event] = None
+        self._snapshot_done: Optional[Event] = None
+
+    def before_update(self, step: int) -> Generator[Event, object, None]:
+        # The update mutates the tensors being shipped; wait for the
+        # in-flight replication's source capture to complete.
+        if self._snapshot_done is not None and not self._snapshot_done.triggered:
+            since = self.ctx.sim.now
+            yield self._snapshot_done
+            self._stalled(since, "update")
+
+    def at_checkpoint(self, step: int) -> Generator[Event, object, None]:
+        if (
+            self._replicate_done is not None
+            and not self._replicate_done.triggered
+        ):
+            since = self.ctx.sim.now
+            yield self._replicate_done
+            self._stalled(since, "checkpoint")
+        started = self.ctx.sim.now
+        self._snapshot_done = self.ctx.sim.event()
+        self._replicate_done = self.ctx.sim.event()
+        process = self.ctx.sim.process(
+            self._replicate_pipeline(started, step, self._snapshot_done,
+                                     self._replicate_done),
+            name=f"checkmate-ckpt-{step}",
+        )
+        self._pending_checkpoints.append(process.done)
+
+    def _replicate_pipeline(
+        self, started: float, step: int, snapshot_done: Event,
+        replicate_done: Event
+    ) -> Generator[Event, object, None]:
+        m = self.ctx.checkpoint_bytes * GRADIENT_FRACTION
+        # The sender's NIC streams the gradient once; peers receive in
+        # parallel.  The source buffer frees as the wire drains.
+        yield self.ctx.network.transfer(m)
+        snapshot_done.succeed()
+        replicate_done.succeed()
+        self._record_checkpoint(started, step=step)

@@ -172,6 +172,16 @@ class CrashPointDevice(PersistentDevice):
         """The wrapped device (inspect after a crash for recovery tests)."""
         return self._inner
 
+    @property
+    def preferred_align(self) -> int:
+        """Forward the inner device's alignment hint.
+
+        Without this override the wrapper reports the base-class default
+        (1), so ``DeviceLayout.format`` never rounds slot sizes and a
+        crashsweep over an unbuffered SSD or a striped array silently
+        skips the aligned layout path."""
+        return self._inner.preferred_align
+
     def attach_metrics(
         self, metrics: MetricsRegistry, label: Optional[str] = None
     ) -> None:
@@ -278,6 +288,12 @@ class TransientFaultDevice(PersistentDevice):
     def inner(self) -> PersistentDevice:
         """The wrapped device."""
         return self._inner
+
+    @property
+    def preferred_align(self) -> int:
+        """Forward the inner device's alignment hint (see
+        :attr:`CrashPointDevice.preferred_align`)."""
+        return self._inner.preferred_align
 
     def attach_metrics(
         self, metrics: MetricsRegistry, label: Optional[str] = None

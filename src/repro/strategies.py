@@ -38,8 +38,9 @@ DeviceFactory = Callable[[int], "PersistentDevice"]
 #: How :func:`build_strategy` invokes a functional strategy constructor.
 #: ``threaded`` passes ``writer_threads=``, ``plain`` passes only the
 #: device and payload capacity, ``engine`` passes ``config=`` through to
-#: a full checkpoint engine.
-_FUNCTIONAL_KINDS = ("threaded", "plain", "engine")
+#: a full checkpoint engine, ``replicated`` builds no device at all —
+#: the strategy replicates to peer memories (functional_slots must be 0).
+_FUNCTIONAL_KINDS = ("threaded", "plain", "engine", "replicated")
 
 
 def _resolve(path: str) -> type:
@@ -132,6 +133,15 @@ REGISTRY: Dict[str, StrategyEntry] = {
             simulated="repro.sim.strategies.checkfreq:GeminiSim",
         ),
         StrategyEntry(
+            name="checkmate",
+            description="Gradient replication to peer accelerators; zero "
+            "persist on the hot path (Checkmate).",
+            functional="repro.baselines.checkmate:CheckmateStrategy",
+            functional_kind="replicated",
+            functional_slots=0,
+            simulated="repro.sim.strategies.checkmate:CheckmateSim",
+        ),
+        StrategyEntry(
             name="gpm",
             description="GPU-direct persistent-memory writes (GPM).",
             functional="repro.baselines.gpm:GPMStrategy",
@@ -192,6 +202,9 @@ def required_capacity(name: str, payload_capacity: int,
                       config: Optional[PCcheckConfig] = None) -> int:
     """Device bytes a strategy needs for checkpoints of ``payload_capacity``."""
     entry = functional_entry(name)
+    if entry.functional_slots == 0:
+        # Replicated strategies hold no on-device region at all.
+        return 0
     slot_size = payload_capacity + RECORD_SIZE
     if entry.functional_slots is None:
         slots = (config or PCcheckConfig()).num_slots
@@ -209,6 +222,10 @@ def build_strategy(
 ) -> "CheckpointStrategy":
     """Construct a functional strategy with a right-sized device."""
     entry = functional_entry(name)
+    if entry.functional_kind == "replicated":
+        # No persistent device: the strategy replicates into peer
+        # memories sized for the payload (device_factory is never called).
+        return entry.functional_class()(payload_capacity)
     capacity = required_capacity(name, payload_capacity, config)
     device = device_factory(capacity)
     cls = entry.functional_class()

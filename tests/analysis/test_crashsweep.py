@@ -164,6 +164,48 @@ class TestOtherWorkloads:
         with pytest.raises(CorruptCheckpointError, match="stripe-peer-1"):
             StripedDevice.open([device.inner, *peers])
 
+    def test_tiered_sweep_every_point(self):
+        """Power loss mid-demotion at every crash point: the hot tier
+        alone must satisfy §4.1 (the commit record never depends on the
+        warm or remote tier), and the tier walk must agree byte-exactly
+        even with the remote store dark."""
+        config = CrashSweepConfig(workload="tiered", steps=3)
+        report = sweep(config)
+        assert report.ok, render_text(report)
+        assert any(o.acked_steps for o in report.outcomes)
+
+    def test_tiered_sweep_with_torn_writes(self):
+        config = CrashSweepConfig(
+            workload="tiered", steps=3, torn_writes=True, seed=7
+        )
+        report = sweep(config)
+        assert report.ok, render_text(report)
+
+    def test_tiered_uncrashed_run_demotes_everywhere(self):
+        """A run the schedule never interrupts leaves the newest commit
+        on all three tiers; the tier walk prefers the hot copy."""
+        from repro.analysis.crashsweep.workloads import (
+            TieredEngineWorkload,
+            WorkloadSpec,
+        )
+        from repro.storage.faults import CrashPointDevice
+        from repro.storage.ssd import InMemorySSD
+        from repro.storage.tiering import REMOTE_PREFIX
+
+        workload = TieredEngineWorkload()
+        spec = WorkloadSpec()
+        device = CrashPointDevice(
+            InMemorySSD(spec.geometry().total_size, name="hot")
+        )
+        journal = workload.run(device, spec)
+        assert journal.acked_steps == [1, 2, 3]
+        remote = journal.aux["remote_store"]
+        remote.settle()
+        assert len(remote.list(REMOTE_PREFIX)) == len(journal.acked_steps)
+        outcome = workload.validate_recovery(device, spec, journal)
+        assert outcome.violations == []
+        assert outcome.recovered_step == 3
+
 
 class _OverpromisingWorkload(EngineOneShotWorkload):
     """Acks a step it never wrote — every sweep point must catch it."""

@@ -1,0 +1,107 @@
+"""Tests for the functional Checkmate baseline (gradient replication)."""
+
+import pytest
+
+from repro.baselines.checkmate import CheckmateStrategy
+from repro.errors import ConfigError, NoCheckpointError
+
+CAPACITY = 64 * 1024
+
+
+class TestReplication:
+    def test_checkpoint_lands_on_every_replica(self):
+        strategy = CheckmateStrategy(CAPACITY, replicas=3)
+        strategy.checkpoint(b"state-1", step=1)
+        strategy.drain()
+        for store in strategy.stores:
+            assert store.latest() == (1, b"state-1")
+        assert strategy.latest_recoverable_step() == 1
+        strategy.close()
+
+    def test_recover_returns_newest_surviving_copy(self):
+        strategy = CheckmateStrategy(CAPACITY, replicas=3)
+        strategy.checkpoint(b"old", step=1)
+        strategy.drain()
+        strategy.checkpoint(b"new", step=2)
+        strategy.drain()
+        assert strategy.recover() == (2, b"new")
+        strategy.close()
+
+    def test_single_replica_failure_is_survivable(self):
+        strategy = CheckmateStrategy(CAPACITY, replicas=3)
+        strategy.checkpoint(b"v1", step=1)
+        strategy.drain()
+        strategy.fail_replica(0)
+        assert strategy.recover() == (1, b"v1")
+        # Subsequent checkpoints skip the dead peer but still commit
+        # (2 of 3 alive >= quorum 2).
+        strategy.checkpoint(b"v2", step=2)
+        strategy.drain()
+        assert strategy.recover() == (2, b"v2")
+        strategy.close()
+
+    def test_restored_replica_refills_on_next_checkpoint(self):
+        strategy = CheckmateStrategy(CAPACITY, replicas=2)
+        strategy.checkpoint(b"v1", step=1)
+        strategy.drain()
+        strategy.fail_replica(1)
+        strategy.restore_replica(1)
+        with pytest.raises(NoCheckpointError):
+            strategy.stores[1].latest()  # empty until re-replicated
+        strategy.checkpoint(b"v2", step=2)
+        strategy.drain()
+        assert strategy.stores[1].latest() == (2, b"v2")
+        strategy.close()
+
+
+class TestQuorum:
+    def test_lost_quorum_surfaces_on_next_call(self):
+        strategy = CheckmateStrategy(CAPACITY, replicas=3)
+        for index in (0, 1):
+            strategy.fail_replica(index)
+        strategy.checkpoint(b"v1", step=1)  # 1 of 3 < quorum 2
+        with pytest.raises(NoCheckpointError, match="quorum"):
+            strategy.drain()
+        assert strategy.latest_recoverable_step() is None
+        strategy.close()
+
+    def test_all_replicas_down_is_unrecoverable(self):
+        """Checkmate's trade-off: no persistence means losing every
+        replica loses the training state."""
+        strategy = CheckmateStrategy(CAPACITY, replicas=2)
+        strategy.checkpoint(b"gone", step=1)
+        strategy.drain()
+        for index in range(2):
+            strategy.fail_replica(index)
+        with pytest.raises(NoCheckpointError):
+            strategy.recover()
+        strategy.close()
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ConfigError):
+            CheckmateStrategy(CAPACITY, replicas=0)
+
+
+class TestRegistryIntegration:
+    def test_build_strategy_needs_no_device(self):
+        from repro.strategies import build_strategy, required_capacity
+
+        assert required_capacity("checkmate", 4096) == 0
+
+        def exploding_factory(capacity):
+            raise AssertionError("replicated strategies build no device")
+
+        strategy = build_strategy("checkmate", exploding_factory, 4096)
+        strategy.checkpoint(b"hello", step=1)
+        strategy.drain()
+        assert strategy.recover() == (1, b"hello")
+        strategy.close()
+
+    def test_checkmate_listed_functional_and_simulated(self):
+        from repro.strategies import (
+            functional_strategies,
+            simulated_strategies,
+        )
+
+        assert "checkmate" in functional_strategies()
+        assert "checkmate" in simulated_strategies()

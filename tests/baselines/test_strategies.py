@@ -133,7 +133,9 @@ class TestBlockingSemantics:
 
 class TestRegistry:
     def test_available_strategies(self):
-        assert set(available_strategies()) == {"naive", "checkfreq", "gpm", "pccheck"}
+        assert set(available_strategies()) == {
+            "naive", "checkfreq", "checkmate", "gpm", "pccheck",
+        }
 
     def test_unknown_strategy_rejected(self):
         with pytest.raises(ConfigError):

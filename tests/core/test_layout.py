@@ -123,3 +123,102 @@ class TestRecordIO:
         layout.device.write(layout.payload_offset(2), b"payload")
         meta = CheckMeta(counter=1, slot=2, payload_len=7, payload_crc=0)
         assert layout.read_payload(meta) == b"payload"
+
+
+class _SectorAlignedSSD(InMemorySSD):
+    """In-memory device advertising sector granularity."""
+
+    @property
+    def preferred_align(self):
+        return 4096
+
+
+class TestAlignedHeaders:
+    """Satellite of ROADMAP item 3: on aligned devices the slot header is
+    padded so payload offsets land on sector boundaries (O_DIRECT path)."""
+
+    def test_header_size_for_align(self):
+        from repro.core.layout import header_size_for_align
+
+        assert header_size_for_align(1) == RECORD_SIZE
+        assert header_size_for_align(0) == RECORD_SIZE
+        assert header_size_for_align(512) == 512
+        assert header_size_for_align(4096) == 4096
+        # Huge stripe alignments are capped at a page.
+        assert header_size_for_align(1 << 20) == SLOT_ALIGN
+
+    def _aligned_layout(self, num_slots=3, slot_size=1024):
+        device = _SectorAlignedSSD(capacity=1 << 20, name="aligned")
+        return DeviceLayout.format(
+            device, num_slots=num_slots, slot_size=slot_size
+        )
+
+    def test_payload_offsets_are_sector_aligned(self):
+        layout = self._aligned_layout()
+        for slot in range(layout.num_slots):
+            assert layout.slot_offset(slot) % 4096 == 0
+            assert layout.payload_offset(slot) % 4096 == 0
+
+    def test_padding_preserves_requested_payload_capacity(self):
+        requested = 1024
+        layout = self._aligned_layout(slot_size=requested)
+        assert layout.payload_capacity >= requested - RECORD_SIZE
+        assert layout.geometry.header_size == 4096
+        assert layout.geometry.slot_size % 4096 == 0
+
+    def test_reopen_preserves_padded_geometry(self):
+        layout = self._aligned_layout()
+        # open() never consults the device's alignment hint: the v2
+        # superblock carries header_size, so offsets cannot shift even
+        # when a differently-hinted device wraps the same bytes later.
+        reopened = DeviceLayout.open(layout.device)
+        assert reopened.geometry == layout.geometry
+        assert reopened.payload_offset(0) == layout.payload_offset(0)
+
+    def test_unaligned_device_keeps_compact_header(self):
+        layout = make_layout()
+        assert layout.geometry.header_size == RECORD_SIZE
+
+
+class TestSuperblockVersions:
+    def test_v1_superblock_opens_with_compact_header(self):
+        """Regions formatted before the header_size field (v1) must keep
+        opening, with headers at the legacy RECORD_SIZE."""
+        import struct
+        import zlib
+
+        from repro.core.layout import _SB_MAGIC, _SB_STRUCT_V1
+
+        geometry = Geometry(num_slots=2, slot_size=512)
+        device = InMemorySSD(capacity=geometry.total_size)
+        body = _SB_STRUCT_V1.pack(_SB_MAGIC, 1, 2, 512)
+        device.write(0, body + struct.pack("<I", zlib.crc32(body)))
+        device.persist(0, len(body) + 4)
+        layout = DeviceLayout.open(device)
+        assert layout.geometry.header_size == RECORD_SIZE
+        assert layout.num_slots == 2
+
+    def test_unknown_version_rejected(self):
+        import struct
+        import zlib
+
+        from repro.core.layout import _SB_MAGIC, _SB_STRUCT
+
+        device = InMemorySSD(capacity=1 << 16)
+        body = _SB_STRUCT.pack(_SB_MAGIC, 99, 2, 512, RECORD_SIZE)
+        device.write(0, body + struct.pack("<I", zlib.crc32(body)))
+        with pytest.raises(LayoutError, match="version"):
+            DeviceLayout.open(device)
+
+    def test_invalid_header_size_rejected(self):
+        import struct
+        import zlib
+
+        from repro.core.layout import _SB_MAGIC, _SB_STRUCT, _SB_VERSION
+
+        device = InMemorySSD(capacity=1 << 16)
+        # header >= slot_size: no payload room, must be rejected.
+        body = _SB_STRUCT.pack(_SB_MAGIC, _SB_VERSION, 2, 512, 512)
+        device.write(0, body + struct.pack("<I", zlib.crc32(body)))
+        with pytest.raises(LayoutError, match="header size"):
+            DeviceLayout.open(device)

@@ -16,7 +16,8 @@ from repro.errors import ConfigError
 class TestRegistry:
     def test_all_strategies_registered(self):
         assert set(STRATEGY_SIMS) == {
-            "ideal", "traditional", "gpm", "checkfreq", "gemini", "pccheck",
+            "ideal", "traditional", "gpm", "checkfreq", "gemini",
+            "checkmate", "pccheck",
         }
 
     def test_unknown_strategy_rejected(self):
@@ -108,6 +109,28 @@ class TestGemini:
         assert result.mean_tw == pytest.approx(
             (45e9 / 2) / A2_HIGHGPU_1G.network_bandwidth, rel=0.01
         )
+
+
+class TestCheckmate:
+    def test_cheaper_than_gemini_at_equal_interval(self):
+        """Checkmate ships only the gradient-sized update per boundary,
+        so at the same interval its overhead is a fraction of Gemini's
+        full-state replication."""
+        checkmate = run_throughput("opt_2_7b", "checkmate", 10)
+        gemini = run_throughput("opt_2_7b", "gemini", 10)
+        assert checkmate.slowdown < gemini.slowdown
+        assert checkmate.slowdown >= 1.0
+
+    def test_tw_is_gradient_fraction_of_network(self):
+        """Per-replication wire time = gradient bytes / NIC bandwidth."""
+        from repro.sim.strategies.checkmate import GRADIENT_FRACTION
+
+        result = run_throughput("opt_2_7b", "checkmate", 10)
+        expected = (45e9 / 2) * GRADIENT_FRACTION / A2_HIGHGPU_1G.network_bandwidth
+        assert result.mean_tw == pytest.approx(expected, rel=0.01)
+
+    def test_never_touches_storage(self):
+        assert get_strategy_sim("checkmate").storage_slots == 0
 
 
 class TestPCcheck:

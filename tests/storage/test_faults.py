@@ -156,6 +156,31 @@ class TestOpLog:
         assert device.read(0, 64) == b"a" * 64
 
 
+class TestAlignmentForwarding:
+    """Regression: the wrappers used to inherit the base class's
+    ``preferred_align = 1``, hiding the inner device's sector alignment
+    and silently routing every wrapped ``FileBackedSSD(unbuffered=True)``
+    stack onto the unaligned (fallback) layout path."""
+
+    class _AlignedStub(InMemorySSD):
+        @property
+        def preferred_align(self):
+            return 4096
+
+    def test_crash_point_device_forwards_preferred_align(self):
+        inner = self._AlignedStub(capacity=64 * 1024)
+        assert CrashPointDevice(inner).preferred_align == 4096
+
+    def test_transient_fault_device_forwards_preferred_align(self):
+        inner = self._AlignedStub(capacity=64 * 1024)
+        assert TransientFaultDevice(inner).preferred_align == 4096
+
+    def test_plain_inner_still_reports_byte_alignment(self):
+        inner, device = make_device()
+        assert inner.preferred_align == 1
+        assert device.preferred_align == 1
+
+
 class TestTransientFaultDevice:
     def test_fails_k_times_then_succeeds_on_retry(self):
         inner = InMemorySSD(capacity=4096)

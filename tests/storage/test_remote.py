@@ -1,0 +1,135 @@
+"""RemoteStore tests: blob semantics, visibility window, failure model."""
+
+import pytest
+
+from repro.errors import RemoteUnavailableError, StorageError
+from repro.obs.metrics import M, MetricsRegistry
+from repro.storage.remote import RemoteStore
+
+
+class TestBlobAPI:
+    def test_put_get_roundtrip(self):
+        store = RemoteStore()
+        store.put("ckpt/1", b"hello")
+        assert store.get("ckpt/1") == b"hello"
+        assert len(store) == 1
+
+    def test_put_replaces_whole_blob(self):
+        store = RemoteStore()
+        store.put("k", b"long-old-contents")
+        store.put("k", b"new")
+        assert store.get("k") == b"new"
+
+    def test_get_missing_raises_keyerror(self):
+        store = RemoteStore()
+        with pytest.raises(KeyError):
+            store.get("nope")
+
+    def test_empty_key_rejected(self):
+        store = RemoteStore()
+        with pytest.raises(StorageError):
+            store.put("", b"x")
+
+    def test_list_filters_prefix_and_sorts(self):
+        store = RemoteStore()
+        store.put("ckpt/2", b"b")
+        store.put("ckpt/1", b"a")
+        store.put("other/1", b"c")
+        assert store.list("ckpt/") == ["ckpt/1", "ckpt/2"]
+        assert store.list() == ["ckpt/1", "ckpt/2", "other/1"]
+
+    def test_delete_is_idempotent(self):
+        store = RemoteStore()
+        store.put("k", b"x")
+        store.delete("k")
+        store.delete("k")  # no error
+        with pytest.raises(KeyError):
+            store.get("k")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(StorageError):
+            RemoteStore(latency=-1.0)
+        with pytest.raises(StorageError):
+            RemoteStore(bandwidth=0)
+        with pytest.raises(StorageError):
+            RemoteStore(visibility_ops=-1)
+
+
+class TestEventualVisibility:
+    def test_put_invisible_until_window_closes(self):
+        store = RemoteStore(visibility_ops=2)
+        store.put("k", b"x")
+        with pytest.raises(KeyError):
+            store.get("k")  # op 1: still inside the window
+        # Op 2 closes the window and already observes the settled blob.
+        assert store.list() == ["k"]
+        assert store.get("k") == b"x"
+
+    def test_settle_forces_visibility(self):
+        store = RemoteStore(visibility_ops=100)
+        store.put("k", b"x")
+        assert store.list() == []
+        store.settle()
+        assert store.get("k") == b"x"
+
+    def test_power_fail_drops_only_invisible_blobs(self):
+        store = RemoteStore(visibility_ops=100)
+        store.put("old", b"a")
+        store.settle()  # "old" replicated and visible
+        store.put("new", b"b")  # acked, still in the ingest pipeline
+        store.power_fail()
+        assert store.visible_keys() == ["old"]
+        with pytest.raises(KeyError):
+            store.get("new")
+
+    def test_zero_window_is_immediately_visible(self):
+        store = RemoteStore(visibility_ops=0)
+        store.put("k", b"x")
+        assert store.get("k") == b"x"
+
+
+class TestFailureModel:
+    def test_every_op_raises_typed_error_while_failed(self):
+        store = RemoteStore()
+        store.put("k", b"x")
+        store.fail()
+        assert not store.available
+        for op in (
+            lambda: store.put("k2", b"y"),
+            lambda: store.get("k"),
+            lambda: store.list(),
+            lambda: store.delete("k"),
+        ):
+            with pytest.raises(RemoteUnavailableError):
+                op()
+        assert store.failed_ops == 4
+
+    def test_restore_ends_the_outage_with_blobs_intact(self):
+        store = RemoteStore()
+        store.put("k", b"x")
+        store.fail()
+        store.restore()
+        assert store.available
+        assert store.get("k") == b"x"
+
+    def test_visible_keys_bypasses_the_availability_gate(self):
+        store = RemoteStore()
+        store.put("k", b"x")
+        store.fail()
+        assert store.visible_keys() == ["k"]
+
+
+class TestMetrics:
+    def test_puts_gets_and_failures_are_counted(self):
+        metrics = MetricsRegistry()
+        store = RemoteStore()
+        store.attach_metrics(metrics)
+        store.put("k", b"abcd")
+        store.get("k")
+        store.fail()
+        with pytest.raises(RemoteUnavailableError):
+            store.get("k")
+        assert metrics.value(M.REMOTE_PUTS) == 1
+        assert metrics.value(M.REMOTE_PUT_BYTES) == 4
+        assert metrics.value(M.REMOTE_GETS) == 1
+        assert metrics.value(M.REMOTE_FAILURES) == 1
